@@ -1,0 +1,85 @@
+//! Ablation benches for the design choices called out in DESIGN.md:
+//!
+//! * uniqueness-check strategy (mark-table vs sort) across sizes,
+//! * scheduler choice for bfs/sssp (MultiQueue vs frontier vs
+//!   delta-stepping),
+//! * MultiQueue internal queue count (quality/throughput trade).
+//!
+//! Run with: `cargo bench -p rpb-bench --bench ablation`
+
+use std::sync::OnceLock;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rayon::prelude::*;
+use rpb_bench::{Scale, Workloads};
+use rpb_fearless::{ParIndIterMutExt, UniquenessCheck};
+
+fn workloads() -> &'static Workloads {
+    static W: OnceLock<Workloads> = OnceLock::new();
+    W.get_or_init(|| Workloads::build(Scale::small()))
+}
+
+fn bench_check_strategies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_check_strategy");
+    group.sample_size(10);
+    for size in [10_000usize, 100_000, 1_000_000] {
+        let offsets = rpb_parlay::seqdata::random_permutation(size, 7);
+        for (label, strat) in [
+            ("mark", UniquenessCheck::MarkTable),
+            ("sort", UniquenessCheck::Sort),
+        ] {
+            group.bench_with_input(BenchmarkId::new(label, size), &size, |b, _| {
+                let mut out = vec![0u64; size];
+                b.iter(|| {
+                    out.try_par_ind_iter_mut(&offsets, strat)
+                        .expect("valid")
+                        .enumerate()
+                        .for_each(|(i, slot)| *slot = i as u64);
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_schedulers(c: &mut Criterion) {
+    let w = workloads();
+    let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+    let mut group = c.benchmark_group("ablation_scheduler");
+    group.sample_size(10);
+    group.bench_function("bfs_road/multiqueue", |b| {
+        b.iter(|| rpb_suite::bfs::run_par(&w.road, 0, threads, rpb_fearless::ExecMode::Sync));
+    });
+    group.bench_function("bfs_road/frontier", |b| {
+        b.iter(|| rpb_suite::bfs_frontier::run_par(&w.road, 0));
+    });
+    let delta = rpb_suite::sssp_delta::default_delta(&w.wroad);
+    group.bench_function("sssp_road/multiqueue", |b| {
+        b.iter(|| rpb_suite::sssp::run_par(&w.wroad, 0, threads, rpb_fearless::ExecMode::Sync));
+    });
+    group.bench_function("sssp_road/delta_stepping", |b| {
+        b.iter(|| rpb_suite::sssp_delta::run_par(&w.wroad, 0, delta));
+    });
+    group.finish();
+}
+
+fn bench_mq_queue_count(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_mq_queues");
+    group.sample_size(10);
+    let items: Vec<u64> = (0..100_000u64).map(rpb_parlay::random::hash64).collect();
+    for q in [1usize, 4, 16] {
+        group.bench_with_input(BenchmarkId::new("push_pop", q), &q, |b, &q| {
+            b.iter(|| {
+                let mq: rpb_multiqueue::MultiQueue<u64> = rpb_multiqueue::MultiQueue::new(q);
+                for &p in &items {
+                    mq.push(p, p);
+                }
+                while mq.pop().is_some() {}
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_check_strategies, bench_schedulers, bench_mq_queue_count);
+criterion_main!(benches);

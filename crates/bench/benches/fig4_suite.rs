@@ -1,0 +1,35 @@
+//! Criterion bench for Fig. 4: every benchmark-input pair in its
+//! paper-recommended mode, plus the sequential baseline, at small scale.
+//!
+//! Run with: `cargo bench -p rpb-bench --bench fig4_suite`
+
+use std::sync::OnceLock;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rpb_bench::runner::{recommended_mode, run_seq_case};
+use rpb_bench::{run_case, Scale, Workloads, ALL_PAIRS};
+
+fn workloads() -> &'static Workloads {
+    static W: OnceLock<Workloads> = OnceLock::new();
+    W.get_or_init(|| Workloads::build(Scale::small()))
+}
+
+fn bench_fig4(c: &mut Criterion) {
+    let w = workloads();
+    let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+    let mut group = c.benchmark_group("fig4");
+    group.sample_size(10);
+    for name in ALL_PAIRS {
+        let mode = recommended_mode(name);
+        group.bench_function(format!("{name}/par"), |b| {
+            b.iter(|| run_case(name, w, mode, threads, 1));
+        });
+        group.bench_function(format!("{name}/seq"), |b| {
+            b.iter(|| run_seq_case(name, w, 1));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig4);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Criterion bench for Fig. 5(a): the `par_ind_iter_mut` uniqueness
+//! check's cost on the `SngInd`-heavy benchmarks (`bw`, `lrs`, `sa`),
+//! checked vs unsafe, plus a microbenchmark isolating the check itself
+//! for both strategies.
+//!
+//! Run with: `cargo bench -p rpb-bench --bench fig5a_checked`
+
+use std::sync::OnceLock;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rayon::prelude::*;
+use rpb_bench::runner::FIG5A_PAIRS;
+use rpb_bench::{run_case, Scale, Workloads};
+use rpb_fearless::{ExecMode, ParIndIterMutExt, UniquenessCheck};
+
+fn workloads() -> &'static Workloads {
+    static W: OnceLock<Workloads> = OnceLock::new();
+    W.get_or_init(|| Workloads::build(Scale::small()))
+}
+
+fn bench_fig5a(c: &mut Criterion) {
+    let w = workloads();
+    let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+    let mut group = c.benchmark_group("fig5a");
+    group.sample_size(10);
+    for name in FIG5A_PAIRS {
+        for mode in [ExecMode::Unsafe, ExecMode::Checked] {
+            group.bench_function(format!("{name}/{mode}"), |b| {
+                b.iter(|| run_case(name, w, mode, threads, 1));
+            });
+        }
+    }
+    group.finish();
+
+    // Isolated scatter: the pure cost of the check strategies.
+    let n = 1_000_000;
+    let offsets = rpb_parlay::seqdata::random_permutation(n, 1);
+    let mut group = c.benchmark_group("fig5a_scatter");
+    group.sample_size(10);
+    group.bench_function("unsafe", |b| {
+        let mut out = vec![0u64; n];
+        let view_src: Vec<u64> = (0..n as u64).collect();
+        b.iter(|| {
+            let view = rpb_fearless::SharedMutSlice::new(&mut out);
+            offsets.par_iter().enumerate().for_each(|(i, &o)| {
+                // SAFETY: permutation offsets.
+                unsafe { view.write(o, view_src[i]) };
+            });
+        });
+    });
+    for (label, strat) in
+        [("checked_mark", UniquenessCheck::MarkTable), ("checked_sort", UniquenessCheck::Sort)]
+    {
+        group.bench_function(label, |b| {
+            let mut out = vec![0u64; n];
+            b.iter(|| {
+                out.try_par_ind_iter_mut(&offsets, strat)
+                    .expect("valid")
+                    .enumerate()
+                    .for_each(|(i, slot)| *slot = i as u64);
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig5a);
+criterion_main!(benches);

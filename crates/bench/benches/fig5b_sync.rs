@@ -1,0 +1,47 @@
+//! Criterion bench for Fig. 5(b): unnecessary synchronization (relaxed
+//! atomics / mutexes) vs unsafe for the `SngInd` and `AW` benchmarks,
+//! including the `hist` large-struct Mutex outlier.
+//!
+//! Run with: `cargo bench -p rpb-bench --bench fig5b_sync`
+
+use std::sync::OnceLock;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rpb_bench::runner::FIG5B_PAIRS;
+use rpb_bench::{run_case, Scale, Workloads};
+use rpb_fearless::ExecMode;
+
+fn workloads() -> &'static Workloads {
+    static W: OnceLock<Workloads> = OnceLock::new();
+    W.get_or_init(|| Workloads::build(Scale::small()))
+}
+
+fn bench_fig5b(c: &mut Criterion) {
+    let w = workloads();
+    let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+    let mut group = c.benchmark_group("fig5b");
+    group.sample_size(10);
+    for name in FIG5B_PAIRS {
+        for mode in [ExecMode::Unsafe, ExecMode::Sync] {
+            group.bench_function(format!("{name}/{mode}"), |b| {
+                b.iter(|| run_case(name, w, mode, threads, 1));
+            });
+        }
+    }
+    group.finish();
+
+    // The hist word-sized counters for contrast with the large-struct
+    // Mutex variant run by `run_case("hist", ..)`.
+    let mut group = c.benchmark_group("fig5b_hist_word");
+    group.sample_size(10);
+    let range = w.seq.len() as u64;
+    for mode in [ExecMode::Unsafe, ExecMode::Sync] {
+        group.bench_function(format!("word_bins/{mode}"), |b| {
+            b.iter(|| rpb_suite::hist::run_par(&w.seq, 256, range, mode));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig5b);
+criterion_main!(benches);

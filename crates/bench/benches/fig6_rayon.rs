@@ -1,0 +1,53 @@
+//! Criterion bench for Fig. 6 (Appendix A): the five parallelization
+//! strategies for the element-wise hash task, Listings 11–15.
+//!
+//! Run with: `cargo bench -p rpb-bench --bench fig6_rayon`
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rpb_bench::fig6::*;
+
+const N: usize = 2_000_000;
+
+fn bench_fig6(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6");
+    group.sample_size(10);
+    group.bench_function("serial", |b| {
+        b.iter_batched(
+            || (0..N).collect::<Vec<usize>>(),
+            |mut v| serial_hash(&mut v),
+            criterion::BatchSize::LargeInput,
+        );
+    });
+    group.bench_function("par_1_thread_per_task_capped_2000", |b| {
+        b.iter_batched(
+            || (0..N).collect::<Vec<usize>>(),
+            |mut v| par_hash_thread_per_task(&mut v, 2000),
+            criterion::BatchSize::LargeInput,
+        );
+    });
+    group.bench_function("par_2_thread_per_core", |b| {
+        b.iter_batched(
+            || (0..N).collect::<Vec<usize>>(),
+            |mut v| par_hash_thread_per_core(&mut v),
+            criterion::BatchSize::LargeInput,
+        );
+    });
+    group.bench_function("par_3_job_queue", |b| {
+        b.iter_batched(
+            || (0..N).collect::<Vec<usize>>(),
+            |mut v| par_hash_job_queue(&mut v),
+            criterion::BatchSize::LargeInput,
+        );
+    });
+    group.bench_function("par_rayon", |b| {
+        b.iter_batched(
+            || (0..N).collect::<Vec<usize>>(),
+            |mut v| par_hash_rayon(&mut v),
+            criterion::BatchSize::LargeInput,
+        );
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig6);
+criterion_main!(benches);

@@ -1,0 +1,171 @@
+//! The `rpb` harness binary: regenerates every table and figure of the
+//! paper. See `rpb help`.
+
+use rpb_bench::{figures, Scale, Workloads};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = args.first().map(String::as_str).unwrap_or("help");
+    let mut scale = Scale::default();
+    let mut threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+    let mut reps = 3usize;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                i += 1;
+                scale = Scale::parse(args.get(i).map(String::as_str).unwrap_or(""))
+                    .unwrap_or_else(|e| die(&e));
+            }
+            "--threads" => {
+                i += 1;
+                threads = args
+                    .get(i)
+                    .and_then(|a| a.parse().ok())
+                    .unwrap_or_else(|| die("--threads needs a number"));
+            }
+            "--reps" => {
+                i += 1;
+                reps = args
+                    .get(i)
+                    .and_then(|a| a.parse().ok())
+                    .unwrap_or_else(|| die("--reps needs a number"));
+            }
+            other => die(&format!("unknown option {other}")),
+        }
+        i += 1;
+    }
+
+    let needs_workloads = matches!(cmd, "table2" | "fig4" | "fig5a" | "fig5b" | "all" | "verify");
+    let workloads = needs_workloads.then(|| {
+        eprintln!(
+            "building workloads (text {}B, seq {}, graph {}, points {})...",
+            scale.text_len, scale.seq_len, scale.graph_n, scale.points_n
+        );
+        Workloads::build(scale)
+    });
+    let w = workloads.as_ref();
+
+    match cmd {
+        "table1" => print!("{}", figures::table1()),
+        "table2" => print!("{}", figures::table2(w.expect("workloads"))),
+        "table3" => print!("{}", figures::table3()),
+        "fig3" => print!("{}", figures::fig3()),
+        "fig4" => print!("{}", figures::fig4(w.expect("workloads"), threads, reps)),
+        "fig5a" => print!("{}", figures::fig5a(w.expect("workloads"), threads, reps)),
+        "fig5b" => print!("{}", figures::fig5b(w.expect("workloads"), threads, reps)),
+        "fig6" => print!("{}", figures::fig6_report(scale.seq_len, reps)),
+        "verify" => verify(w.expect("workloads"), threads),
+        "all" => {
+            let w = w.expect("workloads");
+            println!("{}", figures::table1());
+            println!("{}", figures::table2(w));
+            println!("{}", figures::table3());
+            println!("{}", figures::fig3());
+            println!("{}", figures::fig4(w, threads, reps));
+            println!("{}", figures::fig5a(w, threads, reps));
+            println!("{}", figures::fig5b(w, threads, reps));
+            println!("{}", figures::fig6_report(scale.seq_len, reps));
+        }
+        _ => {
+            println!(
+                "rpb — regenerate the tables and figures of\n\
+                 \"When Is Parallelism Fearless and Zero-Cost with Rust?\" (SPAA'24)\n\n\
+                 usage: rpb <table1|table2|table3|fig3|fig4|fig5a|fig5b|fig6|all|verify>\n\
+                 \x20       [--scale small|medium|large] [--threads N] [--reps N]"
+            );
+        }
+    }
+}
+
+/// Runs every benchmark once in every mode and validates the results
+/// against the sequential baselines — a one-command correctness audit of
+/// the whole suite at the chosen scale.
+fn verify(w: &rpb_bench::Workloads, threads: usize) {
+    use rpb_fearless::ExecMode;
+    use rpb_suite::*;
+    let modes = [ExecMode::Unsafe, ExecMode::Checked, ExecMode::Sync];
+    let mut ok = 0usize;
+    let mut check = |name: &str, pass: bool| {
+        println!("{:<24} {}", name, if pass { "ok" } else { "FAIL" });
+        if pass {
+            ok += 1;
+        } else {
+            std::process::exit(1);
+        }
+    };
+    let seq_bw = bw::run_seq(&w.bwt);
+    for m in modes {
+        check(&format!("bw/{m}"), bw::run_par(&w.bwt, m) == seq_bw);
+    }
+    let seq_lrs = lrs::run_seq(&w.text);
+    for m in modes {
+        let r = lrs::run_par(&w.text, m);
+        check(&format!("lrs/{m}"), r.len == seq_lrs.len && lrs::verify(&w.text, &r).is_ok());
+    }
+    let seq_sa = sa::run_seq(&w.text);
+    for m in modes {
+        check(&format!("sa/{m}"), sa::run_par(&w.text, m) == seq_sa);
+    }
+    let r = dr::run_par(&w.points, ExecMode::Checked);
+    check("dr/checked", dr::verify(&w.points, &r).is_ok());
+    for (label, g) in [("link", &w.link), ("road", &w.road)] {
+        let seq = mis::run_seq(g);
+        check(&format!("mis-{label}"), mis::run_par(g, ExecMode::Checked) == seq);
+        check(&format!("mis_spec-{label}"), mis_spec::run_par(g, ExecMode::Checked) == seq);
+    }
+    for (label, (n, es)) in [("rmat", &w.rmat_edges), ("road", &w.road_edges)] {
+        check(
+            &format!("mm-{label}"),
+            mm::run_par(*n, es, ExecMode::Checked) == mm::run_seq(*n, es),
+        );
+        let f = sf::run_par(*n, es, ExecMode::Checked);
+        check(&format!("sf-{label}"), sf::verify(*n, es, &f).is_ok());
+    }
+    for (label, (n, es)) in [("rmat", &w.rmat_wedges), ("road", &w.road_wedges)] {
+        let seq = msf::run_seq(*n, es);
+        check(&format!("msf-{label}"), msf::run_par(*n, es, ExecMode::Checked) == seq);
+        check(&format!("msf_kruskal-{label}"), msf_kruskal::run_par(*n, es, ExecMode::Checked) == seq);
+    }
+    let mut want = w.seq.clone();
+    sort::run_seq(&mut want);
+    for m in modes {
+        let mut got = w.seq.clone();
+        sort::run_par(&mut got, m);
+        check(&format!("sort/{m}"), got == want);
+    }
+    let seq_dedup = dedup::run_seq(&w.seq);
+    for m in modes {
+        check(&format!("dedup/{m}"), dedup::run_par(&w.seq, m) == seq_dedup);
+    }
+    let range = w.seq.len() as u64;
+    let seq_hist = hist::run_seq(&w.seq, 256, range);
+    for m in modes {
+        check(&format!("hist/{m}"), hist::run_par(&w.seq, 256, range, m) == seq_hist);
+    }
+    let bits = 64 - (w.seq.len() as u64).leading_zeros();
+    let mut iwant = w.seq.clone();
+    isort::run_seq(&mut iwant, bits);
+    for m in modes {
+        let mut got = w.seq.clone();
+        isort::run_par(&mut got, bits, m);
+        check(&format!("isort/{m}"), got == iwant);
+    }
+    for (label, g) in [("link", &w.link), ("road", &w.road)] {
+        let seq = bfs::run_seq(g, 0);
+        check(&format!("bfs-{label}/mq"), bfs::run_par(g, 0, threads, ExecMode::Sync) == seq);
+        check(&format!("bfs-{label}/frontier"), bfs_frontier::run_par(g, 0) == seq);
+    }
+    for (label, g) in [("link", &w.wlink), ("road", &w.wroad)] {
+        let seq = sssp::run_seq(g, 0);
+        check(&format!("sssp-{label}/mq"), sssp::run_par(g, 0, threads, ExecMode::Sync) == seq);
+        let delta = sssp_delta::default_delta(g);
+        check(&format!("sssp-{label}/delta"), sssp_delta::run_par(g, 0, delta) == seq);
+    }
+    println!("\nall {ok} checks passed");
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("rpb: {msg}");
+    std::process::exit(2);
+}

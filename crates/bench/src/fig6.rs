@@ -1,0 +1,142 @@
+//! The Appendix A microbenchmark (Fig. 6 + Listings 10–15): why Rayon.
+//!
+//! Hash every element of a vector (Listing 10's PBBS hash as the task)
+//! with five implementations:
+//!
+//! 1. [`serial_hash`] — Listing 11,
+//! 2. [`par_hash_thread_per_task`] — Listing 13 (one OS thread per
+//!    element; capped, because — as the paper notes — the real thing
+//!    "fills the stack and leads to program termination"),
+//! 3. [`par_hash_thread_per_core`] — Listing 14 (chunk per core),
+//! 4. [`par_hash_job_queue`] — Listing 15 (worker threads + Mutex job
+//!    queue),
+//! 5. [`par_hash_rayon`] — Listing 12 (one-line `par_iter_mut`).
+//!
+//! Each variant records the lines of code of its paper listing for the
+//! Fig. 6 right axis.
+
+use rayon::prelude::*;
+use std::sync::Mutex;
+
+use rpb_parlay::random::hash_task;
+
+/// Listing 11: sequential. (3 LoC in the paper.)
+pub fn serial_hash(v: &mut [usize]) {
+    v.iter_mut().for_each(hash_task);
+}
+
+/// Listing 13: one scoped thread per task. (8 LoC.)
+///
+/// The paper's version launches `v.len()` threads and dies on large
+/// inputs; `cap` bounds the number of elements actually processed this
+/// way so the measurement can complete — the harness reports the
+/// extrapolated cost and marks the variant "panics at full size".
+pub fn par_hash_thread_per_task(v: &mut [usize], cap: usize) -> usize {
+    let n = v.len().min(cap);
+    std::thread::scope(|s| {
+        let mut threads = Vec::with_capacity(n);
+        for vi in v[..n].iter_mut() {
+            threads.push(s.spawn(|| hash_task(vi)));
+        }
+        threads.into_iter().for_each(|t| t.join().expect("no panic"));
+    });
+    n
+}
+
+/// Listing 14: one thread per core, equal chunks. (14 LoC.)
+pub fn par_hash_thread_per_core(v: &mut [usize]) {
+    let num_threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+    let elements_per_thread = v.len().div_ceil(num_threads).max(1);
+    let chunks = v.chunks_mut(elements_per_thread);
+    std::thread::scope(|s| {
+        let mut threads = Vec::new();
+        for chunk in chunks {
+            threads.push(s.spawn(|| chunk.iter_mut().for_each(hash_task)));
+        }
+        threads.into_iter().for_each(|t| t.join().expect("no panic"));
+    });
+}
+
+/// Listing 15: worker threads pulling jobs from a `Mutex`-guarded queue.
+/// (23 LoC.)
+pub fn par_hash_job_queue(v: &mut [usize]) {
+    let num_threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+    let elements_per_job = 10_000;
+    let jobs = Mutex::new(v.chunks_mut(elements_per_job));
+    std::thread::scope(|s| {
+        let mut threads = Vec::new();
+        for _ in 0..num_threads {
+            threads.push(s.spawn(|| loop {
+                let mut guard = jobs.lock().expect("queue lock"); // lock
+                let job = guard.next(); // get a job
+                drop(guard); // unlock
+                match job {
+                    Some(job) => job.iter_mut().for_each(hash_task),
+                    None => break,
+                }
+            }));
+        }
+        threads.into_iter().for_each(|t| t.join().expect("no panic"));
+    });
+}
+
+/// Listing 12: Rayon. (4 LoC — net zero change from sequential.)
+pub fn par_hash_rayon(v: &mut [usize]) {
+    v.par_iter_mut().for_each(hash_task);
+}
+
+/// The Fig. 6 variants with their paper LoC counts.
+pub const VARIANTS: [(&str, usize); 5] = [
+    ("serial", 3),
+    ("par_1 (thread/task)", 8),
+    ("par_2 (thread/core)", 14),
+    ("par_3 (job queue)", 23),
+    ("par_rayon", 4),
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rpb_parlay::random::hash64;
+
+    fn expected(n: usize) -> Vec<usize> {
+        (0..n).map(|i| hash64(i as u64) as usize).collect()
+    }
+
+    #[test]
+    fn all_variants_compute_the_same_hashes() {
+        let n = 50_000;
+        let fresh = || (0..n).collect::<Vec<usize>>();
+        let want = expected(n);
+
+        let mut v = fresh();
+        serial_hash(&mut v);
+        assert_eq!(v, want);
+
+        let mut v = fresh();
+        par_hash_rayon(&mut v);
+        assert_eq!(v, want);
+
+        let mut v = fresh();
+        par_hash_thread_per_core(&mut v);
+        assert_eq!(v, want);
+
+        let mut v = fresh();
+        par_hash_job_queue(&mut v);
+        assert_eq!(v, want);
+
+        let mut v = fresh();
+        let done = par_hash_thread_per_task(&mut v, 500);
+        assert_eq!(done, 500);
+        assert_eq!(&v[..500], &want[..500]);
+        assert_eq!(v[500], 500, "beyond the cap must be untouched");
+    }
+
+    #[test]
+    fn variant_table_is_consistent() {
+        assert_eq!(VARIANTS.len(), 5);
+        // Rayon is the shortest parallel implementation (Fig. 6's point).
+        let rayon_loc = VARIANTS[4].1;
+        assert!(VARIANTS[1..4].iter().all(|&(_, loc)| loc > rayon_loc));
+    }
+}

@@ -1,0 +1,195 @@
+//! The phase-concurrent CAS hash table of the paper's Listing 8.
+//!
+//! Open addressing with linear probing; `insert` claims an empty slot with
+//! a single `compare_exchange`, the same structure as the C++
+//! `CAS(&table[hash(v)], EMPTY, v)` in the paper. The Rust port must make
+//! `insert` take `&self` (not `&mut self`) and rely on interior mutability
+//! — the exact friction Listing 8(c)/(d) demonstrates: rustc does not
+//! distinguish synchronized mutable access from unsynchronized, so the
+//! synchronized method must be marked as taking an immutable borrow.
+//!
+//! "Phase-concurrent" (Shun & Blelloch): inserts may race with inserts, but
+//! membership queries and extraction must happen in a later phase — exactly
+//! how `dedup` uses it.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use rpb_parlay::random::hash64;
+
+/// Sentinel marking an empty slot. Keys must be `< u64::MAX`.
+pub const EMPTY: u64 = u64::MAX;
+
+/// A fixed-capacity phase-concurrent hash set for `u64` keys.
+pub struct ConcurrentHashSet {
+    table: Vec<AtomicU64>,
+    mask: usize,
+}
+
+impl ConcurrentHashSet {
+    /// Creates a set able to hold `capacity` keys at ≤50% load.
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0`.
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        let slots = (capacity * 2).next_power_of_two();
+        let table = (0..slots).map(|_| AtomicU64::new(EMPTY)).collect();
+        ConcurrentHashSet { table, mask: slots - 1 }
+    }
+
+    /// Number of slots (≥ 2 × capacity).
+    pub fn slots(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Inserts `key`, returning `true` if it was not already present.
+    ///
+    /// Callable concurrently from many tasks (takes `&self`; the paper's
+    /// Listing 8(d) point). Lock-free: at most `slots` probes.
+    ///
+    /// # Panics
+    /// Panics if `key == EMPTY` or the table is full.
+    pub fn insert(&self, key: u64) -> bool {
+        assert_ne!(key, EMPTY, "EMPTY sentinel cannot be inserted");
+        let mut i = (hash64(key) as usize) & self.mask;
+        for _ in 0..=self.mask {
+            let cur = self.table[i].load(Ordering::Relaxed);
+            if cur == key {
+                return false;
+            }
+            if cur == EMPTY {
+                match self.table[i].compare_exchange(
+                    EMPTY,
+                    key,
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => return true,
+                    Err(actual) => {
+                        if actual == key {
+                            return false;
+                        }
+                        // Someone claimed the slot with a different key:
+                        // keep probing from the same slot's successor.
+                    }
+                }
+            }
+            i = (i + 1) & self.mask;
+        }
+        panic!("ConcurrentHashSet full: increase capacity");
+    }
+
+    /// Membership query. Must not race with `insert` (phase-concurrent).
+    pub fn contains(&self, key: u64) -> bool {
+        let mut i = (hash64(key) as usize) & self.mask;
+        for _ in 0..=self.mask {
+            let cur = self.table[i].load(Ordering::Relaxed);
+            if cur == key {
+                return true;
+            }
+            if cur == EMPTY {
+                return false;
+            }
+            i = (i + 1) & self.mask;
+        }
+        false
+    }
+
+    /// Extracts all resident keys (unordered). Phase boundary: must not
+    /// race with `insert`.
+    pub fn elements(&self) -> Vec<u64> {
+        use rayon::prelude::*;
+        self.table
+            .par_iter()
+            .filter_map(|slot| {
+                let v = slot.load(Ordering::Relaxed);
+                (v != EMPTY).then_some(v)
+            })
+            .collect()
+    }
+
+    /// Number of resident keys (phase boundary applies).
+    pub fn len(&self) -> usize {
+        use rayon::prelude::*;
+        self.table.par_iter().filter(|s| s.load(Ordering::Relaxed) != EMPTY).count()
+    }
+
+    /// True if no keys are resident.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rayon::prelude::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn insert_and_contains() {
+        let set = ConcurrentHashSet::with_capacity(100);
+        assert!(set.insert(5));
+        assert!(!set.insert(5));
+        assert!(set.contains(5));
+        assert!(!set.contains(6));
+    }
+
+    #[test]
+    fn parallel_inserts_match_hashset_model() {
+        let keys: Vec<u64> = (0..100_000).map(|i| hash64(i) % 20_000).collect();
+        let set = ConcurrentHashSet::with_capacity(keys.len());
+        keys.par_iter().for_each(|&k| {
+            set.insert(k);
+        });
+        let got: HashSet<u64> = set.elements().into_iter().collect();
+        let want: HashSet<u64> = keys.iter().copied().collect();
+        assert_eq!(got, want);
+        assert_eq!(set.len(), want.len());
+    }
+
+    #[test]
+    fn insert_count_is_exact_under_contention() {
+        use std::sync::atomic::AtomicUsize;
+        // Every key duplicated 4x; exactly one insert per key must win.
+        let keys: Vec<u64> = (0..25_000u64).flat_map(|k| [k, k, k, k]).collect();
+        let set = ConcurrentHashSet::with_capacity(keys.len());
+        let wins = AtomicUsize::new(0);
+        keys.par_iter().for_each(|&k| {
+            if set.insert(k) {
+                wins.fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        assert_eq!(wins.load(Ordering::Relaxed), 25_000);
+    }
+
+    #[test]
+    fn elements_returns_each_key_once() {
+        let set = ConcurrentHashSet::with_capacity(1000);
+        for k in 0..500u64 {
+            set.insert(k);
+        }
+        let mut elems = set.elements();
+        elems.sort_unstable();
+        assert_eq!(elems, (0..500).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "EMPTY sentinel")]
+    fn empty_sentinel_rejected() {
+        let set = ConcurrentHashSet::with_capacity(4);
+        set.insert(EMPTY);
+    }
+
+    #[test]
+    fn collision_heavy_keys_probe_correctly() {
+        // Tiny table forces probing chains.
+        let set = ConcurrentHashSet::with_capacity(8);
+        for k in 0..8u64 {
+            assert!(set.insert(k));
+        }
+        for k in 0..8u64 {
+            assert!(set.contains(k));
+        }
+    }
+}

@@ -1,0 +1,134 @@
+//! Property-based tests for the concurrent substrate.
+
+use proptest::prelude::*;
+use rayon::prelude::*;
+use rpb_concurrent::*;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The hash set equals a HashSet model after arbitrary parallel
+    /// inserts.
+    #[test]
+    fn hashset_model(keys in proptest::collection::vec(0u64..10_000, 1..3000)) {
+        let set = ConcurrentHashSet::with_capacity(keys.len());
+        keys.par_iter().for_each(|&k| {
+            set.insert(k);
+        });
+        let want: std::collections::HashSet<u64> = keys.iter().copied().collect();
+        let got: std::collections::HashSet<u64> = set.elements().into_iter().collect();
+        prop_assert_eq!(got, want);
+        for &k in &keys {
+            prop_assert!(set.contains(k));
+        }
+    }
+
+    /// write_min over any parallel schedule lands on the true minimum,
+    /// and the number of "improved" returns is bounded by... at least 1.
+    #[test]
+    fn write_min_is_min(values in proptest::collection::vec(any::<u64>(), 1..3000)) {
+        let cell = AtomicU64::new(u64::MAX);
+        let improvements = AtomicUsize::new(0);
+        values.par_iter().for_each(|&v| {
+            if write_min_u64(&cell, v) {
+                improvements.fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        prop_assert_eq!(cell.load(Ordering::Relaxed), *values.iter().min().unwrap());
+        prop_assert!(improvements.load(Ordering::Relaxed) >= 1);
+    }
+
+    /// Union-find connectivity equals a sequential DSU for arbitrary
+    /// parallel union schedules.
+    #[test]
+    fn unionfind_model(
+        n in 1usize..300,
+        edges in proptest::collection::vec((any::<u32>(), any::<u32>()), 0..600),
+    ) {
+        let edges: Vec<(usize, usize)> = edges
+            .into_iter()
+            .map(|(u, v)| ((u as usize) % n, (v as usize) % n))
+            .collect();
+        let uf = ConcurrentUnionFind::new(n);
+        edges.par_iter().for_each(|&(u, v)| {
+            uf.unite(u, v);
+        });
+        let mut parent: Vec<usize> = (0..n).collect();
+        fn find(p: &mut [usize], mut x: usize) -> usize {
+            while p[x] != x {
+                p[x] = p[p[x]];
+                x = p[x];
+            }
+            x
+        }
+        for &(u, v) in &edges {
+            let (ru, rv) = (find(&mut parent, u), find(&mut parent, v));
+            if ru != rv {
+                parent[ru] = rv;
+            }
+        }
+        let seq_sets = {
+            let mut c = 0;
+            for x in 0..n {
+                if find(&mut parent, x) == x {
+                    c += 1;
+                }
+            }
+            c
+        };
+        prop_assert_eq!(uf.count_sets(), seq_sets);
+    }
+
+    /// speculative_for with per-iteration unique cells completes every
+    /// iteration in one attempt regardless of granularity.
+    #[test]
+    fn speculative_for_no_conflicts(n in 1usize..2000, gran in 1usize..512) {
+        let station = ReservationStation::new(n);
+        let done: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        let status = speculative_for(
+            0..n,
+            gran,
+            |i| {
+                station.reserve(i, i);
+                true
+            },
+            |i| {
+                assert!(station.holds(i, i));
+                done[i].fetch_add(1, Ordering::Relaxed);
+                true
+            },
+        );
+        prop_assert_eq!(status.retries, 0);
+        for d in &done {
+            prop_assert_eq!(d.load(Ordering::Relaxed), 1);
+        }
+    }
+
+    /// All-contending speculative iterations serialize in priority order:
+    /// with one shared cell, the winner sequence is 0, 1, 2, … and every
+    /// iteration eventually commits exactly once.
+    #[test]
+    fn speculative_for_total_conflict(n in 1usize..200, gran in 1usize..64) {
+        let station = ReservationStation::new(1);
+        let commits = AtomicUsize::new(0);
+        speculative_for(
+            0..n,
+            gran,
+            |i| {
+                station.reserve(0, i);
+                true
+            },
+            |i| {
+                if station.holds(0, i) {
+                    commits.fetch_add(1, Ordering::Relaxed);
+                    station.check_reset(0, i);
+                    true
+                } else {
+                    false
+                }
+            },
+        );
+        prop_assert_eq!(commits.load(Ordering::Relaxed), n);
+    }
+}

@@ -1,0 +1,85 @@
+//! The paper's "benign race" case study (Sec. 5.2), done portably.
+//!
+//! The suffix-array code in PBBS marks which characters occur in a string
+//! with racy byte stores — all racing tasks write the value `1`, so the
+//! result is interleaving-independent. The paper explains why this is
+//! *not* portable (compilers may split non-atomic stores across ISAs) and
+//! why `rustc` correctly refuses the non-atomic version (see
+//! [`crate::listings`] for the compile-fail proof). The accepted fix is
+//! relaxed atomic stores, which compile to plain stores on every major
+//! ISA — the race stays "benign", but now it is *defined*.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+use rayon::prelude::*;
+
+/// Marks which byte values occur in `data`: `present[c] == true` iff `c`
+/// occurs. Implemented with relaxed atomic stores — the paper's
+/// recommended portable expression of the benign race.
+pub fn mark_present(data: &[u8]) -> [bool; 256] {
+    let present: [AtomicU8; 256] = std::array::from_fn(|_| AtomicU8::new(0));
+    data.par_iter().for_each(|&c| {
+        // All writers store 1: a benign race made defined by atomics.
+        present[c as usize].store(1, Ordering::Relaxed);
+    });
+    std::array::from_fn(|i| present[i].load(Ordering::Relaxed) == 1)
+}
+
+/// Compacts the present-set into the list of occurring byte values,
+/// ascending (the way the suffix-array alphabet compaction uses it).
+pub fn alphabet(data: &[u8]) -> Vec<u8> {
+    let present = mark_present(data);
+    (0u16..256).filter(|&c| present[c as usize]).map(|c| c as u8).collect()
+}
+
+/// Dense re-coding of `data` onto its occurring alphabet: returns
+/// `(recoded, alphabet)` with `alphabet[recoded[i]] == data[i]`.
+pub fn compact_alphabet(data: &[u8]) -> (Vec<u8>, Vec<u8>) {
+    let alpha = alphabet(data);
+    let mut code = [0u8; 256];
+    for (i, &c) in alpha.iter().enumerate() {
+        code[c as usize] = i as u8;
+    }
+    let recoded = data.par_iter().map(|&c| code[c as usize]).collect();
+    (recoded, alpha)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn marks_exactly_the_occurring_bytes() {
+        let present = mark_present(b"abca");
+        for c in 0u16..256 {
+            let expected = matches!(c as u8, b'a' | b'b' | b'c');
+            assert_eq!(present[c as usize], expected, "byte {c}");
+        }
+    }
+
+    #[test]
+    fn alphabet_is_sorted_and_exact() {
+        assert_eq!(alphabet(b"banana"), vec![b'a', b'b', b'n']);
+        assert_eq!(alphabet(b""), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn compaction_round_trips() {
+        let data = b"mississippi".to_vec();
+        let (recoded, alpha) = compact_alphabet(&data);
+        let back: Vec<u8> = recoded.iter().map(|&r| alpha[r as usize]).collect();
+        assert_eq!(back, data);
+        // Codes are dense.
+        assert!(recoded.iter().all(|&r| (r as usize) < alpha.len()));
+    }
+
+    #[test]
+    fn heavy_contention_is_consistent() {
+        // One million racing writers to 4 slots — any interleaving must
+        // produce the same answer.
+        let data: Vec<u8> = (0..1_000_000).map(|i| (i % 4) as u8).collect();
+        let present = mark_present(&data);
+        assert!(present[..4].iter().all(|&b| b));
+        assert!(!present[4..].iter().any(|&b| b));
+    }
+}

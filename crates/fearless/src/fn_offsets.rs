@@ -1,0 +1,166 @@
+//! `SngInd` beyond offset arrays: pure offset *functions*.
+//!
+//! Sec. 5.1 of the paper notes that "the SngInd pattern generalizes
+//! beyond offset arrays. For example, a pure offsets function … could
+//! similarly be checked for uniqueness with an interior unsafe function."
+//! This module implements that generalization: the destinations are
+//! `f(0), f(1), …, f(n-1)` for a caller-supplied pure function, validated
+//! with the same mark-table check.
+//!
+//! The canonical uses are transposes, bit-reversal permutations, and
+//! strided re-layouts — index arithmetic that would be wasteful to
+//! materialize.
+
+use rayon::prelude::*;
+use std::sync::atomic::{AtomicU8, Ordering};
+
+use crate::shared::SharedMutSlice;
+use crate::snd_ind::IndOffsetsError;
+
+/// Validates that `f` is injective over `0..n` with range `0..len`.
+pub fn validate_fn_offsets<F>(n: usize, len: usize, f: F) -> Result<(), IndOffsetsError>
+where
+    F: Fn(usize) -> usize + Send + Sync,
+{
+    if let Some((index, offset)) = (0..n)
+        .into_par_iter()
+        .map(|i| (i, f(i)))
+        .find_any(|&(_, o)| o >= len)
+    {
+        return Err(IndOffsetsError::OutOfBounds { index, offset, len });
+    }
+    let marks: Vec<AtomicU8> = (0..len).map(|_| AtomicU8::new(0)).collect();
+    let dup = (0..n)
+        .into_par_iter()
+        .map(|i| (i, f(i)))
+        .find_any(|&(_, o)| marks[o].fetch_or(1, Ordering::Relaxed) != 0);
+    if let Some((index, offset)) = dup {
+        return Err(IndOffsetsError::Duplicate { index, offset });
+    }
+    Ok(())
+}
+
+/// Checked function-offset scatter: `out[f(i)] = value(i)` for
+/// `i in 0..n`.
+///
+/// # Errors
+/// Returns the first injectivity/bounds violation of `f`.
+pub fn ind_write_fn<T, F, V>(
+    out: &mut [T],
+    n: usize,
+    f: F,
+    value: V,
+) -> Result<(), IndOffsetsError>
+where
+    T: Send,
+    F: Fn(usize) -> usize + Send + Sync,
+    V: Fn(usize) -> T + Send + Sync,
+{
+    validate_fn_offsets(n, out.len(), &f)?;
+    let view = SharedMutSlice::new(out);
+    (0..n).into_par_iter().for_each(|i| {
+        // SAFETY: f proven injective and in-bounds above; each i is
+        // processed by exactly one task.
+        unsafe { view.write(f(i), value(i)) };
+    });
+    Ok(())
+}
+
+/// Unchecked variant — the scary tier of the generalization.
+///
+/// # Safety
+/// `f` must be injective over `0..n` with range within `out`.
+pub unsafe fn ind_write_fn_unchecked<T, F, V>(out: &mut [T], n: usize, f: F, value: V)
+where
+    T: Send,
+    F: Fn(usize) -> usize + Send + Sync,
+    V: Fn(usize) -> T + Send + Sync,
+{
+    let view = SharedMutSlice::new(out);
+    (0..n).into_par_iter().for_each(|i| {
+        // SAFETY: caller contract.
+        unsafe { view.write(f(i), value(i)) };
+    });
+}
+
+/// Out-of-place matrix transpose expressed as a checked function-offset
+/// scatter (`rows × cols`, row-major).
+pub fn transpose<T: Copy + Send + Sync>(
+    input: &[T],
+    rows: usize,
+    cols: usize,
+) -> Result<Vec<T>, IndOffsetsError> {
+    assert_eq!(input.len(), rows * cols, "shape mismatch");
+    let mut out = input.to_vec();
+    ind_write_fn(
+        &mut out,
+        rows * cols,
+        |i| {
+            let (r, c) = (i / cols, i % cols);
+            c * rows + r
+        },
+        |i| input[i],
+    )?;
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transpose_small() {
+        // 2x3 -> 3x2.
+        let m = [1, 2, 3, 4, 5, 6];
+        let t = transpose(&m, 2, 3).expect("valid");
+        assert_eq!(t, vec![1, 4, 2, 5, 3, 6]);
+    }
+
+    #[test]
+    fn transpose_is_involutive() {
+        let n = 64;
+        let m: Vec<u64> = (0..n * n).map(|i| rpb_parlay::random::hash64(i as u64)).collect();
+        let t = transpose(&m, n, n).expect("valid");
+        let tt = transpose(&t, n, n).expect("valid");
+        assert_eq!(tt, m);
+    }
+
+    #[test]
+    fn bit_reversal_permutation() {
+        let bits = 10;
+        let n = 1usize << bits;
+        let mut out = vec![0usize; n];
+        ind_write_fn(&mut out, n, |i| i.reverse_bits() >> (usize::BITS - bits), |i| i)
+            .expect("bit reversal is a permutation");
+        for (i, &x) in out.iter().enumerate() {
+            assert_eq!(x.reverse_bits() >> (usize::BITS - bits), i);
+        }
+    }
+
+    #[test]
+    fn non_injective_function_rejected() {
+        let mut out = vec![0u8; 100];
+        let err = ind_write_fn(&mut out, 100, |i| i / 2, |_| 1).unwrap_err();
+        assert!(matches!(err, IndOffsetsError::Duplicate { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn out_of_range_function_rejected() {
+        let mut out = vec![0u8; 10];
+        let err = ind_write_fn(&mut out, 100, |i| i, |_| 1).unwrap_err();
+        assert!(matches!(err, IndOffsetsError::OutOfBounds { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn unchecked_matches_checked() {
+        let bits = 8;
+        let n = 1usize << bits;
+        let mut a = vec![0usize; n];
+        let mut b = vec![0usize; n];
+        let f = |i: usize| i.reverse_bits() >> (usize::BITS - bits);
+        ind_write_fn(&mut a, n, f, |i| i * 3).expect("valid");
+        // SAFETY: bit reversal is a permutation.
+        unsafe { ind_write_fn_unchecked(&mut b, n, f, |i| i * 3) };
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,92 @@
+//! The RPB suite's "switches to toggle unsafe parallel features".
+//!
+//! Every benchmark with irregular parallelism ships three variants keyed by
+//! [`ExecMode`], matching the three solutions the paper weighs for `SngInd`
+//! and `AW` (Sec. 5):
+//!
+//! * [`ExecMode::Unsafe`] — raw-pointer writes, no dynamic checks: the
+//!   C++-equivalent configuration used for RPB's headline Fig. 4 numbers.
+//! * [`ExecMode::Checked`] — interior-unsafe iterators with run-time
+//!   validation (`par_ind_iter_mut` uniqueness checks): Fig. 5(a).
+//! * [`ExecMode::Sync`] — synchronization instead of proofs of
+//!   independence (relaxed atomics or mutexes): Fig. 5(b).
+
+use crate::taxonomy::Fearlessness;
+
+/// Which safety strategy a benchmark variant uses for its irregular phases.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum ExecMode {
+    /// Unsafe raw writes — fastest, *scared*.
+    Unsafe,
+    /// Dynamic checks via the `par_ind_*` iterators — *comfortable*.
+    #[default]
+    Checked,
+    /// Unnecessary synchronization (atomics/mutexes) — *scared* but
+    /// race-free.
+    Sync,
+}
+
+/// All modes, in overhead order.
+pub const ALL_MODES: [ExecMode; 3] = [ExecMode::Unsafe, ExecMode::Checked, ExecMode::Sync];
+
+impl ExecMode {
+    /// Where this strategy lands on the paper's fear spectrum for the
+    /// irregular patterns it is applied to.
+    pub fn fearlessness(self) -> Fearlessness {
+        match self {
+            ExecMode::Unsafe => Fearlessness::Scared,
+            ExecMode::Checked => Fearlessness::Comfortable,
+            // Data races are ruled out, but atomicity/order violations,
+            // deadlock and livelock remain undetected (Observation 5).
+            ExecMode::Sync => Fearlessness::Scared,
+        }
+    }
+
+    /// Short label used by the harness CLI and bench IDs.
+    pub fn label(self) -> &'static str {
+        match self {
+            ExecMode::Unsafe => "unsafe",
+            ExecMode::Checked => "checked",
+            ExecMode::Sync => "sync",
+        }
+    }
+}
+
+impl std::fmt::Display for ExecMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+impl std::str::FromStr for ExecMode {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "unsafe" => Ok(ExecMode::Unsafe),
+            "checked" => Ok(ExecMode::Checked),
+            "sync" | "synchronized" => Ok(ExecMode::Sync),
+            other => Err(format!("unknown exec mode: {other} (unsafe|checked|sync)")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_labels() {
+        for m in ALL_MODES {
+            let parsed: ExecMode = m.label().parse().expect("parse");
+            assert_eq!(parsed, m);
+        }
+        assert!("bogus".parse::<ExecMode>().is_err());
+    }
+
+    #[test]
+    fn only_checked_is_comfortable() {
+        assert_eq!(ExecMode::Checked.fearlessness(), Fearlessness::Comfortable);
+        assert_eq!(ExecMode::Unsafe.fearlessness(), Fearlessness::Scared);
+        assert_eq!(ExecMode::Sync.fearlessness(), Fearlessness::Scared);
+    }
+}

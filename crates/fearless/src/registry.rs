@@ -1,0 +1,114 @@
+//! Static access-pattern census (the measurement behind Fig. 3 and the
+//! pattern columns of Table 1).
+//!
+//! The paper *statically* collects every access to shared data inside a
+//! parallel region and classifies it by pattern; Fig. 3 reports the
+//! distribution (11% RO, 52% Stride, 3% Block, 5% D&C, 13% SngInd,
+//! 7% RngInd, 9% AW) and §7.2 the headline "29% of accesses are irregular".
+//!
+//! In RPB-rs, each benchmark module declares its parallel-region accesses
+//! as a `const` table of [`PatternCount`]s — the same static measurement,
+//! recorded next to the code it describes (reviewed in code review, not
+//! runtime instrumentation). [`PatternCensus`] aggregates the declarations
+//! across the suite.
+
+use std::collections::BTreeMap;
+
+use crate::taxonomy::{Pattern, ALL_PATTERNS};
+
+/// One benchmark's static count of shared-data accesses of one pattern.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PatternCount {
+    /// Which access pattern.
+    pub pattern: Pattern,
+    /// Number of static occurrences (accesses to shared structures inside
+    /// parallel regions with this pattern).
+    pub count: usize,
+}
+
+/// Aggregated census over any number of benchmarks.
+#[derive(Clone, Debug, Default)]
+pub struct PatternCensus {
+    totals: BTreeMap<Pattern, usize>,
+}
+
+impl PatternCensus {
+    /// Empty census.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one benchmark's declared counts.
+    pub fn add(&mut self, counts: &[PatternCount]) {
+        for c in counts {
+            *self.totals.entry(c.pattern).or_insert(0) += c.count;
+        }
+    }
+
+    /// Total accesses across all patterns.
+    pub fn total(&self) -> usize {
+        self.totals.values().sum()
+    }
+
+    /// Count for one pattern.
+    pub fn count(&self, p: Pattern) -> usize {
+        self.totals.get(&p).copied().unwrap_or(0)
+    }
+
+    /// Fraction (0..=1) of accesses with the given pattern.
+    pub fn share(&self, p: Pattern) -> f64 {
+        let t = self.total();
+        if t == 0 {
+            0.0
+        } else {
+            self.count(p) as f64 / t as f64
+        }
+    }
+
+    /// The §7.2 headline: fraction of accesses that are irregular
+    /// (`SngInd` + `RngInd` + `AW`).
+    pub fn irregular_share(&self) -> f64 {
+        ALL_PATTERNS.iter().filter(|p| p.is_irregular()).map(|&p| self.share(p)).sum()
+    }
+
+    /// (pattern, count, share) rows in Table 3 order — the Fig. 3 data.
+    pub fn rows(&self) -> Vec<(Pattern, usize, f64)> {
+        ALL_PATTERNS.iter().map(|&p| (p, self.count(p), self.share(p))).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregates_and_shares() {
+        let mut census = PatternCensus::new();
+        census.add(&[
+            PatternCount { pattern: Pattern::RO, count: 2 },
+            PatternCount { pattern: Pattern::Stride, count: 6 },
+        ]);
+        census.add(&[
+            PatternCount { pattern: Pattern::Stride, count: 4 },
+            PatternCount { pattern: Pattern::AW, count: 8 },
+        ]);
+        assert_eq!(census.total(), 20);
+        assert_eq!(census.count(Pattern::Stride), 10);
+        assert!((census.share(Pattern::Stride) - 0.5).abs() < 1e-12);
+        assert!((census.irregular_share() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_census_is_zero() {
+        let census = PatternCensus::new();
+        assert_eq!(census.total(), 0);
+        assert_eq!(census.share(Pattern::RO), 0.0);
+        assert_eq!(census.irregular_share(), 0.0);
+    }
+
+    #[test]
+    fn rows_cover_all_patterns() {
+        let census = PatternCensus::new();
+        assert_eq!(census.rows().len(), 7);
+    }
+}

@@ -1,0 +1,309 @@
+//! `par_ind_chunks_mut` — the paper's interior-unsafe iterator for the
+//! **ranged indirect write** pattern (`RngInd`,
+//! `out[offsets[i]..offsets[i+1]] = f(i)`, Listing 7(c)).
+//!
+//! Unlike `SngInd`, the prevailing form of this pattern has chunk order
+//! aligned with task iteration order, so non-overlap follows from a *cheap*
+//! `O(k)` monotonicity check on the `k+1` boundaries — comfort at
+//! effectively zero cost, which is why the paper uses the checked form even
+//! in its performance-tuned RPB configuration.
+
+use rayon::iter::plumbing::{bridge, Consumer, Producer, ProducerCallback, UnindexedConsumer};
+use rayon::iter::{IndexedParallelIterator, ParallelIterator};
+
+use crate::shared::SharedMutSlice;
+
+/// Validation failure for a chunk-boundary array.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum IndChunksError {
+    /// `offsets[index] < offsets[index-1]`.
+    NotMonotone { index: usize },
+    /// `offsets[index] > len`.
+    OutOfBounds { index: usize, offset: usize, len: usize },
+}
+
+impl std::fmt::Display for IndChunksError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            IndChunksError::NotMonotone { index } => {
+                write!(f, "offsets[{index}] decreases; chunk boundaries must be monotone")
+            }
+            IndChunksError::OutOfBounds { index, offset, len } => {
+                write!(f, "offsets[{index}] = {offset} exceeds slice length {len}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for IndChunksError {}
+
+/// Parallel iterator over `&mut out[offsets[i]..offsets[i+1]]` for
+/// `i in 0..offsets.len()-1`.
+pub struct ParIndChunksMut<'a, T: Send> {
+    data: SharedMutSlice<'a, T>,
+    /// `k+1` boundaries for `k` chunks.
+    offsets: &'a [usize],
+}
+
+/// Extension trait adding `par_ind_chunks_mut` to slices.
+pub trait ParIndChunksMutExt<T: Send> {
+    /// Checked construction: verifies `offsets` is monotonically
+    /// non-decreasing and bounded by `self.len()` (an `O(k)` parallel
+    /// check), then yields the `offsets.len()-1` disjoint chunks.
+    ///
+    /// An empty `offsets` yields zero chunks.
+    ///
+    /// # Panics
+    /// Panics with the offending boundary index if validation fails.
+    fn par_ind_chunks_mut<'a>(&'a mut self, offsets: &'a [usize]) -> ParIndChunksMut<'a, T>;
+
+    /// Non-panicking form of [`ParIndChunksMutExt::par_ind_chunks_mut`].
+    fn try_par_ind_chunks_mut<'a>(
+        &'a mut self,
+        offsets: &'a [usize],
+    ) -> Result<ParIndChunksMut<'a, T>, IndChunksError>;
+}
+
+/// Validates boundaries: monotone and bounded.
+pub fn validate_chunk_offsets(offsets: &[usize], len: usize) -> Result<(), IndChunksError> {
+    use rayon::prelude::*;
+    // Windows check parallelizes trivially; k is small so either way is fine.
+    if let Some((index, &off)) =
+        offsets.par_iter().enumerate().find_any(|(_, &o)| o > len)
+    {
+        return Err(IndChunksError::OutOfBounds { index, offset: off, len });
+    }
+    if let Some(w) = offsets.par_windows(2).position_any(|w| w[0] > w[1]) {
+        return Err(IndChunksError::NotMonotone { index: w + 1 });
+    }
+    Ok(())
+}
+
+impl<T: Send> ParIndChunksMutExt<T> for [T] {
+    fn par_ind_chunks_mut<'a>(&'a mut self, offsets: &'a [usize]) -> ParIndChunksMut<'a, T> {
+        match self.try_par_ind_chunks_mut(offsets) {
+            Ok(it) => it,
+            Err(e) => panic!("par_ind_chunks_mut: {e}"),
+        }
+    }
+
+    fn try_par_ind_chunks_mut<'a>(
+        &'a mut self,
+        offsets: &'a [usize],
+    ) -> Result<ParIndChunksMut<'a, T>, IndChunksError> {
+        validate_chunk_offsets(offsets, self.len())?;
+        Ok(ParIndChunksMut { data: SharedMutSlice::new(self), offsets })
+    }
+}
+
+impl<'a, T: Send + 'a> ParallelIterator for ParIndChunksMut<'a, T> {
+    type Item = &'a mut [T];
+
+    fn drive_unindexed<C>(self, consumer: C) -> C::Result
+    where
+        C: UnindexedConsumer<Self::Item>,
+    {
+        bridge(self, consumer)
+    }
+
+    fn opt_len(&self) -> Option<usize> {
+        Some(self.offsets.len().saturating_sub(1))
+    }
+}
+
+impl<'a, T: Send + 'a> IndexedParallelIterator for ParIndChunksMut<'a, T> {
+    fn len(&self) -> usize {
+        self.offsets.len().saturating_sub(1)
+    }
+
+    fn drive<C: Consumer<Self::Item>>(self, consumer: C) -> C::Result {
+        bridge(self, consumer)
+    }
+
+    fn with_producer<CB: ProducerCallback<Self::Item>>(self, callback: CB) -> CB::Output {
+        callback.callback(ChunkProducer { data: self.data, offsets: self.offsets })
+    }
+}
+
+struct ChunkProducer<'a, T: Send> {
+    data: SharedMutSlice<'a, T>,
+    offsets: &'a [usize],
+}
+
+impl<'a, T: Send + 'a> Producer for ChunkProducer<'a, T> {
+    type Item = &'a mut [T];
+    type IntoIter = ChunkIter<'a, T>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        ChunkIter { data: self.data, offsets: self.offsets }
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        // Chunk i spans offsets[i]..offsets[i+1]; splitting k chunks at
+        // `index` shares the boundary offsets[index] between both halves.
+        // With monotone boundaries the halves' element ranges stay disjoint
+        // — this is the "check when Rayon splits the iterator" invariant
+        // from the paper, upheld structurally here.
+        debug_assert!(index < self.offsets.len());
+        let l = &self.offsets[..=index];
+        let r = &self.offsets[index..];
+        (
+            ChunkProducer { data: self.data, offsets: l },
+            ChunkProducer { data: self.data, offsets: r },
+        )
+    }
+}
+
+/// Sequential iterator yielding each boundary-delimited chunk.
+pub struct ChunkIter<'a, T: Send> {
+    data: SharedMutSlice<'a, T>,
+    offsets: &'a [usize],
+}
+
+impl<'a, T: Send> Iterator for ChunkIter<'a, T> {
+    type Item = &'a mut [T];
+
+    #[inline]
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.offsets.len() < 2 {
+            return None;
+        }
+        let (start, end) = (self.offsets[0], self.offsets[1]);
+        self.offsets = &self.offsets[1..];
+        // SAFETY: constructor validated monotone, bounded boundaries; each
+        // half-open range is produced exactly once across all tasks.
+        Some(unsafe { self.data.slice_mut(start, end) })
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.offsets.len().saturating_sub(1);
+        (n, Some(n))
+    }
+}
+
+impl<T: Send> ExactSizeIterator for ChunkIter<'_, T> {}
+
+impl<T: Send> DoubleEndedIterator for ChunkIter<'_, T> {
+    #[inline]
+    fn next_back(&mut self) -> Option<Self::Item> {
+        let k = self.offsets.len();
+        if k < 2 {
+            return None;
+        }
+        let (start, end) = (self.offsets[k - 2], self.offsets[k - 1]);
+        self.offsets = &self.offsets[..k - 1];
+        // SAFETY: as in `next`.
+        Some(unsafe { self.data.slice_mut(start, end) })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rayon::prelude::*;
+
+    #[test]
+    fn chunks_cover_ranges() {
+        let mut v = vec![0u32; 10];
+        let offsets = vec![0, 3, 3, 7, 10];
+        v.par_ind_chunks_mut(&offsets)
+            .enumerate()
+            .for_each(|(i, chunk)| chunk.fill(i as u32 + 1));
+        assert_eq!(v, vec![1, 1, 1, 3, 3, 3, 3, 4, 4, 4]);
+    }
+
+    #[test]
+    fn leading_gap_is_untouched() {
+        let mut v = vec![9u32; 6];
+        let offsets = vec![2, 4, 6];
+        v.par_ind_chunks_mut(&offsets).for_each(|c| c.fill(0));
+        assert_eq!(v, vec![9, 9, 0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn large_parallel_fill_matches_sequential() {
+        let n = 200_000;
+        // Boundaries every variable-length step.
+        let mut offsets = vec![0usize];
+        let mut x = 0usize;
+        let mut k = 0usize;
+        while x < n {
+            x = (x + 1 + (k * 7) % 23).min(n);
+            offsets.push(x);
+            k += 1;
+        }
+        let mut v = vec![0u64; n];
+        v.par_ind_chunks_mut(&offsets)
+            .enumerate()
+            .for_each(|(i, chunk)| chunk.fill(i as u64));
+        // Sequential replay.
+        let mut want = vec![0u64; n];
+        for i in 0..offsets.len() - 1 {
+            want[offsets[i]..offsets[i + 1]].fill(i as u64);
+        }
+        assert_eq!(v, want);
+    }
+
+    #[test]
+    fn non_monotone_is_rejected() {
+        let mut v = vec![0u8; 10];
+        let offsets = vec![0, 5, 4, 10];
+        let err = v.try_par_ind_chunks_mut(&offsets).err();
+        assert_eq!(err, Some(IndChunksError::NotMonotone { index: 2 }));
+    }
+
+    #[test]
+    fn out_of_bounds_is_rejected() {
+        let mut v = vec![0u8; 10];
+        let offsets = vec![0, 11];
+        let err = v.try_par_ind_chunks_mut(&offsets).err();
+        assert_eq!(err, Some(IndChunksError::OutOfBounds { index: 1, offset: 11, len: 10 }));
+    }
+
+    #[test]
+    #[should_panic(expected = "monotone")]
+    fn checked_panics_on_decreasing() {
+        let mut v = vec![0u8; 4];
+        let offsets = vec![3, 1];
+        v.par_ind_chunks_mut(&offsets).for_each(|c| c.fill(1));
+    }
+
+    #[test]
+    fn empty_offsets_yield_no_chunks() {
+        let mut v = vec![1u8; 4];
+        let offsets: Vec<usize> = vec![];
+        assert_eq!(v.par_ind_chunks_mut(&offsets).count(), 0);
+        let offsets = vec![2];
+        assert_eq!(v.par_ind_chunks_mut(&offsets).count(), 0);
+    }
+
+    #[test]
+    fn zero_length_chunks_are_fine() {
+        let mut v = vec![0u8; 4];
+        let offsets = vec![1, 1, 1, 3];
+        let lens: Vec<usize> = v.par_ind_chunks_mut(&offsets).map(|c| c.len()).collect();
+        assert_eq!(lens, vec![0, 0, 2]);
+    }
+
+    #[test]
+    fn composes_with_zip() {
+        let mut v = vec![0u16; 9];
+        let offsets = vec![0, 2, 5, 9];
+        let fills = vec![7u16, 8, 9];
+        v.par_ind_chunks_mut(&offsets)
+            .zip(fills.par_iter())
+            .for_each(|(chunk, &f)| chunk.fill(f));
+        assert_eq!(v, vec![7, 7, 8, 8, 8, 9, 9, 9, 9]);
+    }
+
+    #[test]
+    fn rev_works() {
+        let mut v = vec![0u8; 6];
+        let offsets = vec![0, 2, 4, 6];
+        v.par_ind_chunks_mut(&offsets)
+            .rev()
+            .enumerate()
+            .for_each(|(k, chunk)| chunk.fill(k as u8 + 1));
+        assert_eq!(v, vec![3, 3, 2, 2, 1, 1]);
+    }
+}

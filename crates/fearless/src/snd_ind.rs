@@ -1,0 +1,398 @@
+//! `par_ind_iter_mut` — the paper's proposed interior-unsafe iterator for
+//! the **single-valued indirect write** pattern (`SngInd`,
+//! `out[offsets[i]] = f(i)`, Listing 6(f)).
+//!
+//! The algorithm using the pattern guarantees that `offsets` contains
+//! unique, in-bounds indices, so tasks are independent — but `rustc` cannot
+//! know that. The checked constructor validates the guarantee at run time
+//! and then hands task *i* a `&mut` to `out[offsets[i]]`, moving the
+//! programmer from *scared* to *comfortable*: an implementation bug (a
+//! duplicate offset) panics at the call site instead of silently racing.
+//!
+//! Two check strategies are provided, because the check's cost is the
+//! paper's central trade-off (Fig. 5a):
+//!
+//! * [`UniquenessCheck::MarkTable`] — `O(n)` work, `O(len)` transient space:
+//!   every offset CASes a mark byte; a second mark is a duplicate.
+//! * [`UniquenessCheck::Sort`] — `O(n log n)` work, no per-element marks:
+//!   radix-sort a copy and compare neighbours.
+
+use rayon::iter::plumbing::{bridge, Consumer, Producer, ProducerCallback, UnindexedConsumer};
+use rayon::iter::{IndexedParallelIterator, ParallelIterator};
+use rayon::prelude::*;
+use std::sync::atomic::{AtomicU8, Ordering};
+
+use crate::shared::SharedMutSlice;
+
+/// Validation failure for an offsets array.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum IndOffsetsError {
+    /// `offsets[index]` appears more than once.
+    Duplicate { index: usize, offset: usize },
+    /// `offsets[index]` is `>= len`.
+    OutOfBounds { index: usize, offset: usize, len: usize },
+}
+
+impl std::fmt::Display for IndOffsetsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            IndOffsetsError::Duplicate { index, offset } => {
+                write!(f, "offsets[{index}] = {offset} duplicates an earlier offset")
+            }
+            IndOffsetsError::OutOfBounds { index, offset, len } => {
+                write!(f, "offsets[{index}] = {offset} out of bounds for slice of length {len}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for IndOffsetsError {}
+
+/// Strategy used by the run-time uniqueness check.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum UniquenessCheck {
+    /// Parallel mark-table: `O(n)` time, allocates `len` mark bytes.
+    #[default]
+    MarkTable,
+    /// Sort-based: `O(n log n)` time, allocates a copy of the offsets.
+    Sort,
+}
+
+/// Validates that every offset is in-bounds for `len` and unique.
+pub fn validate_offsets(
+    offsets: &[usize],
+    len: usize,
+    strategy: UniquenessCheck,
+) -> Result<(), IndOffsetsError> {
+    // Bounds first (both strategies need it; cheap parallel scan).
+    if let Some((index, &offset)) =
+        offsets.par_iter().enumerate().find_any(|(_, &o)| o >= len)
+    {
+        return Err(IndOffsetsError::OutOfBounds { index, offset, len });
+    }
+    match strategy {
+        UniquenessCheck::MarkTable => {
+            let marks: Vec<AtomicU8> = (0..len).map(|_| AtomicU8::new(0)).collect();
+            let dup = offsets
+                .par_iter()
+                .enumerate()
+                .find_any(|(_, &o)| marks[o].fetch_or(1, Ordering::Relaxed) != 0);
+            if let Some((index, &offset)) = dup {
+                return Err(IndOffsetsError::Duplicate { index, offset });
+            }
+            Ok(())
+        }
+        UniquenessCheck::Sort => {
+            let mut sorted: Vec<(usize, usize)> =
+                offsets.par_iter().copied().enumerate().map(|(i, o)| (o, i)).collect();
+            let bits = usize::BITS - len.leading_zeros().max(1);
+            rpb_parlay::radix_sort_by_key(&mut sorted, bits, |p| p.0 as u64);
+            let dup = sorted
+                .par_windows(2)
+                .find_any(|w| w[0].0 == w[1].0)
+                .map(|w| (w[0].1.max(w[1].1), w[0].0));
+            if let Some((index, offset)) = dup {
+                return Err(IndOffsetsError::Duplicate { index, offset });
+            }
+            Ok(())
+        }
+    }
+}
+
+/// A parallel iterator over `&mut out[offsets[i]]` for `i in 0..offsets.len()`.
+///
+/// Construct through [`ParIndIterMutExt`]. Implements
+/// [`IndexedParallelIterator`], so it composes with `enumerate`/`zip`/etc.
+pub struct ParIndIterMut<'a, T: Send> {
+    data: SharedMutSlice<'a, T>,
+    offsets: &'a [usize],
+}
+
+/// Extension trait adding the paper's `par_ind_iter_mut` family to slices.
+pub trait ParIndIterMutExt<T: Send> {
+    /// Checked construction (the paper's *comfortable* Listing 6(f)):
+    /// validates uniqueness and bounds of `offsets` at run time.
+    ///
+    /// # Panics
+    /// Panics with the offending index if the validation fails — the
+    /// run-time-error-near-the-cause behaviour the paper argues for.
+    fn par_ind_iter_mut<'a>(&'a mut self, offsets: &'a [usize]) -> ParIndIterMut<'a, T>;
+
+    /// Like [`ParIndIterMutExt::par_ind_iter_mut`] but returns the
+    /// validation error instead of panicking, and lets the caller pick the
+    /// check strategy.
+    fn try_par_ind_iter_mut<'a>(
+        &'a mut self,
+        offsets: &'a [usize],
+        strategy: UniquenessCheck,
+    ) -> Result<ParIndIterMut<'a, T>, IndOffsetsError>;
+
+    /// Unchecked construction (the paper's *scary* Listing 6(d)).
+    ///
+    /// # Safety
+    /// `offsets` must contain unique indices, all `< self.len()`.
+    unsafe fn par_ind_iter_mut_unchecked<'a>(
+        &'a mut self,
+        offsets: &'a [usize],
+    ) -> ParIndIterMut<'a, T>;
+}
+
+impl<T: Send> ParIndIterMutExt<T> for [T] {
+    fn par_ind_iter_mut<'a>(&'a mut self, offsets: &'a [usize]) -> ParIndIterMut<'a, T> {
+        match self.try_par_ind_iter_mut(offsets, UniquenessCheck::default()) {
+            Ok(it) => it,
+            Err(e) => panic!("par_ind_iter_mut: {e}"),
+        }
+    }
+
+    fn try_par_ind_iter_mut<'a>(
+        &'a mut self,
+        offsets: &'a [usize],
+        strategy: UniquenessCheck,
+    ) -> Result<ParIndIterMut<'a, T>, IndOffsetsError> {
+        validate_offsets(offsets, self.len(), strategy)?;
+        // SAFETY: offsets proven unique and in-bounds just above.
+        Ok(unsafe { self.par_ind_iter_mut_unchecked(offsets) })
+    }
+
+    unsafe fn par_ind_iter_mut_unchecked<'a>(
+        &'a mut self,
+        offsets: &'a [usize],
+    ) -> ParIndIterMut<'a, T> {
+        ParIndIterMut { data: SharedMutSlice::new(self), offsets }
+    }
+}
+
+impl<'a, T: Send + 'a> ParallelIterator for ParIndIterMut<'a, T> {
+    type Item = &'a mut T;
+
+    fn drive_unindexed<C>(self, consumer: C) -> C::Result
+    where
+        C: UnindexedConsumer<Self::Item>,
+    {
+        bridge(self, consumer)
+    }
+
+    fn opt_len(&self) -> Option<usize> {
+        Some(self.offsets.len())
+    }
+}
+
+impl<'a, T: Send + 'a> IndexedParallelIterator for ParIndIterMut<'a, T> {
+    fn len(&self) -> usize {
+        self.offsets.len()
+    }
+
+    fn drive<C: Consumer<Self::Item>>(self, consumer: C) -> C::Result {
+        bridge(self, consumer)
+    }
+
+    fn with_producer<CB: ProducerCallback<Self::Item>>(self, callback: CB) -> CB::Output {
+        callback.callback(IndProducer { data: self.data, offsets: self.offsets })
+    }
+}
+
+struct IndProducer<'a, T: Send> {
+    data: SharedMutSlice<'a, T>,
+    offsets: &'a [usize],
+}
+
+impl<'a, T: Send + 'a> Producer for IndProducer<'a, T> {
+    type Item = &'a mut T;
+    type IntoIter = IndIter<'a, T>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        IndIter { data: self.data, offsets: self.offsets.iter() }
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (l, r) = self.offsets.split_at(index);
+        (
+            IndProducer { data: self.data, offsets: l },
+            IndProducer { data: self.data, offsets: r },
+        )
+    }
+}
+
+/// Sequential side of the producer: yields `&mut data[off]` for each offset
+/// in this task's sub-range. Soundness relies on the constructor-validated
+/// (or caller-promised) uniqueness of the *whole* offsets array — splitting
+/// preserves disjointness trivially.
+pub struct IndIter<'a, T: Send> {
+    data: SharedMutSlice<'a, T>,
+    offsets: std::slice::Iter<'a, usize>,
+}
+
+impl<'a, T: Send> Iterator for IndIter<'a, T> {
+    type Item = &'a mut T;
+
+    #[inline]
+    fn next(&mut self) -> Option<Self::Item> {
+        let &off = self.offsets.next()?;
+        // SAFETY: constructor contract — unique in-bounds offsets; each
+        // offset is consumed by exactly one task exactly once.
+        Some(unsafe { self.data.get_mut(off) })
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.offsets.size_hint()
+    }
+}
+
+impl<T: Send> ExactSizeIterator for IndIter<'_, T> {}
+
+impl<T: Send> DoubleEndedIterator for IndIter<'_, T> {
+    #[inline]
+    fn next_back(&mut self) -> Option<Self::Item> {
+        let &off = self.offsets.next_back()?;
+        // SAFETY: as in `next`.
+        Some(unsafe { self.data.get_mut(off) })
+    }
+}
+
+/// Convenience form of the pattern: `out[offsets[i]] = value(i)`, checked.
+///
+/// # Panics
+/// Panics if `offsets` fails validation.
+pub fn ind_write_checked<T, F>(out: &mut [T], offsets: &[usize], value: F)
+where
+    T: Send,
+    F: Fn(usize) -> T + Send + Sync,
+{
+    out.par_ind_iter_mut(offsets).enumerate().for_each(|(i, slot)| *slot = value(i));
+}
+
+/// Unchecked form of [`ind_write_checked`] — the C++-equivalent *scary* tier.
+///
+/// # Safety
+/// `offsets` must be unique and in-bounds for `out`.
+pub unsafe fn ind_write_unchecked<T, F>(out: &mut [T], offsets: &[usize], value: F)
+where
+    T: Send,
+    F: Fn(usize) -> T + Send + Sync,
+{
+    // SAFETY: forwarded caller contract.
+    unsafe { out.par_ind_iter_mut_unchecked(offsets) }
+        .enumerate()
+        .for_each(|(i, slot)| *slot = value(i));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rpb_parlay::seqdata::random_permutation;
+
+    #[test]
+    fn checked_scatter_matches_sequential() {
+        let n = 50_000;
+        let offsets = random_permutation(n, 42);
+        let input: Vec<u64> = (0..n as u64).collect();
+        let mut out = vec![0u64; n];
+        out.par_ind_iter_mut(&offsets).enumerate().for_each(|(i, o)| *o = input[i]);
+        let mut want = vec![0u64; n];
+        for i in 0..n {
+            want[offsets[i]] = input[i];
+        }
+        assert_eq!(out, want);
+    }
+
+    #[test]
+    fn unchecked_scatter_matches_checked() {
+        let n = 20_000;
+        let offsets = random_permutation(n, 7);
+        let mut a = vec![0u32; n];
+        let mut b = vec![0u32; n];
+        ind_write_checked(&mut a, &offsets, |i| i as u32 * 3);
+        // SAFETY: offsets is a permutation — unique and in bounds.
+        unsafe { ind_write_unchecked(&mut b, &offsets, |i| i as u32 * 3) };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn duplicate_offsets_error_mark() {
+        let mut out = vec![0u8; 10];
+        let offsets = vec![1, 2, 3, 2];
+        let err = out.try_par_ind_iter_mut(&offsets, UniquenessCheck::MarkTable).err();
+        assert!(matches!(err, Some(IndOffsetsError::Duplicate { offset: 2, .. })), "{err:?}");
+    }
+
+    #[test]
+    fn duplicate_offsets_error_sort() {
+        let mut out = vec![0u8; 10];
+        let offsets = vec![5, 9, 5];
+        let err = out.try_par_ind_iter_mut(&offsets, UniquenessCheck::Sort).err();
+        assert!(matches!(err, Some(IndOffsetsError::Duplicate { offset: 5, .. })), "{err:?}");
+    }
+
+    #[test]
+    fn out_of_bounds_error() {
+        let mut out = vec![0u8; 4];
+        let offsets = vec![0, 4];
+        let err = out.try_par_ind_iter_mut(&offsets, UniquenessCheck::MarkTable).err();
+        assert_eq!(err, Some(IndOffsetsError::OutOfBounds { index: 1, offset: 4, len: 4 }));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicates an earlier offset")]
+    fn checked_panics_on_duplicates() {
+        let mut out = vec![0u8; 8];
+        let offsets = vec![3, 3];
+        out.par_ind_iter_mut(&offsets).for_each(|o| *o = 1);
+    }
+
+    #[test]
+    fn large_duplicate_detected_by_both_strategies() {
+        let n = 100_000;
+        let mut offsets = random_permutation(n, 3);
+        offsets[n - 1] = offsets[0]; // plant one duplicate
+        let mut out = vec![0u8; n];
+        for strat in [UniquenessCheck::MarkTable, UniquenessCheck::Sort] {
+            let err = out.try_par_ind_iter_mut(&offsets, strat).err();
+            assert!(matches!(err, Some(IndOffsetsError::Duplicate { .. })), "{strat:?}: {err:?}");
+        }
+    }
+
+    #[test]
+    fn composes_with_zip() {
+        let n = 30_000;
+        let offsets = random_permutation(n, 9);
+        let input: Vec<u64> = (0..n as u64).map(|i| i * 7).collect();
+        let mut out = vec![0u64; n];
+        out.par_ind_iter_mut(&offsets)
+            .zip(input.par_iter())
+            .for_each(|(slot, &v)| *slot = v);
+        for i in 0..n {
+            assert_eq!(out[offsets[i]], input[i]);
+        }
+    }
+
+    #[test]
+    fn partial_offsets_touch_only_targets() {
+        // Fewer offsets than slots: untouched slots keep their value.
+        let mut out = vec![9u8; 10];
+        let offsets = vec![2, 4];
+        out.par_ind_iter_mut(&offsets).for_each(|o| *o = 0);
+        assert_eq!(out, vec![9, 9, 0, 9, 0, 9, 9, 9, 9, 9]);
+    }
+
+    #[test]
+    fn empty_offsets_ok() {
+        let mut out = vec![1u8; 4];
+        let offsets: Vec<usize> = vec![];
+        out.par_ind_iter_mut(&offsets).for_each(|o| *o = 0);
+        assert_eq!(out, vec![1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn rev_iteration_via_double_ended() {
+        // rev() requires DoubleEndedIterator on the producer's iterator.
+        let mut out = vec![0usize; 6];
+        let offsets = vec![5, 3, 1];
+        out.par_ind_iter_mut(&offsets)
+            .rev()
+            .enumerate()
+            .for_each(|(k, slot)| *slot = k + 1);
+        // rev: k=0 -> offset 1, k=1 -> offset 3, k=2 -> offset 5
+        assert_eq!(out, vec![0, 1, 0, 2, 0, 3]);
+    }
+}

@@ -1,0 +1,263 @@
+//! The paper's taxonomy of task-level parallelism (Fig. 1, Fig. 2, Table 3).
+//!
+//! Three dimensions determine the regularity of a parallel phase: the shape
+//! of the shared **data structure**, the task **operator** on it, and the
+//! **set-of-tasks** properties (ordering + dispatch). The cross product
+//! collapses, for the purposes of Rust support, into seven concrete *write
+//! patterns* ([`Pattern`]) that each map to a recommended expression and a
+//! position on the fearlessness spectrum ([`Fearlessness`]).
+
+use std::fmt;
+
+/// How shared data is shaped (Fig. 1 "Data Structure" axis).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum DataStructure {
+    /// Arrays/matrices: topology described by a few parameters.
+    Structured,
+    /// Arbitrary graphs/meshes: verbose topology (e.g., CSR).
+    Unstructured,
+}
+
+/// What tasks do to shared data within a phase (Fig. 1 "Operator" axis).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Operator {
+    /// No task writes the structure.
+    ReadOnly,
+    /// Each task reads/writes a task-private sub-element.
+    LocalReadWrite,
+    /// Tasks read and write potentially overlapping sub-elements.
+    ArbitraryReadWrite,
+}
+
+/// When the set of tasks is known (Fig. 1 "Dispatching" axis).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Dispatch {
+    /// Task set known before the parallel phase starts.
+    Static,
+    /// Tasks discover and schedule new work on the fly.
+    Dynamic,
+}
+
+/// The paper's spectrum of fear (Fig. 2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Fearlessness {
+    /// Concurrency errors get caught at compile time.
+    Fearless,
+    /// Errors get caught at run time, with symptoms close to causes.
+    Comfortable,
+    /// Errors may happen without being detected.
+    Scared,
+}
+
+impl Fearlessness {
+    /// One-letter code used in Table 3 ("F"/"C"/"S").
+    pub fn code(self) -> char {
+        match self {
+            Fearlessness::Fearless => 'F',
+            Fearlessness::Comfortable => 'C',
+            Fearlessness::Scared => 'S',
+        }
+    }
+}
+
+impl fmt::Display for Fearlessness {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Fearlessness::Fearless => "fearless",
+            Fearlessness::Comfortable => "comfortable",
+            Fearlessness::Scared => "scared",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The seven concrete access patterns of Table 3.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Pattern {
+    /// Read only (AXM trivially satisfied).
+    RO,
+    /// Striding writes: `array[i] = f()`.
+    Stride,
+    /// Blocking writes: `array[i*size..(i+1)*size] = f()`.
+    Block,
+    /// Divide and conquer (nested fork-join).
+    DandC,
+    /// Single-valued indirection: `array[b[i]] = f()`.
+    SngInd,
+    /// Ranged indirection: `array[b[i]..b[i+1]] = f()`.
+    RngInd,
+    /// Arbitrary writes (overlapping read/write sets).
+    AW,
+}
+
+/// All patterns in Table 3 order.
+pub const ALL_PATTERNS: [Pattern; 7] = [
+    Pattern::RO,
+    Pattern::Stride,
+    Pattern::Block,
+    Pattern::DandC,
+    Pattern::SngInd,
+    Pattern::RngInd,
+    Pattern::AW,
+];
+
+impl Pattern {
+    /// Table 3 "Abbr." column.
+    pub fn abbrev(self) -> &'static str {
+        match self {
+            Pattern::RO => "RO",
+            Pattern::Stride => "Stride",
+            Pattern::Block => "Block",
+            Pattern::DandC => "D&C",
+            Pattern::SngInd => "SngInd",
+            Pattern::RngInd => "RngInd",
+            Pattern::AW => "AW",
+        }
+    }
+
+    /// Table 3 "Write pattern" column.
+    pub fn description(self) -> &'static str {
+        match self {
+            Pattern::RO => "Read only (AXM)",
+            Pattern::Stride => "Striding",
+            Pattern::Block => "Blocking",
+            Pattern::DandC => "Divide and Conquer",
+            Pattern::SngInd => "Single-valued indirection",
+            Pattern::RngInd => "Ranged indirection",
+            Pattern::AW => "Arbitrary writes",
+        }
+    }
+
+    /// Table 3 "Parallel expression" column: the recommended Rust/Rayon/RPB
+    /// construct for the pattern.
+    pub fn expression(self) -> &'static str {
+        match self {
+            Pattern::RO => "spawn (Rust) / par_iter (Rayon)",
+            Pattern::Stride => "par_iter_mut (Rayon)",
+            Pattern::Block => "par_chunks_mut (Rayon)",
+            Pattern::DandC => "join (Rayon)",
+            Pattern::SngInd => "par_ind_iter_mut (ours)",
+            Pattern::RngInd => "par_ind_chunks_mut (ours)",
+            Pattern::AW => "mix of above",
+        }
+    }
+
+    /// Table 3 "Fearlessness" column.
+    pub fn fearlessness(self) -> Fearlessness {
+        match self {
+            Pattern::RO | Pattern::Stride | Pattern::Block | Pattern::DandC => {
+                Fearlessness::Fearless
+            }
+            Pattern::SngInd | Pattern::RngInd => Fearlessness::Comfortable,
+            Pattern::AW => Fearlessness::Scared,
+        }
+    }
+
+    /// Whether the paper counts this pattern as *irregular* (§7.2: SngInd +
+    /// RngInd + AW make up the 29%).
+    pub fn is_irregular(self) -> bool {
+        matches!(self, Pattern::SngInd | Pattern::RngInd | Pattern::AW)
+    }
+
+    /// The Fig. 3 support bucket: safe Rust, interior-unsafe + static
+    /// checks, or unsupported/dynamic checks.
+    pub fn support_bucket(self) -> &'static str {
+        match self {
+            Pattern::RO => "safe Rust",
+            Pattern::Stride | Pattern::Block | Pattern::DandC => {
+                "interior-unsafe + static checks"
+            }
+            Pattern::SngInd | Pattern::RngInd | Pattern::AW => {
+                "not supported or dynamic checks"
+            }
+        }
+    }
+
+    /// Classifies a phase along the paper's Fig. 1 axes.
+    pub fn classify(self) -> (DataStructure, Operator) {
+        match self {
+            Pattern::RO => (DataStructure::Structured, Operator::ReadOnly),
+            Pattern::Stride | Pattern::Block | Pattern::DandC => {
+                (DataStructure::Structured, Operator::LocalReadWrite)
+            }
+            Pattern::SngInd | Pattern::RngInd => {
+                (DataStructure::Unstructured, Operator::LocalReadWrite)
+            }
+            Pattern::AW => (DataStructure::Unstructured, Operator::ArbitraryReadWrite),
+        }
+    }
+}
+
+impl fmt::Display for Pattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.abbrev())
+    }
+}
+
+impl std::str::FromStr for Pattern {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "ro" => Ok(Pattern::RO),
+            "stride" => Ok(Pattern::Stride),
+            "block" => Ok(Pattern::Block),
+            "d&c" | "dandc" | "dc" => Ok(Pattern::DandC),
+            "sngind" => Ok(Pattern::SngInd),
+            "rngind" => Ok(Pattern::RngInd),
+            "aw" => Ok(Pattern::AW),
+            other => Err(format!("unknown pattern: {other}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_fearlessness_matches_paper() {
+        assert_eq!(Pattern::RO.fearlessness(), Fearlessness::Fearless);
+        assert_eq!(Pattern::Stride.fearlessness(), Fearlessness::Fearless);
+        assert_eq!(Pattern::Block.fearlessness(), Fearlessness::Fearless);
+        assert_eq!(Pattern::DandC.fearlessness(), Fearlessness::Fearless);
+        assert_eq!(Pattern::SngInd.fearlessness(), Fearlessness::Comfortable);
+        assert_eq!(Pattern::RngInd.fearlessness(), Fearlessness::Comfortable);
+        assert_eq!(Pattern::AW.fearlessness(), Fearlessness::Scared);
+    }
+
+    #[test]
+    fn irregular_set_matches_section_7_2() {
+        let irregular: Vec<Pattern> =
+            ALL_PATTERNS.iter().copied().filter(|p| p.is_irregular()).collect();
+        assert_eq!(irregular, vec![Pattern::SngInd, Pattern::RngInd, Pattern::AW]);
+    }
+
+    #[test]
+    fn codes_are_fcs() {
+        assert_eq!(Fearlessness::Fearless.code(), 'F');
+        assert_eq!(Fearlessness::Comfortable.code(), 'C');
+        assert_eq!(Fearlessness::Scared.code(), 'S');
+    }
+
+    #[test]
+    fn parse_round_trips() {
+        for p in ALL_PATTERNS {
+            let parsed: Pattern = p.abbrev().parse().expect("parse");
+            assert_eq!(parsed, p);
+        }
+    }
+
+    #[test]
+    fn aw_is_arbitrary_on_unstructured() {
+        assert_eq!(
+            Pattern::AW.classify(),
+            (DataStructure::Unstructured, Operator::ArbitraryReadWrite)
+        );
+    }
+
+    #[test]
+    fn spectrum_is_ordered() {
+        assert!(Fearlessness::Fearless < Fearlessness::Comfortable);
+        assert!(Fearlessness::Comfortable < Fearlessness::Scared);
+    }
+}

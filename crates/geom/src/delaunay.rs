@@ -1,0 +1,111 @@
+//! Sequential incremental Delaunay triangulation.
+//!
+//! Builds the triangulation the `dr` benchmark refines. Points are
+//! inserted in Morton (Z-curve) order so the walk-based point location
+//! from the previous insertion's triangle is short — the standard spatial
+//! sorting trick for incremental Delaunay.
+
+use crate::mesh::Triangulation;
+use crate::point::Point;
+
+/// Builds the Delaunay triangulation of `points` (plus the internal super
+/// triangle; see [`Triangulation`]).
+pub fn delaunay(points: &[Point]) -> Triangulation {
+    let mut mesh = Triangulation::with_super_triangle(points);
+    let order = morton_order(points);
+    let mut hint = 0u32;
+    for &i in &order {
+        hint = mesh.insert_point(points[i], hint);
+    }
+    mesh
+}
+
+/// Indices of `points` sorted along a Z-order curve.
+pub fn morton_order(points: &[Point]) -> Vec<usize> {
+    let (mut min_x, mut min_y, mut max_x, mut max_y) =
+        (f64::INFINITY, f64::INFINITY, f64::NEG_INFINITY, f64::NEG_INFINITY);
+    for p in points {
+        min_x = min_x.min(p.x);
+        min_y = min_y.min(p.y);
+        max_x = max_x.max(p.x);
+        max_y = max_y.max(p.y);
+    }
+    let sx = (max_x - min_x).max(1e-30);
+    let sy = (max_y - min_y).max(1e-30);
+    let mut keyed: Vec<(u64, usize)> = points
+        .iter()
+        .enumerate()
+        .map(|(i, p)| {
+            let qx = (((p.x - min_x) / sx) * ((1u32 << 16) - 1) as f64) as u32;
+            let qy = (((p.y - min_y) / sy) * ((1u32 << 16) - 1) as f64) as u32;
+            (interleave16(qx) | (interleave16(qy) << 1), i)
+        })
+        .collect();
+    rpb_parlay::radix_sort_by_key(&mut keyed, 32, |k| k.0);
+    keyed.into_iter().map(|(_, i)| i).collect()
+}
+
+/// Spreads the low 16 bits of `x` into even bit positions.
+fn interleave16(x: u32) -> u64 {
+    let mut x = x as u64 & 0xFFFF;
+    x = (x | (x << 8)) & 0x00FF_00FF;
+    x = (x | (x << 4)) & 0x0F0F_0F0F;
+    x = (x | (x << 2)) & 0x3333_3333;
+    x = (x | (x << 1)) & 0x5555_5555;
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::point::{kuzmin_points, uniform_points};
+
+    #[test]
+    fn delaunay_of_uniform_points_is_delaunay() {
+        let pts = uniform_points(150, 1);
+        let mesh = delaunay(&pts);
+        mesh.check_valid();
+        mesh.check_delaunay();
+    }
+
+    #[test]
+    fn delaunay_of_kuzmin_points_is_delaunay() {
+        let pts = kuzmin_points(150, 2);
+        let mesh = delaunay(&pts);
+        mesh.check_valid();
+        mesh.check_delaunay();
+    }
+
+    #[test]
+    fn triangle_count_matches_euler() {
+        // All input points interior to the super triangle: T = 2(n+3)-5.
+        let pts = uniform_points(100, 3);
+        let mesh = delaunay(&pts);
+        assert_eq!(mesh.num_alive(), 2 * (pts.len() + 3) - 5);
+    }
+
+    #[test]
+    fn morton_order_is_a_permutation() {
+        let pts = uniform_points(500, 4);
+        let ord = morton_order(&pts);
+        let mut seen = vec![false; pts.len()];
+        for &i in &ord {
+            assert!(!seen[i]);
+            seen[i] = true;
+        }
+    }
+
+    #[test]
+    fn interleave_bits() {
+        assert_eq!(interleave16(0b11), 0b101);
+        assert_eq!(interleave16(0xFFFF), 0x5555_5555);
+    }
+
+    #[test]
+    fn larger_build_is_structurally_valid() {
+        let pts = kuzmin_points(2000, 5);
+        let mesh = delaunay(&pts);
+        mesh.check_valid();
+        assert_eq!(mesh.num_alive(), 2 * (pts.len() + 3) - 5);
+    }
+}

@@ -1,0 +1,24 @@
+//! # rpb-geom
+//!
+//! Geometry substrate for the `dr` (Delaunay refinement) benchmark:
+//!
+//! * [`point`] — 2D points and the Kuzmin-disk input generator standing in
+//!   for the paper's `kuzmin` point set,
+//! * [`predicates`] — orientation and in-circle determinants,
+//! * [`mesh`] — an adjacency-linked triangle mesh with Bowyer–Watson
+//!   point insertion and structural validity checks,
+//! * [`mod@delaunay`] — sequential incremental Delaunay triangulation,
+//! * [`mod@refine`] — Ruppert-style refinement; the parallel variant selects
+//!   independent skinny-triangle cavities per round with deterministic
+//!   reservations (the paper's `AW` + `SngInd`/`RngInd` mix for `dr`).
+
+pub mod delaunay;
+pub mod mesh;
+pub mod point;
+pub mod predicates;
+pub mod refine;
+
+pub use delaunay::delaunay;
+pub use mesh::{Triangulation, NO_TRI};
+pub use point::{kuzmin_points, Point};
+pub use refine::{refine, refine_seq, RefineParams, RefineStats};

@@ -1,0 +1,429 @@
+//! Adjacency-linked triangle mesh with Bowyer–Watson point insertion.
+//!
+//! Triangles store their three vertices CCW and, for each vertex, the
+//! neighbour across the opposite edge. Insertion digs the *cavity* (all
+//! triangles whose circumcircle contains the new point), removes it, and
+//! re-triangulates the star of the new point — the operation both the
+//! sequential Delaunay builder and the parallel refiner are made of.
+
+use std::collections::HashMap;
+
+use crate::point::Point;
+use crate::predicates::{ccw, in_circumcircle, orient2d};
+
+/// Missing-neighbour marker.
+pub const NO_TRI: u32 = u32::MAX;
+
+/// One triangle: vertices CCW; `nbr[i]` is across the edge opposite
+/// `v[i]` (the edge `v[i+1] – v[i+2]`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Tri {
+    /// Vertex indices into [`Triangulation::points`].
+    pub v: [u32; 3],
+    /// Neighbour triangle ids ([`NO_TRI`] on the outer boundary).
+    pub nbr: [u32; 3],
+    /// Dead triangles have been removed by a cavity retriangulation.
+    pub alive: bool,
+}
+
+/// A growable triangulation over a fixed point set plus three far-away
+/// "super-triangle" vertices that keep every insertion interior.
+pub struct Triangulation {
+    /// Input points, then refinement Steiner points, then the 3 super
+    /// vertices at the very end is NOT the layout — super vertices are at
+    /// indices `n_input..n_input+3` and Steiner points append after them.
+    pub points: Vec<Point>,
+    /// Triangle pool (including dead entries).
+    pub tris: Vec<Tri>,
+    /// Number of original input points.
+    pub n_input: usize,
+    /// Index of the first super vertex (`n_input`); the three ids
+    /// `ghost0..ghost0+3` are the super-triangle corners.
+    pub ghost0: usize,
+}
+
+/// A planned cavity retriangulation (computed read-only, applied later).
+#[derive(Clone, Debug)]
+pub struct Cavity {
+    /// Triangles to remove.
+    pub tris: Vec<u32>,
+    /// Directed boundary edges `(a, b)` with the outer triangle and the
+    /// slot in the outer triangle that points into the cavity.
+    pub boundary: Vec<(u32, u32, u32, u8)>,
+}
+
+impl Triangulation {
+    /// Creates the initial two-ghost-triangle mesh: a super triangle far
+    /// outside the bounding box of `points` (factor ~1e5 of the extent).
+    pub fn with_super_triangle(points: &[Point]) -> Triangulation {
+        assert!(!points.is_empty(), "need at least one point");
+        let (mut min_x, mut min_y, mut max_x, mut max_y) =
+            (f64::INFINITY, f64::INFINITY, f64::NEG_INFINITY, f64::NEG_INFINITY);
+        for p in points {
+            min_x = min_x.min(p.x);
+            min_y = min_y.min(p.y);
+            max_x = max_x.max(p.x);
+            max_y = max_y.max(p.y);
+        }
+        let cx = (min_x + max_x) / 2.0;
+        let cy = (min_y + max_y) / 2.0;
+        let extent = ((max_x - min_x).max(max_y - min_y)).max(1e-9);
+        let r = extent * 1e5;
+        let n = points.len();
+        let mut pts = points.to_vec();
+        // CCW super triangle enclosing the r-disk around the centroid.
+        pts.push(Point::new(cx - 2.0 * r, cy - r));
+        pts.push(Point::new(cx + 2.0 * r, cy - r));
+        pts.push(Point::new(cx, cy + 2.0 * r));
+        let g = n as u32;
+        let tris = vec![Tri { v: [g, g + 1, g + 2], nbr: [NO_TRI; 3], alive: true }];
+        Triangulation { points: pts, tris, n_input: n, ghost0: n }
+    }
+
+    /// True if vertex `v` is a super-triangle corner.
+    #[inline]
+    pub fn is_ghost(&self, v: u32) -> bool {
+        (self.ghost0..self.ghost0 + 3).contains(&(v as usize))
+    }
+
+    /// True if any corner of triangle `t` is a super vertex.
+    pub fn touches_ghost(&self, t: u32) -> bool {
+        self.tris[t as usize].v.iter().any(|&v| self.is_ghost(v))
+    }
+
+    /// The three corner points of triangle `t`.
+    #[inline]
+    pub fn corners(&self, t: u32) -> [Point; 3] {
+        let tri = &self.tris[t as usize];
+        [
+            self.points[tri.v[0] as usize],
+            self.points[tri.v[1] as usize],
+            self.points[tri.v[2] as usize],
+        ]
+    }
+
+    /// Ids of alive triangles.
+    pub fn alive_tris(&self) -> Vec<u32> {
+        (0..self.tris.len() as u32).filter(|&t| self.tris[t as usize].alive).collect()
+    }
+
+    /// Walks from `hint` to an alive triangle containing `p`.
+    ///
+    /// Falls back to a linear scan if the walk exceeds a step budget
+    /// (robustness escape hatch for near-degenerate walks).
+    pub fn locate(&self, p: &Point, hint: u32) -> u32 {
+        let mut cur = if (hint as usize) < self.tris.len() && self.tris[hint as usize].alive {
+            hint
+        } else {
+            self.alive_tris()[0]
+        };
+        let budget = 4 * (self.tris.len() + 16);
+        let mut steps = 0usize;
+        'walk: loop {
+            steps += 1;
+            if steps > budget {
+                break;
+            }
+            let tri = &self.tris[cur as usize];
+            for i in 0..3 {
+                let a = self.points[tri.v[(i + 1) % 3] as usize];
+                let b = self.points[tri.v[(i + 2) % 3] as usize];
+                if orient2d(&a, &b, p) < 0.0 {
+                    let next = tri.nbr[i];
+                    if next == NO_TRI {
+                        break 'walk; // outside the super triangle: scan
+                    }
+                    cur = next;
+                    continue 'walk;
+                }
+            }
+            return cur;
+        }
+        // Fallback: exhaustive scan.
+        for t in self.alive_tris() {
+            if self.contains(t, p) {
+                return t;
+            }
+        }
+        panic!("locate: point {p:?} not inside any triangle");
+    }
+
+    /// True if `p` is inside (or on the boundary of) triangle `t`.
+    pub fn contains(&self, t: u32, p: &Point) -> bool {
+        let [a, b, c] = self.corners(t);
+        orient2d(&a, &b, p) >= 0.0 && orient2d(&b, &c, p) >= 0.0 && orient2d(&c, &a, p) >= 0.0
+    }
+
+    /// Computes the Bowyer–Watson cavity of `p` starting from the
+    /// containing triangle `start` (read-only; apply with
+    /// [`Triangulation::apply_cavity`]).
+    ///
+    /// The cavity is post-processed to be *star-shaped* around `p`: when
+    /// the conservative in-circle guard leaves a boundary edge that `p`
+    /// is not strictly inside of (a near-degenerate case that would emit
+    /// a flipped triangle), the outer neighbour is absorbed into the
+    /// cavity and the boundary recomputed.
+    ///
+    /// # Panics
+    /// Panics if star-shaping would have to cross the mesh boundary —
+    /// impossible for points strictly inside the super triangle.
+    pub fn cavity(&self, p: &Point, start: u32) -> Cavity {
+        debug_assert!(self.tris[start as usize].alive);
+        let mut in_cavity: HashMap<u32, bool> = HashMap::new();
+        let mut stack = vec![start];
+        in_cavity.insert(start, true);
+        while let Some(t) = stack.pop() {
+            let nbrs = self.tris[t as usize].nbr;
+            for o in nbrs {
+                if o == NO_TRI || in_cavity.get(&o).copied().unwrap_or(false) {
+                    continue;
+                }
+                let [a, b, c] = self.corners(o);
+                if in_circumcircle(&a, &b, &c, p) {
+                    in_cavity.insert(o, true);
+                    stack.push(o);
+                } else {
+                    in_cavity.insert(o, false);
+                }
+            }
+        }
+        // Star-shape enforcement + boundary extraction (repeat until no
+        // boundary edge is degenerate as seen from p).
+        let mut guard_rounds = 0usize;
+        loop {
+            guard_rounds += 1;
+            assert!(guard_rounds <= self.tris.len() + 3, "cavity star-shaping diverged");
+            let tris: Vec<u32> =
+                in_cavity.iter().filter_map(|(&t, &inside)| inside.then_some(t)).collect();
+            let mut boundary = Vec::new();
+            let mut absorbed = false;
+            for &t in &tris {
+                let tri = &self.tris[t as usize];
+                for i in 0..3 {
+                    let o = tri.nbr[i];
+                    let is_inside = o != NO_TRI && in_cavity.get(&o).copied().unwrap_or(false);
+                    if is_inside {
+                        continue;
+                    }
+                    let a = tri.v[(i + 1) % 3];
+                    let b = tri.v[(i + 2) % 3];
+                    let pa = self.points[a as usize];
+                    let pb = self.points[b as usize];
+                    // p must be strictly left of (a, b) or the emitted
+                    // triangle [p, a, b] would be flipped/degenerate.
+                    let det = orient2d(p, &pa, &pb);
+                    let guard = 1e-12 * pa.dist(&pb) * p.dist(&pa).max(p.dist(&pb));
+                    if det <= guard {
+                        assert!(
+                            o != NO_TRI,
+                            "cavity star-shaping hit the outer mesh boundary"
+                        );
+                        in_cavity.insert(o, true);
+                        absorbed = true;
+                        break;
+                    }
+                    let oslot = if o == NO_TRI {
+                        0
+                    } else {
+                        let ot = &self.tris[o as usize];
+                        (0..3).find(|&j| ot.nbr[j] == t).expect("asymmetric adjacency") as u8
+                    };
+                    boundary.push((a, b, o, oslot));
+                }
+                if absorbed {
+                    break;
+                }
+            }
+            if !absorbed {
+                let mut tris = tris;
+                tris.sort_unstable();
+                return Cavity { tris, boundary };
+            }
+        }
+    }
+
+    /// Applies a cavity retriangulation for new point id `p_idx` (which
+    /// must already be pushed to `points`). Returns the new triangle ids.
+    ///
+    /// New triangles are appended to `self.tris`.
+    pub fn apply_cavity(&mut self, p_idx: u32, cavity: &Cavity) -> Vec<u32> {
+        let base = self.tris.len() as u32;
+        let k = cavity.boundary.len() as u32;
+        // Chain the boundary cycle: start vertex -> (end, outer, oslot).
+        let mut next_edge: HashMap<u32, (u32, u32, u8)> =
+            HashMap::with_capacity(cavity.boundary.len());
+        for &(a, b, o, oslot) in &cavity.boundary {
+            let prev = next_edge.insert(a, (b, o, oslot));
+            debug_assert!(prev.is_none(), "cavity boundary is not a simple cycle");
+        }
+        // Kill the cavity.
+        for &t in &cavity.tris {
+            self.tris[t as usize].alive = false;
+        }
+        // Emit triangles around the cycle in order.
+        let start = cavity.boundary[0].0;
+        let mut ids = Vec::with_capacity(k as usize);
+        let mut a = start;
+        for i in 0..k {
+            let (b, o, oslot) = next_edge[&a];
+            let t_id = base + i;
+            // [p, a, b]: nbr[0] (opposite p) = outer; nbr[1] (opposite a,
+            // edge (b,p)) = next new tri; nbr[2] (opposite b, edge (p,a))
+            // = previous new tri.
+            let nxt = base + (i + 1) % k;
+            let prv = base + (i + k - 1) % k;
+            self.tris.push(Tri { v: [p_idx, a, b], nbr: [o, nxt, prv], alive: true });
+            if o != NO_TRI {
+                self.tris[o as usize].nbr[oslot as usize] = t_id;
+            }
+            ids.push(t_id);
+            a = b;
+        }
+        debug_assert_eq!(a, start, "boundary cycle did not close");
+        ids
+    }
+
+    /// Inserts point `p` (appending it to `points`) with a locate hint;
+    /// returns one of the new triangle ids (a good hint for the next
+    /// insertion).
+    pub fn insert_point(&mut self, p: Point, hint: u32) -> u32 {
+        let start = self.locate(&p, hint);
+        let cavity = self.cavity(&p, start);
+        let p_idx = self.points.len() as u32;
+        self.points.push(p);
+        let ids = self.apply_cavity(p_idx, &cavity);
+        ids[0]
+    }
+
+    /// Structural validity: symmetric adjacency, CCW orientation, edge
+    /// agreement. Panics with a description on the first violation.
+    pub fn check_valid(&self) {
+        for (ti, tri) in self.tris.iter().enumerate() {
+            if !tri.alive {
+                continue;
+            }
+            let [a, b, c] = self.corners(ti as u32);
+            assert!(ccw(&a, &b, &c), "triangle {ti} not CCW");
+            for i in 0..3 {
+                let o = tri.nbr[i];
+                if o == NO_TRI {
+                    continue;
+                }
+                let ot = &self.tris[o as usize];
+                assert!(ot.alive, "triangle {ti} adjacent to dead {o}");
+                let j = (0..3).find(|&j| ot.nbr[j] == ti as u32);
+                let j = j.unwrap_or_else(|| panic!("adjacency {ti}->{o} not symmetric"));
+                // Shared edge vertices must match (reversed orientation).
+                let (e1a, e1b) = (tri.v[(i + 1) % 3], tri.v[(i + 2) % 3]);
+                let (e2a, e2b) = (ot.v[(j + 1) % 3], ot.v[(j + 2) % 3]);
+                assert!(
+                    e1a == e2b && e1b == e2a,
+                    "edge mismatch between {ti} and {o}: ({e1a},{e1b}) vs ({e2a},{e2b})"
+                );
+            }
+        }
+    }
+
+    /// Delaunay property check over non-ghost triangles vs. non-ghost
+    /// points — `O(T·N)`; tests only.
+    pub fn check_delaunay(&self) {
+        for t in self.alive_tris() {
+            if self.touches_ghost(t) {
+                continue;
+            }
+            let [a, b, c] = self.corners(t);
+            let tv = self.tris[t as usize].v;
+            for (pi, p) in self.points.iter().enumerate() {
+                if self.is_ghost(pi as u32) || tv.contains(&(pi as u32)) {
+                    continue;
+                }
+                assert!(
+                    !in_circumcircle(&a, &b, &c, p),
+                    "point {pi} inside circumcircle of triangle {t}"
+                );
+            }
+        }
+    }
+
+    /// Number of alive triangles.
+    pub fn num_alive(&self) -> usize {
+        self.tris.iter().filter(|t| t.alive).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::point::uniform_points;
+
+    #[test]
+    fn super_triangle_contains_all() {
+        let pts = uniform_points(50, 1);
+        let mesh = Triangulation::with_super_triangle(&pts);
+        for p in &pts {
+            assert!(mesh.contains(0, p));
+        }
+        mesh.check_valid();
+    }
+
+    #[test]
+    fn single_insert_splits_into_three() {
+        let pts = vec![Point::new(0.5, 0.5)];
+        let mut mesh = Triangulation::with_super_triangle(&pts);
+        mesh.insert_point(pts[0], 0);
+        assert_eq!(mesh.num_alive(), 3);
+        mesh.check_valid();
+    }
+
+    #[test]
+    fn inserts_stay_valid_and_delaunay() {
+        let pts = uniform_points(60, 2);
+        let mut mesh = Triangulation::with_super_triangle(&pts);
+        let mut hint = 0;
+        for &p in &pts {
+            hint = mesh.insert_point(p, hint);
+            mesh.check_valid();
+        }
+        mesh.check_delaunay();
+        // Euler: with 3 super vertices and n inner points all interior,
+        // alive triangles = 2 * (n + 3) - 2 - 3 (hull of super tri = 3).
+        let n = pts.len() + 3;
+        assert_eq!(mesh.num_alive(), 2 * n - 2 - 3);
+    }
+
+    #[test]
+    fn locate_finds_containing_triangle() {
+        let pts = uniform_points(40, 3);
+        let mut mesh = Triangulation::with_super_triangle(&pts);
+        let mut hint = 0;
+        for &p in &pts {
+            hint = mesh.insert_point(p, hint);
+        }
+        let q = Point::new(0.25, 0.75);
+        let t = mesh.locate(&q, hint);
+        assert!(mesh.contains(t, &q));
+        let t2 = mesh.locate(&q, 0); // stale hint
+        assert!(mesh.contains(t2, &q));
+    }
+
+    #[test]
+    fn cavity_is_connected_and_boundary_cycles() {
+        let pts = uniform_points(30, 4);
+        let mut mesh = Triangulation::with_super_triangle(&pts);
+        let mut hint = 0;
+        for &p in &pts[..29] {
+            hint = mesh.insert_point(p, hint);
+        }
+        let p = pts[29];
+        let start = mesh.locate(&p, hint);
+        let cav = mesh.cavity(&p, start);
+        assert!(!cav.tris.is_empty());
+        // Boundary forms one simple cycle: starts are unique, ends match.
+        let starts: std::collections::HashSet<u32> =
+            cav.boundary.iter().map(|&(a, ..)| a).collect();
+        let ends: std::collections::HashSet<u32> =
+            cav.boundary.iter().map(|&(_, b, ..)| b).collect();
+        assert_eq!(starts.len(), cav.boundary.len());
+        assert_eq!(starts, ends);
+    }
+}

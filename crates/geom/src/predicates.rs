@@ -1,0 +1,156 @@
+//! Orientation and in-circle predicates.
+//!
+//! Plain `f64` determinants with a relative-error guard band. The input
+//! generator jitters points into general position, so adaptive exact
+//! arithmetic (Shewchuk) is out of scope (documented in DESIGN.md); the
+//! guard band makes near-degenerate cases conservative rather than
+//! inconsistent.
+
+use crate::point::Point;
+
+/// Sign of the signed area of triangle `(a, b, c)`:
+/// `> 0` counter-clockwise, `< 0` clockwise, `0` (near-)collinear.
+#[inline]
+pub fn orient2d(a: &Point, b: &Point, c: &Point) -> f64 {
+    (b.x - a.x) * (c.y - a.y) - (b.y - a.y) * (c.x - a.x)
+}
+
+/// True if `(a, b, c)` makes a strict counter-clockwise turn.
+#[inline]
+pub fn ccw(a: &Point, b: &Point, c: &Point) -> bool {
+    orient2d(a, b, c) > 0.0
+}
+
+/// In-circle test: positive if `d` lies strictly inside the circumcircle
+/// of CCW triangle `(a, b, c)`.
+pub fn incircle(a: &Point, b: &Point, c: &Point, d: &Point) -> f64 {
+    let adx = a.x - d.x;
+    let ady = a.y - d.y;
+    let bdx = b.x - d.x;
+    let bdy = b.y - d.y;
+    let cdx = c.x - d.x;
+    let cdy = c.y - d.y;
+    let ad2 = adx * adx + ady * ady;
+    let bd2 = bdx * bdx + bdy * bdy;
+    let cd2 = cdx * cdx + cdy * cdy;
+    adx * (bdy * cd2 - bd2 * cdy) - ady * (bdx * cd2 - bd2 * cdx)
+        + ad2 * (bdx * cdy - bdy * cdx)
+}
+
+/// True if `d` is strictly inside the circumcircle of CCW `(a, b, c)`,
+/// with a relative guard band so round-off near the circle boundary
+/// reads as "outside" (conservative for Bowyer–Watson cavities).
+///
+/// The guard scales with the magnitude of the determinant's own terms
+/// (the standard static error-bound structure from Shewchuk's robust
+/// predicates), not with global coordinate magnitude — tiny triangles
+/// far from the origin must still test accurately.
+pub fn in_circumcircle(a: &Point, b: &Point, c: &Point, d: &Point) -> bool {
+    let adx = a.x - d.x;
+    let ady = a.y - d.y;
+    let bdx = b.x - d.x;
+    let bdy = b.y - d.y;
+    let cdx = c.x - d.x;
+    let cdy = c.y - d.y;
+    let ad2 = adx * adx + ady * ady;
+    let bd2 = bdx * bdx + bdy * bdy;
+    let cd2 = cdx * cdx + cdy * cdy;
+    let det = adx * (bdy * cd2 - bd2 * cdy) - ady * (bdx * cd2 - bd2 * cdx)
+        + ad2 * (bdx * cdy - bdy * cdx);
+    // Sum of absolute values of the expansion's terms bounds the rounding
+    // error up to a small constant factor of machine epsilon.
+    let mag = adx.abs() * (bdy.abs() * cd2 + bd2 * cdy.abs())
+        + ady.abs() * (bdx.abs() * cd2 + bd2 * cdx.abs())
+        + ad2 * (bdx.abs() * cdy.abs() + bdy.abs() * cdx.abs());
+    det > 1e-12 * mag
+}
+
+/// Circumcenter of triangle `(a, b, c)`. Returns `None` when the triangle
+/// is (near-)degenerate.
+pub fn circumcenter(a: &Point, b: &Point, c: &Point) -> Option<Point> {
+    let d = 2.0 * orient2d(a, b, c);
+    if d.abs() < 1e-30 {
+        return None;
+    }
+    let a2 = a.x * a.x + a.y * a.y;
+    let b2 = b.x * b.x + b.y * b.y;
+    let c2 = c.x * c.x + c.y * c.y;
+    let ux = (a2 * (b.y - c.y) + b2 * (c.y - a.y) + c2 * (a.y - b.y)) / d;
+    let uy = (a2 * (c.x - b.x) + b2 * (a.x - c.x) + c2 * (b.x - a.x)) / d;
+    if !ux.is_finite() || !uy.is_finite() {
+        return None;
+    }
+    Some(Point::new(ux, uy))
+}
+
+/// Circumradius-to-shortest-edge ratio of `(a, b, c)` — Ruppert's quality
+/// measure. `None` for degenerate triangles.
+pub fn radius_edge_ratio(a: &Point, b: &Point, c: &Point) -> Option<f64> {
+    let cc = circumcenter(a, b, c)?;
+    let r = cc.dist(a);
+    let shortest = a.dist(b).min(b.dist(c)).min(c.dist(a));
+    if shortest <= 0.0 {
+        return None;
+    }
+    Some(r / shortest)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orientation_signs() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(1.0, 0.0);
+        let c = Point::new(0.0, 1.0);
+        assert!(orient2d(&a, &b, &c) > 0.0);
+        assert!(orient2d(&a, &c, &b) < 0.0);
+        let d = Point::new(2.0, 0.0);
+        assert_eq!(orient2d(&a, &b, &d), 0.0);
+    }
+
+    #[test]
+    fn incircle_unit_circle() {
+        // Circumcircle of this CCW triangle is the unit circle.
+        let a = Point::new(1.0, 0.0);
+        let b = Point::new(0.0, 1.0);
+        let c = Point::new(-1.0, 0.0);
+        assert!(in_circumcircle(&a, &b, &c, &Point::new(0.0, 0.0)));
+        assert!(!in_circumcircle(&a, &b, &c, &Point::new(2.0, 0.0)));
+        assert!(!in_circumcircle(&a, &b, &c, &Point::new(0.0, -1.0)), "on-circle is outside");
+    }
+
+    #[test]
+    fn circumcenter_of_right_triangle() {
+        // Right triangle: circumcenter at hypotenuse midpoint.
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(2.0, 0.0);
+        let c = Point::new(0.0, 2.0);
+        let cc = circumcenter(&a, &b, &c).expect("non-degenerate");
+        assert!((cc.x - 1.0).abs() < 1e-12);
+        assert!((cc.y - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_returns_none() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(1.0, 1.0);
+        let c = Point::new(2.0, 2.0);
+        assert!(circumcenter(&a, &b, &c).is_none());
+        assert!(radius_edge_ratio(&a, &b, &c).is_none());
+    }
+
+    #[test]
+    fn equilateral_has_minimal_ratio() {
+        // Equilateral triangle: R/e = 1/sqrt(3) ≈ 0.577, the global min.
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(1.0, 0.0);
+        let c = Point::new(0.5, 3f64.sqrt() / 2.0);
+        let q = radius_edge_ratio(&a, &b, &c).expect("ok");
+        assert!((q - 1.0 / 3f64.sqrt()).abs() < 1e-9);
+        // A skinny triangle has a much larger ratio.
+        let skinny = radius_edge_ratio(&a, &b, &Point::new(0.5, 0.01)).expect("ok");
+        assert!(skinny > 5.0);
+    }
+}

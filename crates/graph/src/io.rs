@@ -1,0 +1,197 @@
+//! Graph serialization: PBBS adjacency format and DIMACS-style edge
+//! lists, so generated inputs can be saved, inspected, and re-loaded
+//! (PBBS workflows are file-driven; RPB kept that shape).
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+use crate::csr::{Graph, WeightedGraph};
+
+/// Serializes to the PBBS `AdjacencyGraph` text format:
+/// header, `n`, `m`, then `n` offsets and `m` targets, one per line.
+pub fn to_adjacency_string(g: &Graph) -> String {
+    let mut out = String::with_capacity(16 * (g.num_vertices() + g.num_arcs()));
+    out.push_str("AdjacencyGraph\n");
+    let _ = writeln!(out, "{}", g.num_vertices());
+    let _ = writeln!(out, "{}", g.num_arcs());
+    for v in 0..g.num_vertices() {
+        let _ = writeln!(out, "{}", g.offsets[v]);
+    }
+    for &t in &g.adj {
+        let _ = writeln!(out, "{t}");
+    }
+    out
+}
+
+/// Parses the PBBS `AdjacencyGraph` text format.
+///
+/// # Errors
+/// Returns a message describing the first malformed line.
+pub fn from_adjacency_string(s: &str) -> Result<Graph, String> {
+    let mut lines = s.lines().filter(|l| !l.trim().is_empty());
+    let header = lines.next().ok_or("empty input")?;
+    if header.trim() != "AdjacencyGraph" {
+        return Err(format!("bad header: {header:?}"));
+    }
+    let mut next_num = |what: &str| -> Result<usize, String> {
+        lines
+            .next()
+            .ok_or_else(|| format!("missing {what}"))?
+            .trim()
+            .parse()
+            .map_err(|e| format!("bad {what}: {e}"))
+    };
+    let n = next_num("vertex count")?;
+    let m = next_num("arc count")?;
+    let mut offsets = Vec::with_capacity(n + 1);
+    for i in 0..n {
+        offsets.push(next_num(&format!("offset {i}"))?);
+    }
+    offsets.push(m);
+    let mut adj = Vec::with_capacity(m);
+    for i in 0..m {
+        let t = next_num(&format!("target {i}"))?;
+        if t >= n {
+            return Err(format!("target {t} out of range at arc {i}"));
+        }
+        adj.push(t as u32);
+    }
+    // Validate monotone offsets.
+    if let Some(k) = rpb_parlay::slice_util::check_monotone(&offsets, m) {
+        return Err(format!("offsets not monotone at index {k}"));
+    }
+    Ok(Graph { offsets, adj })
+}
+
+/// Serializes a weighted graph as DIMACS `.gr` (`p sp n m` + `a u v w`
+/// lines, 1-indexed, one line per stored arc).
+pub fn to_dimacs_string(g: &WeightedGraph) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "p sp {} {}", g.num_vertices(), g.num_arcs());
+    for u in 0..g.num_vertices() {
+        for (v, w) in g.neighbors(u) {
+            let _ = writeln!(out, "a {} {} {}", u + 1, v + 1, w);
+        }
+    }
+    out
+}
+
+/// Parses DIMACS `.gr` into a weighted graph (directed arcs as listed).
+///
+/// # Errors
+/// Returns a message describing the first malformed line.
+pub fn from_dimacs_string(s: &str) -> Result<WeightedGraph, String> {
+    let mut n = None;
+    let mut edges: Vec<(u32, u32, u32)> = Vec::new();
+    for (lineno, line) in s.lines().enumerate() {
+        let line = line.trim();
+        let mut parts = line.split_whitespace();
+        match parts.next() {
+            None | Some("c") => continue,
+            Some("p") => {
+                let _sp = parts.next();
+                let nv: usize = parts
+                    .next()
+                    .and_then(|x| x.parse().ok())
+                    .ok_or(format!("line {}: bad p line", lineno + 1))?;
+                n = Some(nv);
+            }
+            Some("a") => {
+                let mut get = || -> Result<u64, String> {
+                    parts
+                        .next()
+                        .and_then(|x| x.parse().ok())
+                        .ok_or(format!("line {}: bad a line", lineno + 1))
+                };
+                let (u, v, w) = (get()?, get()?, get()?);
+                if u == 0 || v == 0 {
+                    return Err(format!("line {}: DIMACS is 1-indexed", lineno + 1));
+                }
+                edges.push((u as u32 - 1, v as u32 - 1, w as u32));
+            }
+            Some(other) => return Err(format!("line {}: unknown tag {other}", lineno + 1)),
+        }
+    }
+    let n = n.ok_or("missing p line")?;
+    if let Some(&(u, v, _)) = edges.iter().find(|&&(u, v, _)| u as usize >= n || v as usize >= n)
+    {
+        return Err(format!("edge ({u},{v}) out of range for {n} vertices"));
+    }
+    Ok(WeightedGraph::from_edges(n, &edges))
+}
+
+/// Writes a graph to a file in PBBS adjacency format.
+pub fn write_adjacency(g: &Graph, path: &Path) -> std::io::Result<()> {
+    std::fs::write(path, to_adjacency_string(g))
+}
+
+/// Reads a graph from a PBBS adjacency file.
+pub fn read_adjacency(path: &Path) -> Result<Graph, String> {
+    let s = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+    from_adjacency_string(&s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{add_weights, uniform_random};
+
+    #[test]
+    fn adjacency_round_trip() {
+        let g = uniform_random(100, 300, 1);
+        let s = to_adjacency_string(&g);
+        let g2 = from_adjacency_string(&s).expect("parse");
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn adjacency_rejects_bad_header() {
+        assert!(from_adjacency_string("WeightedAdjacencyGraph\n1\n0\n0\n").is_err());
+    }
+
+    #[test]
+    fn adjacency_rejects_out_of_range_target() {
+        let s = "AdjacencyGraph\n2\n1\n0\n1\n5\n";
+        assert!(from_adjacency_string(s).is_err());
+    }
+
+    #[test]
+    fn dimacs_round_trip() {
+        let wg = add_weights(uniform_random(50, 120, 2), 100, 3);
+        let s = to_dimacs_string(&wg);
+        let wg2 = from_dimacs_string(&s).expect("parse");
+        assert_eq!(wg.num_vertices(), wg2.num_vertices());
+        assert_eq!(wg.num_arcs(), wg2.num_arcs());
+        for u in 0..wg.num_vertices() {
+            let a: Vec<(u32, u32)> = wg.neighbors(u).collect();
+            let b: Vec<(u32, u32)> = wg2.neighbors(u).collect();
+            assert_eq!(a, b, "vertex {u}");
+        }
+    }
+
+    #[test]
+    fn dimacs_skips_comments() {
+        let s = "c a comment\np sp 2 1\nc another\na 1 2 7\n";
+        let wg = from_dimacs_string(s).expect("parse");
+        assert_eq!(wg.num_vertices(), 2);
+        let n0: Vec<(u32, u32)> = wg.neighbors(0).collect();
+        assert_eq!(n0, vec![(1, 7)]);
+    }
+
+    #[test]
+    fn dimacs_rejects_zero_index() {
+        assert!(from_dimacs_string("p sp 2 1\na 0 1 5\n").is_err());
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let g = uniform_random(30, 60, 5);
+        let dir = std::env::temp_dir().join("rpb_io_test");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("g.adj");
+        write_adjacency(&g, &path).expect("write");
+        let g2 = read_adjacency(&path).expect("read");
+        assert_eq!(g, g2);
+        let _ = std::fs::remove_file(&path);
+    }
+}

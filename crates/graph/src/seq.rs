@@ -1,0 +1,237 @@
+//! Sequential reference algorithms used to validate the parallel
+//! benchmarks and as the 1-thread baselines of Fig. 4.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+use crate::csr::{Graph, WeightedGraph};
+
+/// Unreachable marker in distance arrays.
+pub const INF: u64 = u64::MAX;
+
+/// Sequential BFS hop distances from `src`.
+pub fn bfs(g: &Graph, src: usize) -> Vec<u64> {
+    let mut dist = vec![INF; g.num_vertices()];
+    let mut q = VecDeque::new();
+    dist[src] = 0;
+    q.push_back(src);
+    while let Some(u) = q.pop_front() {
+        let du = dist[u];
+        for &v in g.neighbors(u) {
+            if dist[v as usize] == INF {
+                dist[v as usize] = du + 1;
+                q.push_back(v as usize);
+            }
+        }
+    }
+    dist
+}
+
+/// Sequential Dijkstra shortest-path distances from `src`.
+pub fn dijkstra(g: &WeightedGraph, src: usize) -> Vec<u64> {
+    let mut dist = vec![INF; g.num_vertices()];
+    let mut heap = BinaryHeap::new();
+    dist[src] = 0;
+    heap.push(Reverse((0u64, src)));
+    while let Some(Reverse((d, u))) = heap.pop() {
+        if d > dist[u] {
+            continue;
+        }
+        for (v, w) in g.neighbors(u) {
+            let nd = d + w as u64;
+            if nd < dist[v as usize] {
+                dist[v as usize] = nd;
+                heap.push(Reverse((nd, v as usize)));
+            }
+        }
+    }
+    dist
+}
+
+/// Sequential greedy maximal independent set in vertex-priority order.
+///
+/// `priority[v]` gives each vertex's rank; the greedy processes vertices
+/// from the lowest priority value upward — the order the deterministic
+/// parallel version must agree with.
+pub fn greedy_mis(g: &Graph, priority: &[u64]) -> Vec<bool> {
+    let n = g.num_vertices();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by_key(|&v| (priority[v], v));
+    let mut in_set = vec![false; n];
+    let mut blocked = vec![false; n];
+    for v in order {
+        if !blocked[v] {
+            in_set[v] = true;
+            blocked[v] = true;
+            for &u in g.neighbors(v) {
+                blocked[u as usize] = true;
+            }
+        }
+    }
+    in_set
+}
+
+/// Sequential greedy maximal matching in edge order.
+///
+/// Returns a flag per edge of `edges`; matched edges form a maximal
+/// matching when edges are processed in index order.
+pub fn greedy_matching(n: usize, edges: &[(u32, u32)]) -> Vec<bool> {
+    let mut matched_vertex = vec![false; n];
+    let mut in_matching = vec![false; edges.len()];
+    for (i, &(u, v)) in edges.iter().enumerate() {
+        if u != v && !matched_vertex[u as usize] && !matched_vertex[v as usize] {
+            matched_vertex[u as usize] = true;
+            matched_vertex[v as usize] = true;
+            in_matching[i] = true;
+        }
+    }
+    in_matching
+}
+
+/// Kruskal MSF over an explicit edge list; returns the chosen edge
+/// indices and the total weight.
+pub fn kruskal(n: usize, edges: &[(u32, u32, u32)]) -> (Vec<usize>, u64) {
+    let mut idx: Vec<usize> = (0..edges.len()).collect();
+    idx.sort_by_key(|&i| (edges[i].2, i));
+    let mut parent: Vec<usize> = (0..n).collect();
+    fn find(p: &mut [usize], mut x: usize) -> usize {
+        while p[x] != x {
+            p[x] = p[p[x]];
+            x = p[x];
+        }
+        x
+    }
+    let mut chosen = Vec::new();
+    let mut total = 0u64;
+    for i in idx {
+        let (u, v, w) = edges[i];
+        let (ru, rv) = (find(&mut parent, u as usize), find(&mut parent, v as usize));
+        if ru != rv {
+            parent[ru] = rv;
+            chosen.push(i);
+            total += w as u64;
+        }
+    }
+    (chosen, total)
+}
+
+/// Number of connected components (sequential union-find).
+pub fn num_components(g: &Graph) -> usize {
+    let n = g.num_vertices();
+    let mut parent: Vec<usize> = (0..n).collect();
+    fn find(p: &mut [usize], mut x: usize) -> usize {
+        while p[x] != x {
+            p[x] = p[p[x]];
+            x = p[x];
+        }
+        x
+    }
+    for u in 0..n {
+        for &v in g.neighbors(u) {
+            let (ru, rv) = (find(&mut parent, u), find(&mut parent, v as usize));
+            if ru != rv {
+                parent[ru] = rv;
+            }
+        }
+    }
+    (0..n).filter(|&x| find(&mut parent, x) == x).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{add_weights, grid_road, uniform_random};
+
+    #[test]
+    fn bfs_on_path() {
+        let g = Graph::undirected_from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        assert_eq!(bfs(&g, 0), vec![0, 1, 2, 3]);
+        assert_eq!(bfs(&g, 2), vec![2, 1, 0, 1]);
+    }
+
+    #[test]
+    fn bfs_unreachable() {
+        let g = Graph::undirected_from_edges(4, &[(0, 1)]);
+        let d = bfs(&g, 0);
+        assert_eq!(d[2], INF);
+        assert_eq!(d[3], INF);
+    }
+
+    #[test]
+    fn dijkstra_prefers_light_path() {
+        // 0 -10-> 1; 0 -1-> 2 -1-> 1: shortest 0->1 is 2.
+        let wg = WeightedGraph::from_edges(3, &[(0, 1, 10), (0, 2, 1), (2, 1, 1)]);
+        assert_eq!(dijkstra(&wg, 0), vec![0, 2, 1]);
+    }
+
+    #[test]
+    fn dijkstra_equals_bfs_on_unit_weights() {
+        let g = grid_road(400, 1);
+        let wg = add_weights(g.clone(), 1, 2); // all weights 1
+        let db = bfs(&g, 0);
+        let dd = dijkstra(&wg, 0);
+        assert_eq!(db, dd);
+    }
+
+    #[test]
+    fn mis_is_independent_and_maximal() {
+        let g = uniform_random(200, 600, 3);
+        let pri: Vec<u64> =
+            (0..g.num_vertices() as u64).map(rpb_parlay::random::hash64).collect();
+        let mis = greedy_mis(&g, &pri);
+        for u in 0..g.num_vertices() {
+            if mis[u] {
+                for &v in g.neighbors(u) {
+                    assert!(!(u != v as usize && mis[v as usize]), "adjacent pair in MIS");
+                }
+            } else {
+                let has_neighbor_in =
+                    g.neighbors(u).iter().any(|&v| mis[v as usize] && v as usize != u);
+                // Isolated self-loop-only vertices can only be excluded by
+                // a neighbour; otherwise maximality is violated.
+                assert!(has_neighbor_in, "vertex {u} could join the MIS");
+            }
+        }
+    }
+
+    #[test]
+    fn matching_is_valid_and_maximal() {
+        let edges: Vec<(u32, u32)> = (0..300u64)
+            .map(|i| {
+                let h = rpb_parlay::random::hash64(i);
+                ((h % 100) as u32, ((h >> 13) % 100) as u32)
+            })
+            .collect();
+        let m = greedy_matching(100, &edges);
+        let mut used = vec![0; 100];
+        for (i, &(u, v)) in edges.iter().enumerate() {
+            if m[i] {
+                used[u as usize] += 1;
+                used[v as usize] += 1;
+            }
+        }
+        assert!(used.iter().all(|&c| c <= 1), "vertex matched twice");
+        for (i, &(u, v)) in edges.iter().enumerate() {
+            if !m[i] && u != v {
+                assert!(
+                    used[u as usize] == 1 || used[v as usize] == 1,
+                    "edge {i} could be added"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn kruskal_on_triangle() {
+        let edges = vec![(0u32, 1u32, 1u32), (1, 2, 2), (0, 2, 3)];
+        let (chosen, total) = kruskal(3, &edges);
+        assert_eq!(chosen, vec![0, 1]);
+        assert_eq!(total, 3);
+    }
+
+    #[test]
+    fn components_counted() {
+        let g = Graph::undirected_from_edges(6, &[(0, 1), (1, 2), (4, 5)]);
+        assert_eq!(num_components(&g), 3); // {0,1,2}, {3}, {4,5}
+    }
+}

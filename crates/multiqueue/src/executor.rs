@@ -1,0 +1,138 @@
+//! Long-running worker threads driving a [`MultiQueue`] to quiescence.
+//!
+//! The paper's `bfs`/`sssp` use "long-running worker threads that pop
+//! tasks from the MQ then execute them (potentially pushing new tasks)
+//! until the MQ is empty". The subtle part is *termination detection*: an
+//! empty MultiQueue does not mean the computation is done while some
+//! worker is still executing a task that may push children. We track an
+//! in-flight counter: incremented for every pushed task, decremented when
+//! its execution completes; workers exit when the counter hits zero.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use crate::mq::MultiQueue;
+
+/// Per-run statistics from [`execute`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ExecutorStats {
+    /// Tasks executed across all workers.
+    pub tasks: usize,
+    /// Times a worker found the MQ momentarily empty and had to idle-spin.
+    pub idle_spins: usize,
+}
+
+/// Capability handed to tasks for spawning children.
+pub struct Handle<'a, T> {
+    mq: &'a MultiQueue<T>,
+    pending: &'a AtomicUsize,
+}
+
+impl<T: Send> Handle<'_, T> {
+    /// Schedules a child task with priority `pri`.
+    pub fn push(&self, pri: u64, item: T) {
+        // Order matters: count the task before it becomes poppable so the
+        // pending counter never under-reports.
+        self.pending.fetch_add(1, Ordering::SeqCst);
+        self.mq.push(pri, item);
+    }
+}
+
+/// Runs `task` over `initial` and everything it transitively pushes, on
+/// `n_threads` OS worker threads. Returns aggregated statistics.
+///
+/// `task(pri, item, handle)` may push new work through the handle. The
+/// call returns when every pushed task has finished executing.
+pub fn execute<T, F>(n_threads: usize, n_queues: usize, initial: Vec<(u64, T)>, task: F) -> ExecutorStats
+where
+    T: Send,
+    F: Fn(u64, T, &Handle<'_, T>) + Send + Sync,
+{
+    let n_threads = n_threads.max(1);
+    let mq: MultiQueue<T> = MultiQueue::new(n_queues.max(1));
+    let pending = AtomicUsize::new(initial.len());
+    for (p, item) in initial {
+        mq.push(p, item);
+    }
+    let total_tasks = AtomicUsize::new(0);
+    let total_idle = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..n_threads {
+            s.spawn(|| {
+                let handle = Handle { mq: &mq, pending: &pending };
+                let mut tasks = 0usize;
+                let mut idle = 0usize;
+                loop {
+                    match mq.pop() {
+                        Some((pri, item)) => {
+                            task(pri, item, &handle);
+                            tasks += 1;
+                            pending.fetch_sub(1, Ordering::SeqCst);
+                        }
+                        None => {
+                            if pending.load(Ordering::SeqCst) == 0 {
+                                break;
+                            }
+                            idle += 1;
+                            std::thread::yield_now();
+                        }
+                    }
+                }
+                total_tasks.fetch_add(tasks, Ordering::Relaxed);
+                total_idle.fetch_add(idle, Ordering::Relaxed);
+            });
+        }
+    });
+    ExecutorStats {
+        tasks: total_tasks.load(Ordering::Relaxed),
+        idle_spins: total_idle.load(Ordering::Relaxed),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_all_initial_tasks() {
+        let counter = AtomicUsize::new(0);
+        let init: Vec<(u64, usize)> = (0..1000).map(|i| (i as u64, i)).collect();
+        let stats = execute(4, 8, init, |_, _, _| {
+            counter.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 1000);
+        assert_eq!(stats.tasks, 1000);
+    }
+
+    #[test]
+    fn children_are_executed() {
+        // Binary fan-out to depth 10: 2^11 - 1 tasks.
+        let counter = AtomicUsize::new(0);
+        let stats = execute(4, 8, vec![(0u64, 0usize)], |pri, depth, h| {
+            counter.fetch_add(1, Ordering::Relaxed);
+            if depth < 10 {
+                h.push(pri + 1, depth + 1);
+                h.push(pri + 1, depth + 1);
+            }
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), (1 << 11) - 1);
+        assert_eq!(stats.tasks, (1 << 11) - 1);
+    }
+
+    #[test]
+    fn empty_initial_returns_immediately() {
+        let stats = execute(2, 4, Vec::<(u64, ())>::new(), |_, _, _| {});
+        assert_eq!(stats.tasks, 0);
+    }
+
+    #[test]
+    fn single_thread_works() {
+        let counter = AtomicUsize::new(0);
+        execute(1, 1, vec![(0, 5usize)], |_, n, h| {
+            counter.fetch_add(1, Ordering::Relaxed);
+            if n > 0 {
+                h.push(0, n - 1);
+            }
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 6);
+    }
+}

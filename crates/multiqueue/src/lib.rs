@@ -1,0 +1,27 @@
+//! # rpb-multiqueue
+//!
+//! The MultiQueue relaxed concurrent priority scheduler (Rihani, Sanders &
+//! Dementiev, SPAA'15) and a worker-thread executor, as used by the `bfs`
+//! and `sssp` benchmarks of the RPB suite (Sec. 6 of the paper).
+//!
+//! A MultiQueue wraps `c × threads` sequential priority queues, each
+//! guarded by a lock. `push` picks a random queue, locks it, and inserts.
+//! `pop` locks two random queues and pops from the one with the
+//! higher-priority top — giving *probabilistic* rank guarantees that in
+//! practice scale far better than a strict concurrent heap.
+//!
+//! The paper's observations reproduced here:
+//!
+//! * Rust `Mutex`es encapsulate the sequential heaps, ruling out
+//!   unsynchronized access and atomicity violations on them, and the
+//!   RAII `MutexGuard` makes forgetting an unlock impossible.
+//! * Nothing prevents deadlock or livelock — the *implementer* of the
+//!   scheduler stays scared; the *user* of the safe API does not.
+
+pub mod executor;
+pub mod mq;
+pub mod stats;
+
+pub use executor::{execute, ExecutorStats, Handle};
+pub use mq::MultiQueue;
+pub use stats::{measure_rank_error, rank_error_sweep, RankErrorStats};

@@ -1,0 +1,125 @@
+//! Quality instrumentation for the MultiQueue: rank-error measurement.
+//!
+//! The MultiQueue's guarantee is probabilistic: a pop returns an element
+//! whose *rank* (number of strictly better resident elements) is small in
+//! expectation — `O(q)` for `q` internal queues with best-of-two picks
+//! (Rihani et al., refined by Alistarh et al.). This module measures the
+//! empirical rank-error distribution of a pop sequence, reproducing the
+//! kind of quality plots those papers report and letting `bfs`/`sssp`
+//! users choose a queue count.
+
+use std::collections::BTreeMap;
+
+use crate::mq::MultiQueue;
+
+/// Summary of an observed rank-error distribution.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct RankErrorStats {
+    /// Number of pops measured.
+    pub pops: usize,
+    /// Mean rank error.
+    pub mean: f64,
+    /// Maximum rank error observed.
+    pub max: usize,
+    /// Share of pops that returned the exact minimum.
+    pub exact_share: f64,
+}
+
+/// Feeds `items` (priority values, arbitrary order) through a fresh
+/// MultiQueue with `n_queues` internal heaps, then pops everything
+/// single-threadedly, measuring each pop's rank error against a mirror
+/// multiset.
+///
+/// Single-threaded by design: rank error is only well-defined against a
+/// quiescent resident set; the structural relaxation being measured (the
+/// random two-choice pick) is present regardless of thread count.
+pub fn measure_rank_error(items: &[u64], n_queues: usize) -> RankErrorStats {
+    let mq: MultiQueue<()> = MultiQueue::new(n_queues);
+    // Mirror multiset: priority -> multiplicity.
+    let mut resident: BTreeMap<u64, usize> = BTreeMap::new();
+    for &p in items {
+        mq.push(p, ());
+        *resident.entry(p).or_insert(0) += 1;
+    }
+    let mut stats = RankErrorStats::default();
+    let mut total = 0usize;
+    let mut exact = 0usize;
+    while let Some((p, ()))= mq.pop() {
+        let rank: usize = resident.range(..p).map(|(_, &c)| c).sum();
+        total += rank;
+        if rank == 0 {
+            exact += 1;
+        }
+        stats.max = stats.max.max(rank);
+        stats.pops += 1;
+        match resident.get_mut(&p) {
+            Some(c) if *c > 1 => *c -= 1,
+            Some(_) => {
+                resident.remove(&p);
+            }
+            None => panic!("popped priority {p} that was never resident"),
+        }
+    }
+    assert!(resident.is_empty(), "elements lost: {resident:?}");
+    stats.mean = total as f64 / stats.pops.max(1) as f64;
+    stats.exact_share = exact as f64 / stats.pops.max(1) as f64;
+    stats
+}
+
+/// Sweeps queue counts and returns `(n_queues, stats)` rows — the data
+/// behind a rank-quality-vs-relaxation plot.
+pub fn rank_error_sweep(items: &[u64], queue_counts: &[usize]) -> Vec<(usize, RankErrorStats)> {
+    queue_counts.iter().map(|&q| (q, measure_rank_error(items, q))).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rpb_parlay::random::hash64;
+
+    #[test]
+    fn single_queue_is_exact() {
+        let items: Vec<u64> = (0..5000).map(hash64).collect();
+        let stats = measure_rank_error(&items, 1);
+        assert_eq!(stats.pops, items.len());
+        assert_eq!(stats.mean, 0.0);
+        assert_eq!(stats.max, 0);
+        assert_eq!(stats.exact_share, 1.0);
+    }
+
+    #[test]
+    fn rank_error_grows_with_queue_count() {
+        let items: Vec<u64> = (0..20_000).map(hash64).collect();
+        let sweep = rank_error_sweep(&items, &[1, 4, 16]);
+        assert_eq!(sweep[0].1.mean, 0.0);
+        assert!(
+            sweep[2].1.mean > sweep[1].1.mean,
+            "16 queues ({}) should be more relaxed than 4 ({})",
+            sweep[2].1.mean,
+            sweep[1].1.mean
+        );
+    }
+
+    #[test]
+    fn mean_rank_error_stays_order_of_queue_count() {
+        let items: Vec<u64> = (0..20_000).map(hash64).collect();
+        let stats = measure_rank_error(&items, 8);
+        // Theory: O(q) expected; allow a generous constant.
+        assert!(stats.mean < 64.0, "mean {}", stats.mean);
+        assert_eq!(stats.pops, items.len());
+    }
+
+    #[test]
+    fn duplicate_priorities_are_handled() {
+        let items = vec![5u64; 1000];
+        let stats = measure_rank_error(&items, 4);
+        assert_eq!(stats.pops, 1000);
+        assert_eq!(stats.mean, 0.0, "equal priorities have rank 0");
+    }
+
+    #[test]
+    fn empty_input() {
+        let stats = measure_rank_error(&[], 4);
+        assert_eq!(stats.pops, 0);
+    }
+}

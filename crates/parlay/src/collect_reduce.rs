@@ -1,0 +1,162 @@
+//! Collect-reduce (group-by) — PBBS's `collect_reduce` primitive.
+//!
+//! Groups `(key, value)` pairs by key and reduces each group's values
+//! with a monoid. This is the engine behind histogram-family workloads
+//! and the "category reduction" pattern the paper lists among RPB's
+//! covered algorithmic patterns (Sec. 7.1).
+//!
+//! Two strategies, chosen by key density:
+//! * **dense** (`keys < buckets` small): blocked per-task accumulator
+//!   arrays merged pairwise — regular `Block` parallelism, fearless;
+//! * **sparse**: radix sort by key, then segment detection + per-segment
+//!   reduction through `par_ind_chunks_mut`-style boundaries derived from
+//!   a pack — everything regular or scan-proven.
+
+use rayon::prelude::*;
+
+use crate::pack::pack_index;
+use crate::sort::radix_sort_by_key;
+
+/// Reduces `values` grouped by dense keys in `0..buckets`:
+/// `out[k] = fold of v where (k, v) in pairs`.
+///
+/// # Panics
+/// Panics if any key is `>= buckets`.
+pub fn collect_reduce_dense<V, F>(
+    pairs: &[(usize, V)],
+    buckets: usize,
+    id: V,
+    op: F,
+) -> Vec<V>
+where
+    V: Copy + Send + Sync,
+    F: Fn(V, V) -> V + Send + Sync,
+{
+    pairs
+        .par_chunks(4096)
+        .map(|chunk| {
+            let mut local = vec![id; buckets];
+            for &(k, v) in chunk {
+                assert!(k < buckets, "key {k} out of range");
+                local[k] = op(local[k], v);
+            }
+            local
+        })
+        .reduce(
+            || vec![id; buckets],
+            |mut a, b| {
+                for (s, x) in a.iter_mut().zip(b) {
+                    *s = op(*s, x);
+                }
+                a
+            },
+        )
+}
+
+/// Groups by arbitrary `u64` keys: returns `(key, reduction)` pairs
+/// sorted by key.
+pub fn collect_reduce_sparse<V, F>(pairs: &[(u64, V)], id: V, op: F) -> Vec<(u64, V)>
+where
+    V: Copy + Send + Sync,
+    F: Fn(V, V) -> V + Send + Sync,
+{
+    if pairs.is_empty() {
+        return Vec::new();
+    }
+    let mut sorted: Vec<(u64, V)> = pairs.to_vec();
+    radix_sort_by_key(&mut sorted, 64, |p| p.0);
+    // Segment heads: first occurrence of each key.
+    let heads: Vec<bool> = sorted
+        .par_iter()
+        .enumerate()
+        .map(|(i, &(k, _))| i == 0 || sorted[i - 1].0 != k)
+        .collect();
+    let mut starts = pack_index(&heads);
+    starts.push(sorted.len());
+    // Per-segment reductions (disjoint read ranges).
+    starts
+        .par_windows(2)
+        .map(|w| {
+            let seg = &sorted[w[0]..w[1]];
+            let mut acc = id;
+            for &(_, v) in seg {
+                acc = op(acc, v);
+            }
+            (seg[0].0, acc)
+        })
+        .collect()
+}
+
+/// Counts occurrences of each `u64` key (sparse histogram).
+pub fn count_by_key(keys: &[u64]) -> Vec<(u64, usize)> {
+    let pairs: Vec<(u64, usize)> = keys.par_iter().map(|&k| (k, 1usize)).collect();
+    collect_reduce_sparse(&pairs, 0, |a, b| a + b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn dense_sum_matches_reference() {
+        let pairs: Vec<(usize, u64)> =
+            (0..100_000).map(|i| ((i * 7) % 64, (i % 11) as u64)).collect();
+        let got = collect_reduce_dense(&pairs, 64, 0u64, |a, b| a + b);
+        let mut want = vec![0u64; 64];
+        for &(k, v) in &pairs {
+            want[k] += v;
+        }
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn dense_max_monoid() {
+        let pairs = vec![(0usize, 3u64), (1, 9), (0, 7), (1, 2)];
+        let got = collect_reduce_dense(&pairs, 2, 0, |a, b| a.max(b));
+        assert_eq!(got, vec![7, 9]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn dense_rejects_oversized_key() {
+        collect_reduce_dense(&[(5usize, 1u8)], 2, 0, |a, b| a.max(b));
+    }
+
+    #[test]
+    fn sparse_matches_hashmap_reference() {
+        let pairs: Vec<(u64, u64)> = (0..80_000u64)
+            .map(|i| (crate::random::hash64(i) % 500, i % 13))
+            .collect();
+        let got = collect_reduce_sparse(&pairs, 0u64, |a, b| a + b);
+        let mut want: HashMap<u64, u64> = HashMap::new();
+        for &(k, v) in &pairs {
+            *want.entry(k).or_insert(0) += v;
+        }
+        assert_eq!(got.len(), want.len());
+        for &(k, v) in &got {
+            assert_eq!(want[&k], v, "key {k}");
+        }
+        assert!(got.windows(2).all(|w| w[0].0 < w[1].0), "keys not sorted");
+    }
+
+    #[test]
+    fn count_by_key_counts() {
+        let keys = vec![3u64, 1, 3, 3, 1, 9];
+        let got = count_by_key(&keys);
+        assert_eq!(got, vec![(1, 2), (3, 3), (9, 1)]);
+    }
+
+    #[test]
+    fn sparse_empty() {
+        let got = collect_reduce_sparse::<u8, _>(&[], 0, |a, b| a | b);
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn sparse_single_key() {
+        let pairs: Vec<(u64, u64)> = (0..10_000).map(|i| (42, i)).collect();
+        let got = collect_reduce_sparse(&pairs, 0u64, |a, b| a + b);
+        assert_eq!(got, vec![(42, (0..10_000u64).sum())]);
+    }
+}

@@ -1,0 +1,198 @@
+//! The PBBS counter-based hash RNG.
+//!
+//! PBBS derives all of its pseudo-randomness from a 64-bit mixing hash
+//! (the function the paper reproduces in Listing 10 of Appendix A). A
+//! counter-based generator is ideal for parallel benchmarks: `ith_rand(i)`
+//! is a pure function of `(seed, i)`, so every task can draw independent
+//! values without shared state, and results are deterministic regardless of
+//! the parallel schedule.
+
+/// The PBBS 64-bit mixing hash (Listing 10 of the paper).
+///
+/// This is the exact constant sequence used by PBBS `utilities.h::hash64`,
+/// and doubles as the unit of work in the Fig. 6 microbenchmark.
+#[inline]
+pub fn hash64(i: u64) -> u64 {
+    let mut v = i.wrapping_mul(3_935_559_000_370_003_845);
+    v = v.wrapping_add(2_691_343_689_449_507_681);
+    v ^= v >> 21;
+    v ^= v << 37;
+    v ^= v >> 4;
+    v = v.wrapping_mul(4_768_777_513_237_032_717);
+    v ^= v << 20;
+    v ^= v >> 41;
+    v ^= v << 5;
+    v
+}
+
+/// Applies [`hash64`] in place to a `usize` element, mirroring the paper's
+/// Listing 10 `task` signature (`fn task(e: &mut usize)`).
+#[inline]
+pub fn hash_task(e: &mut usize) {
+    *e = hash64(*e as u64) as usize;
+}
+
+/// A deterministic counter-based random source, equivalent to PBBS
+/// `parlay::random`.
+///
+/// `Random` is `Copy`; [`Random::fork`] derives an independent stream for a
+/// sub-computation, exactly like PBBS `r.fork(i)`.
+///
+/// # Examples
+/// ```
+/// use rpb_parlay::Random;
+/// let r = Random::new(42);
+/// let a = r.ith_rand(7);
+/// assert_eq!(a, Random::new(42).ith_rand(7), "pure function of (seed, i)");
+/// assert_ne!(a, r.fork(1).ith_rand(7), "forked streams are independent");
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Random {
+    seed: u64,
+}
+
+impl Random {
+    /// Creates a stream with the given seed.
+    #[inline]
+    pub fn new(seed: u64) -> Self {
+        Random { seed }
+    }
+
+    /// The `i`th value of this stream.
+    #[inline]
+    pub fn ith_rand(&self, i: u64) -> u64 {
+        hash64(self.seed.wrapping_add(i))
+    }
+
+    /// Derives an independent stream, PBBS `fork`.
+    #[inline]
+    pub fn fork(&self, i: u64) -> Random {
+        Random { seed: hash64(self.seed.wrapping_add(i)) }
+    }
+
+    /// A value in `[0, bound)`. `bound` must be non-zero.
+    #[inline]
+    pub fn ith_rand_bounded(&self, i: u64, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        self.ith_rand(i) % bound
+    }
+
+    /// A uniform `f64` in `[0, 1)`.
+    #[inline]
+    pub fn ith_rand_f64(&self, i: u64) -> f64 {
+        // Use the top 53 bits for a dyadic uniform in [0,1).
+        (self.ith_rand(i) >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Default for Random {
+    fn default() -> Self {
+        Random::new(0)
+    }
+}
+
+/// A tiny splittable PCG-style state machine for the rare places that want
+/// sequential draws (e.g., retry loops); still deterministic from its seed.
+#[derive(Clone, Debug)]
+pub struct SeqRng {
+    state: u64,
+}
+
+impl SeqRng {
+    /// Creates the generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        SeqRng { state: hash64(seed ^ 0x9E37_79B9_7F4A_7C15) }
+    }
+
+    /// Next 64-bit value.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = hash64(self.state);
+        self.state
+    }
+
+    /// Next value in `[0, bound)`.
+    #[inline]
+    pub fn next_bounded(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        self.next_u64() % bound
+    }
+
+    /// Next uniform `f64` in `[0, 1)`.
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash64_is_deterministic_and_mixing() {
+        assert_eq!(hash64(0), hash64(0));
+        // Consecutive inputs should produce very different outputs.
+        let a = hash64(1);
+        let b = hash64(2);
+        assert_ne!(a, b);
+        assert!((a ^ b).count_ones() > 8, "poor avalanche: {a:x} vs {b:x}");
+    }
+
+    #[test]
+    fn hash_task_matches_hash64() {
+        let mut e = 1234usize;
+        hash_task(&mut e);
+        assert_eq!(e as u64, hash64(1234));
+    }
+
+    #[test]
+    fn ith_rand_is_pure() {
+        let r = Random::new(99);
+        let xs: Vec<u64> = (0..100).map(|i| r.ith_rand(i)).collect();
+        let ys: Vec<u64> = (0..100).map(|i| Random::new(99).ith_rand(i)).collect();
+        assert_eq!(xs, ys);
+    }
+
+    #[test]
+    fn fork_changes_stream() {
+        let r = Random::new(7);
+        let f = r.fork(0);
+        assert_ne!(r.ith_rand(0), f.ith_rand(0));
+    }
+
+    #[test]
+    fn bounded_stays_in_range() {
+        let r = Random::new(3);
+        for i in 0..1000 {
+            assert!(r.ith_rand_bounded(i, 17) < 17);
+        }
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let r = Random::new(5);
+        for i in 0..1000 {
+            let x = r.ith_rand_f64(i);
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn seq_rng_advances() {
+        let mut g = SeqRng::new(1);
+        let a = g.next_u64();
+        let b = g.next_u64();
+        assert_ne!(a, b);
+        let mut g2 = SeqRng::new(1);
+        assert_eq!(g2.next_u64(), a, "same seed, same stream");
+    }
+
+    #[test]
+    fn f64_distribution_is_roughly_uniform() {
+        let r = Random::new(11);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|i| r.ith_rand_f64(i)).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean} too far from 0.5");
+    }
+}

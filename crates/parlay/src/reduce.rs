@@ -1,0 +1,116 @@
+//! Parallel reductions (`RO` pattern: read-only accessors of shared data).
+//!
+//! These follow the paper's Listing 3(c): each task immutably borrows a
+//! chunk, summarizes it into a small value, and Rayon merges the results —
+//! fearless, because `rustc` rejects any attempted write to shared state.
+
+use rayon::prelude::*;
+
+/// Reduces `data` with an associative operation `op` and identity `id`.
+///
+/// Equivalent to ParlayLib `parlay::reduce` with a monoid.
+///
+/// # Examples
+/// ```
+/// let v: Vec<u64> = (1..=100).collect();
+/// assert_eq!(rpb_parlay::reduce(&v, 0, |a, b| a + b), 5050);
+/// ```
+pub fn reduce<T, F>(data: &[T], id: T, op: F) -> T
+where
+    T: Copy + Send + Sync,
+    F: Fn(T, T) -> T + Send + Sync,
+{
+    data.par_iter().copied().reduce(|| id, &op)
+}
+
+/// Reduces the images of `f` over `0..n` — ParlayLib's *delayed sequence*
+/// reduction, avoiding materialization.
+pub fn reduce_with<T, F, G>(n: usize, id: T, f: F, op: G) -> T
+where
+    T: Copy + Send + Sync,
+    F: Fn(usize) -> T + Send + Sync,
+    G: Fn(T, T) -> T + Send + Sync,
+{
+    (0..n).into_par_iter().map(f).reduce(|| id, &op)
+}
+
+/// Index of a maximum element (first one under the parallel tournament
+/// tie-break: the smallest index among equal maxima).
+///
+/// Returns `None` on an empty slice.
+pub fn max_index<T: Ord + Send + Sync>(data: &[T]) -> Option<usize> {
+    if data.is_empty() {
+        return None;
+    }
+    let best = data
+        .par_iter()
+        .enumerate()
+        .reduce_with(|a, b| {
+            // Prefer strictly greater values; on ties prefer the lower index
+            // so the result equals the sequential argmax.
+            if b.1 > a.1 || (b.1 == a.1 && b.0 < a.0) {
+                b
+            } else {
+                a
+            }
+        })
+        .expect("non-empty");
+    Some(best.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reduce_sum_matches_sequential() {
+        let v: Vec<u64> = (0..10_000).collect();
+        assert_eq!(reduce(&v, 0, |a, b| a + b), v.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn reduce_empty_is_identity() {
+        let v: Vec<u64> = vec![];
+        assert_eq!(reduce(&v, 7, |a, b| a.max(b)), 7);
+    }
+
+    #[test]
+    fn reduce_max() {
+        let v = vec![3u64, 9, 1, 9, 2];
+        assert_eq!(reduce(&v, 0, |a, b| a.max(b)), 9);
+    }
+
+    #[test]
+    fn reduce_with_avoids_materialization() {
+        let n = 100_000;
+        let s = reduce_with(n, 0u64, |i| (i as u64) * 2, |a, b| a + b);
+        assert_eq!(s, (0..n as u64).map(|i| i * 2).sum());
+    }
+
+    #[test]
+    fn max_index_first_of_ties() {
+        let v = vec![1, 5, 3, 5, 2];
+        assert_eq!(max_index(&v), Some(1));
+    }
+
+    #[test]
+    fn max_index_empty() {
+        let v: Vec<u8> = vec![];
+        assert_eq!(max_index(&v), None);
+    }
+
+    #[test]
+    fn max_index_large_matches_sequential() {
+        let v: Vec<u64> = (0..50_000).map(rpb_parlay_hash).collect();
+        let seq = v
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(&a.0)))
+            .map(|(i, _)| i);
+        assert_eq!(max_index(&v), seq);
+    }
+
+    fn rpb_parlay_hash(i: u64) -> u64 {
+        crate::random::hash64(i)
+    }
+}

@@ -1,0 +1,207 @@
+//! Parallel prefix sums (scan) — the canonical *regular* parallel pattern.
+//!
+//! The implementation is the classic two-pass blocked scan used by PBBS:
+//! (1) each block reduces its chunk in parallel (`Block` pattern, expressed
+//! with `par_chunks`), (2) block sums are scanned sequentially (there are
+//! only `O(n / block)` of them), (3) each block re-scans its chunk seeded
+//! with its block offset (`Block` pattern again, via `par_chunks_mut`).
+//! All write sets are statically disjoint chunks, so the whole scan is
+//! *fearless* in the paper's spectrum: safe Rust, checked at compile time.
+
+use rayon::prelude::*;
+
+use crate::SEQ_THRESHOLD;
+
+/// Exclusive scan: returns `(prefix, total)` where
+/// `prefix[i] = op(id, data[0..i])` and `total` is the reduction of the
+/// whole slice. Equivalent to ParlayLib `parlay::scan`.
+///
+/// # Examples
+/// ```
+/// let (pre, tot) = rpb_parlay::scan_exclusive(&[1u64, 2, 3, 4], 0, |a, b| a + b);
+/// assert_eq!(pre, vec![0, 1, 3, 6]);
+/// assert_eq!(tot, 10);
+/// ```
+pub fn scan_exclusive<T, F>(data: &[T], id: T, op: F) -> (Vec<T>, T)
+where
+    T: Copy + Send + Sync,
+    F: Fn(T, T) -> T + Send + Sync,
+{
+    let mut out = data.to_vec();
+    let total = scan_inplace_exclusive(&mut out, id, op);
+    (out, total)
+}
+
+/// Inclusive scan: `out[i] = op(id, data[0..=i])`.
+pub fn scan_inclusive<T, F>(data: &[T], id: T, op: F) -> Vec<T>
+where
+    T: Copy + Send + Sync,
+    F: Fn(T, T) -> T + Send + Sync,
+{
+    let n = data.len();
+    let mut out = data.to_vec();
+    if n == 0 {
+        return out;
+    }
+    if n <= SEQ_THRESHOLD {
+        let mut acc = id;
+        for x in out.iter_mut() {
+            acc = op(acc, *x);
+            *x = acc;
+        }
+        return out;
+    }
+    let block = SEQ_THRESHOLD;
+    // Pass 1: per-block inclusive scan (disjoint chunks).
+    out.par_chunks_mut(block).for_each(|chunk| {
+        let mut acc = id;
+        for x in chunk.iter_mut() {
+            acc = op(acc, *x);
+            *x = acc;
+        }
+    });
+    // Pass 2: exclusive scan of block totals.
+    let mut offsets: Vec<T> = out.chunks(block).map(|c| *c.last().expect("non-empty chunk")).collect();
+    let mut acc = id;
+    for o in offsets.iter_mut() {
+        let next = op(acc, *o);
+        *o = acc;
+        acc = next;
+    }
+    // Pass 3: add each block's offset.
+    out.par_chunks_mut(block).zip(offsets.par_iter()).for_each(|(chunk, &off)| {
+        for x in chunk.iter_mut() {
+            *x = op(off, *x);
+        }
+    });
+    out
+}
+
+/// In-place exclusive scan; returns the total reduction.
+pub fn scan_inplace_exclusive<T, F>(data: &mut [T], id: T, op: F) -> T
+where
+    T: Copy + Send + Sync,
+    F: Fn(T, T) -> T + Send + Sync,
+{
+    let n = data.len();
+    if n == 0 {
+        return id;
+    }
+    if n <= SEQ_THRESHOLD {
+        let mut acc = id;
+        for x in data.iter_mut() {
+            let next = op(acc, *x);
+            *x = acc;
+            acc = next;
+        }
+        return acc;
+    }
+    let block = SEQ_THRESHOLD;
+    // Pass 1: block totals.
+    let mut offsets: Vec<T> = data
+        .par_chunks(block)
+        .map(|chunk| {
+            let mut acc = id;
+            for x in chunk {
+                acc = op(acc, *x);
+            }
+            acc
+        })
+        .collect();
+    // Pass 2: sequential exclusive scan of the totals.
+    let mut acc = id;
+    for o in offsets.iter_mut() {
+        let next = op(acc, *o);
+        *o = acc;
+        acc = next;
+    }
+    let total = acc;
+    // Pass 3: per-block exclusive scan seeded with the block offset.
+    data.par_chunks_mut(block).zip(offsets.par_iter()).for_each(|(chunk, &off)| {
+        let mut acc = off;
+        for x in chunk.iter_mut() {
+            let next = op(acc, *x);
+            *x = acc;
+            acc = next;
+        }
+    });
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq_exclusive(data: &[u64]) -> (Vec<u64>, u64) {
+        let mut acc = 0u64;
+        let mut out = Vec::with_capacity(data.len());
+        for &x in data {
+            out.push(acc);
+            acc += x;
+        }
+        (out, acc)
+    }
+
+    #[test]
+    fn exclusive_small() {
+        let v = [5u64, 1, 4];
+        let (pre, tot) = scan_exclusive(&v, 0, |a, b| a + b);
+        assert_eq!(pre, vec![0, 5, 6]);
+        assert_eq!(tot, 10);
+    }
+
+    #[test]
+    fn exclusive_empty() {
+        let v: [u64; 0] = [];
+        let (pre, tot) = scan_exclusive(&v, 0, |a, b| a + b);
+        assert!(pre.is_empty());
+        assert_eq!(tot, 0);
+    }
+
+    #[test]
+    fn exclusive_crosses_block_boundary() {
+        let v: Vec<u64> = (0..3 * SEQ_THRESHOLD as u64 + 17).map(|i| i % 7).collect();
+        let (pre, tot) = scan_exclusive(&v, 0, |a, b| a + b);
+        let (spre, stot) = seq_exclusive(&v);
+        assert_eq!(pre, spre);
+        assert_eq!(tot, stot);
+    }
+
+    #[test]
+    fn inclusive_matches_sequential() {
+        let v: Vec<u64> = (0..2 * SEQ_THRESHOLD as u64 + 5).map(|i| i % 11).collect();
+        let got = scan_inclusive(&v, 0, |a, b| a + b);
+        let mut acc = 0;
+        let want: Vec<u64> = v
+            .iter()
+            .map(|&x| {
+                acc += x;
+                acc
+            })
+            .collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn inclusive_exactly_one_block() {
+        let v: Vec<u64> = vec![1; SEQ_THRESHOLD];
+        let got = scan_inclusive(&v, 0, |a, b| a + b);
+        assert_eq!(got.last(), Some(&(SEQ_THRESHOLD as u64)));
+    }
+
+    #[test]
+    fn scan_with_max_monoid() {
+        let v = vec![3u64, 1, 7, 2, 9, 4];
+        let got = scan_inclusive(&v, 0, |a, b| a.max(b));
+        assert_eq!(got, vec![3, 3, 7, 7, 9, 9]);
+    }
+
+    #[test]
+    fn inplace_returns_total() {
+        let mut v: Vec<u64> = (1..=100).collect();
+        let tot = scan_inplace_exclusive(&mut v, 0, |a, b| a + b);
+        assert_eq!(tot, 5050);
+        assert_eq!(v[0], 0);
+        assert_eq!(v[99], 5050 - 100);
+    }
+}

@@ -1,0 +1,120 @@
+//! PBBS-style input generators (`sequenceData` equivalents).
+//!
+//! The suite's `sort`, `isort`, `dedup`, and `hist` benchmarks run on the
+//! same distributions PBBS ships: uniform random, exponentially distributed
+//! (the paper's `exponential` input), and Zipf-skewed values. All
+//! generators are counter-based (pure functions of `(seed, i)`), so they
+//! parallelize as `Stride` writes and are fully deterministic.
+
+use rayon::prelude::*;
+
+use crate::random::Random;
+
+/// `n` uniform values in `[0, range)`.
+pub fn uniform_u64(n: usize, range: u64, seed: u64) -> Vec<u64> {
+    let r = Random::new(seed);
+    (0..n).into_par_iter().map(|i| r.ith_rand_bounded(i as u64, range.max(1))).collect()
+}
+
+/// `n` values with an exponential distribution over `[0, range)` —
+/// PBBS `almostSorted`-adjacent `exponential` input: value
+/// `floor(-ln(u) * range / lambda_scale)` clamped to the range. Small keys
+/// are much more frequent, giving the skewed histogram/dedup workloads the
+/// paper uses.
+pub fn exponential_u64(n: usize, range: u64, seed: u64) -> Vec<u64> {
+    let r = Random::new(seed);
+    let range = range.max(1);
+    // Mean at range/8 like PBBS's exponential generator.
+    let scale = range as f64 / 8.0;
+    (0..n)
+        .into_par_iter()
+        .map(|i| {
+            let u = r.ith_rand_f64(i as u64).max(1e-18);
+            let v = (-u.ln() * scale) as u64;
+            v.min(range - 1)
+        })
+        .collect()
+}
+
+/// `n` Zipf(θ)-distributed values over `[0, range)` via inverse-CDF
+/// approximation (bounded rejection-free power law).
+pub fn zipf_u64(n: usize, range: u64, theta: f64, seed: u64) -> Vec<u64> {
+    let r = Random::new(seed);
+    let range = range.max(1);
+    let exp = 1.0 / (1.0 - theta);
+    (0..n)
+        .into_par_iter()
+        .map(|i| {
+            let u = r.ith_rand_f64(i as u64).max(1e-18);
+            let v = ((range as f64) * u.powf(exp)) as u64;
+            v.min(range - 1)
+        })
+        .collect()
+}
+
+/// `n` pairs `(key, i)` with exponentially distributed keys; used by the
+/// paper's `hist` benchmark with "large structs".
+pub fn exponential_pairs(n: usize, range: u64, seed: u64) -> Vec<(u64, u64)> {
+    exponential_u64(n, range, seed).into_par_iter().enumerate().map(|(i, k)| (k, i as u64)).collect()
+}
+
+/// A random permutation of `0..n` (Durstenfeld shuffle, sequential but
+/// O(n); used only at input-generation time).
+pub fn random_permutation(n: usize, seed: u64) -> Vec<usize> {
+    let mut perm: Vec<usize> = (0..n).collect();
+    let mut rng = crate::random::SeqRng::new(seed);
+    for i in (1..n).rev() {
+        let j = rng.next_bounded(i as u64 + 1) as usize;
+        perm.swap(i, j);
+    }
+    perm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_in_range_and_deterministic() {
+        let a = uniform_u64(10_000, 1000, 7);
+        let b = uniform_u64(10_000, 1000, 7);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|&x| x < 1000));
+    }
+
+    #[test]
+    fn exponential_is_skewed_low() {
+        let v = exponential_u64(100_000, 1_000_000, 1);
+        assert!(v.iter().all(|&x| x < 1_000_000));
+        let below_eighth = v.iter().filter(|&&x| x < 125_000).count();
+        // Exponential with mean range/8: well over half below the mean.
+        assert!(below_eighth > 50_000, "not skewed: {below_eighth}");
+    }
+
+    #[test]
+    fn zipf_mass_concentrates_at_zero() {
+        let v = zipf_u64(100_000, 1_000_000, 0.75, 1);
+        assert!(v.iter().all(|&x| x < 1_000_000));
+        let tiny = v.iter().filter(|&&x| x < 1000).count();
+        let uniform_expectation = 100;
+        assert!(tiny > 10 * uniform_expectation, "not zipf-skewed: {tiny}");
+    }
+
+    #[test]
+    fn permutation_is_a_permutation() {
+        let p = random_permutation(10_000, 3);
+        let mut seen = vec![false; 10_000];
+        for &x in &p {
+            assert!(!seen[x], "duplicate {x}");
+            seen[x] = true;
+        }
+    }
+
+    #[test]
+    fn pairs_carry_index() {
+        let v = exponential_pairs(1000, 100, 1);
+        for (i, &(_, idx)) in v.iter().enumerate() {
+            assert_eq!(idx, i as u64);
+        }
+    }
+}

@@ -1,0 +1,103 @@
+//! Chunking and slicing helpers shared across the suite.
+
+/// Computes the block size that divides `n` elements into approximately
+/// `pieces` equally sized blocks (at least 1 element each).
+#[inline]
+pub fn block_size_for(n: usize, pieces: usize) -> usize {
+    n.div_ceil(pieces.max(1)).max(1)
+}
+
+/// The half-open index range of block `b` when a length-`n` slice is split
+/// into blocks of `block_size`.
+#[inline]
+pub fn block_range(n: usize, block_size: usize, b: usize) -> std::ops::Range<usize> {
+    let start = b * block_size;
+    let end = (start + block_size).min(n);
+    start..end
+}
+
+/// Splits a mutable slice into exactly `pieces` contiguous chunks (the last
+/// chunks may be empty when `pieces > len`). Useful for per-thread local
+/// state that must be indexable by thread id.
+pub fn split_evenly_mut<T>(slice: &mut [T], pieces: usize) -> Vec<&mut [T]> {
+    let n = slice.len();
+    let bs = block_size_for(n, pieces);
+    let mut out = Vec::with_capacity(pieces);
+    let mut rest = slice;
+    for _ in 0..pieces {
+        let take = bs.min(rest.len());
+        let (head, tail) = rest.split_at_mut(take);
+        out.push(head);
+        rest = tail;
+    }
+    out
+}
+
+/// Verifies that `offsets` is monotonically non-decreasing and bounded by
+/// `len`, i.e. it describes valid contiguous chunks of a length-`len` slice.
+/// Returns the index of the first violation, if any.
+pub fn check_monotone(offsets: &[usize], len: usize) -> Option<usize> {
+    for i in 0..offsets.len() {
+        if offsets[i] > len {
+            return Some(i);
+        }
+        if i > 0 && offsets[i] < offsets[i - 1] {
+            return Some(i);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_size_divides() {
+        assert_eq!(block_size_for(10, 3), 4);
+        assert_eq!(block_size_for(0, 3), 1);
+        assert_eq!(block_size_for(9, 3), 3);
+    }
+
+    #[test]
+    fn block_ranges_cover() {
+        let n = 10;
+        let bs = block_size_for(n, 3);
+        let covered: Vec<usize> =
+            (0..super::super::num_blocks(n, bs)).flat_map(|b| block_range(n, bs, b)).collect();
+        assert_eq!(covered, (0..n).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn split_evenly_counts() {
+        let mut v: Vec<u32> = (0..10).collect();
+        let parts = split_evenly_mut(&mut v, 4);
+        assert_eq!(parts.len(), 4);
+        let total: usize = parts.iter().map(|p| p.len()).sum();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn split_more_pieces_than_elements() {
+        let mut v = [1, 2];
+        let parts = split_evenly_mut(&mut v, 5);
+        assert_eq!(parts.len(), 5);
+        assert_eq!(parts.iter().map(|p| p.len()).sum::<usize>(), 2);
+    }
+
+    #[test]
+    fn monotone_check_accepts_valid() {
+        assert_eq!(check_monotone(&[0, 3, 3, 7, 10], 10), None);
+        assert_eq!(check_monotone(&[], 0), None);
+    }
+
+    #[test]
+    fn monotone_check_rejects_decreasing() {
+        assert_eq!(check_monotone(&[0, 5, 4], 10), Some(2));
+    }
+
+    #[test]
+    fn monotone_check_rejects_out_of_bounds() {
+        assert_eq!(check_monotone(&[0, 11], 10), Some(1));
+    }
+}

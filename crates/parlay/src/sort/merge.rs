@@ -1,0 +1,167 @@
+//! Divide-and-conquer merge sort — the paper's Listing 9, with a parallel
+//! merge (dual binary search) so both the divide and the combine steps are
+//! `D&C` pattern work.
+//!
+//! This is the fearless end of the spectrum: `split_at_mut` gives the two
+//! recursive calls disjoint mutable borrows, and `rayon::join` runs them in
+//! parallel with lifetimes rustc fully verifies.
+
+use rayon::join;
+
+/// Below this size recursion goes sequential (paper Listing 9 `Threshold`).
+const SEQ_CUTOFF: usize = 1 << 13;
+/// Below this size, merges are done sequentially.
+const MERGE_CUTOFF: usize = 1 << 13;
+
+/// Stable parallel merge sort.
+///
+/// # Examples
+/// ```
+/// let mut v = vec![9, 7, 8, 1];
+/// rpb_parlay::merge_sort(&mut v, |a, b| a.cmp(b));
+/// assert_eq!(v, vec![1, 7, 8, 9]);
+/// ```
+pub fn merge_sort<T, F>(data: &mut [T], cmp: F)
+where
+    T: Copy + Send + Sync,
+    F: Fn(&T, &T) -> std::cmp::Ordering + Send + Sync + Copy,
+{
+    let n = data.len();
+    if n <= 1 {
+        return;
+    }
+    let mut buf = data.to_vec();
+    sort_rec(data, &mut buf, cmp);
+}
+
+/// Recursive sort of `data` using `buf` as scratch.
+fn sort_rec<T, F>(data: &mut [T], buf: &mut [T], cmp: F)
+where
+    T: Copy + Send + Sync,
+    F: Fn(&T, &T) -> std::cmp::Ordering + Send + Sync + Copy,
+{
+    let n = data.len();
+    if n <= SEQ_CUTOFF {
+        data.sort_by(cmp);
+        return;
+    }
+    let mid = n / 2;
+    let (l, r) = data.split_at_mut(mid);
+    let (lb, rb) = buf.split_at_mut(mid);
+    join(|| sort_rec(l, lb, cmp), || sort_rec(r, rb, cmp));
+    // Merge l and r into buf, then copy back.
+    par_merge_into(l, r, buf, cmp);
+    data.copy_from_slice(buf);
+}
+
+/// Merges sorted `a` and `b` into `out` (len == a.len()+b.len()) in
+/// parallel by splitting at the median of the combined sequence.
+pub fn par_merge_into<T, F>(a: &[T], b: &[T], out: &mut [T], cmp: F)
+where
+    T: Copy + Send + Sync,
+    F: Fn(&T, &T) -> std::cmp::Ordering + Send + Sync + Copy,
+{
+    assert_eq!(a.len() + b.len(), out.len(), "merge output size mismatch");
+    if out.len() <= MERGE_CUTOFF {
+        seq_merge(a, b, out, cmp);
+        return;
+    }
+    // Pick the larger side's midpoint; binary-search its counterpart so the
+    // two halves of `out` receive statically disjoint element ranges.
+    if a.len() >= b.len() {
+        let am = a.len() / 2;
+        // First index in b not less than a[am] keeps the merge stable.
+        let bm = b.partition_point(|x| cmp(x, &a[am]) == std::cmp::Ordering::Less);
+        let (out_l, out_r) = out.split_at_mut(am + bm);
+        join(
+            || par_merge_into(&a[..am], &b[..bm], out_l, cmp),
+            || par_merge_into(&a[am..], &b[bm..], out_r, cmp),
+        );
+    } else {
+        let bm = b.len() / 2;
+        // Elements of a strictly less than or equal keep left-priority: a's
+        // equal elements must precede b's for stability.
+        let am = a.partition_point(|x| cmp(x, &b[bm]) != std::cmp::Ordering::Greater);
+        let (out_l, out_r) = out.split_at_mut(am + bm);
+        join(
+            || par_merge_into(&a[..am], &b[..bm], out_l, cmp),
+            || par_merge_into(&a[am..], &b[bm..], out_r, cmp),
+        );
+    }
+}
+
+fn seq_merge<T, F>(a: &[T], b: &[T], out: &mut [T], cmp: F)
+where
+    T: Copy,
+    F: Fn(&T, &T) -> std::cmp::Ordering + Copy,
+{
+    let (mut i, mut j) = (0, 0);
+    for slot in out.iter_mut() {
+        if i < a.len()
+            && (j >= b.len() || cmp(&a[i], &b[j]) != std::cmp::Ordering::Greater)
+        {
+            *slot = a[i];
+            i += 1;
+        } else {
+            *slot = b[j];
+            j += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::random::hash64;
+
+    #[test]
+    fn sorts_random() {
+        let mut v: Vec<u64> = (0..100_000).map(hash64).collect();
+        let mut want = v.clone();
+        want.sort_unstable();
+        merge_sort(&mut v, |a, b| a.cmp(b));
+        assert_eq!(v, want);
+    }
+
+    #[test]
+    fn is_stable() {
+        let n = 80_000usize;
+        let mut v: Vec<(u64, usize)> = (0..n).map(|i| (hash64(i as u64) % 32, i)).collect();
+        merge_sort(&mut v, |a, b| a.0.cmp(&b.0));
+        for w in v.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+            if w[0].0 == w[1].0 {
+                assert!(w[0].1 < w[1].1, "stability violated at keys {}", w[0].0);
+            }
+        }
+    }
+
+    #[test]
+    fn merge_two_sorted_runs() {
+        let a: Vec<u64> = (0..40_000).map(|i| i * 2).collect();
+        let b: Vec<u64> = (0..40_000).map(|i| i * 2 + 1).collect();
+        let mut out = vec![0u64; 80_000];
+        par_merge_into(&a, &b, &mut out, |a, b| a.cmp(b));
+        assert!(out.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(out[0], 0);
+        assert_eq!(out[79_999], 79_999);
+    }
+
+    #[test]
+    fn merge_skewed_sizes() {
+        let a: Vec<u64> = vec![50_000];
+        let b: Vec<u64> = (0..30_000).collect();
+        let mut out = vec![0u64; 30_001];
+        par_merge_into(&a, &b, &mut out, |a, b| a.cmp(b));
+        assert!(out.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn empty_and_tiny() {
+        let mut v: Vec<u32> = vec![];
+        merge_sort(&mut v, |a, b| a.cmp(b));
+        let mut v = vec![1u32];
+        merge_sort(&mut v, |a, b| a.cmp(b));
+        assert_eq!(v, vec![1]);
+    }
+}

@@ -1,0 +1,15 @@
+//! Parallel sorting algorithms used across the suite.
+//!
+//! * [`radix`] — stable LSD radix sort (the `isort` benchmark's engine and
+//!   the workhorse behind the suffix-array construction),
+//! * [`sample`] — sample sort (the `sort` benchmark, PBBS's comparison
+//!   sort of choice),
+//! * [`merge`] — divide-and-conquer merge sort (the paper's Listing 9).
+
+pub mod merge;
+pub mod radix;
+pub mod sample;
+
+pub use merge::merge_sort;
+pub use radix::{radix_sort_by_key, radix_sort_u32, radix_sort_u64};
+pub use sample::sample_sort;

@@ -1,0 +1,206 @@
+//! Stable LSD radix sort over 8-bit digits.
+//!
+//! This is the classic PBBS blocked counting sort applied digit by digit:
+//! per-block histograms (`Block` pattern), a column-major exclusive scan of
+//! the histogram matrix, then a scatter where every (block, digit) pair owns
+//! a contiguous, provably disjoint destination range. The scatter is the
+//! `SngInd` pattern of the paper — destinations are data-dependent — but the
+//! scan establishes disjointness, so the interior-unsafe write is sound;
+//! it is encapsulated here the same way Rayon encapsulates `collect`.
+
+use rayon::prelude::*;
+
+use crate::scan::scan_inplace_exclusive;
+use crate::sendptr::SendPtr;
+
+const RADIX_BITS: u32 = 8;
+const BUCKETS: usize = 1 << RADIX_BITS;
+/// Sequential cutoff: below this a comparison sort is faster and simpler.
+const SEQ_CUTOFF: usize = 1 << 14;
+
+/// Stable parallel radix sort of `data` by `key(x)`, using the low
+/// `key_bits` bits of the key.
+///
+/// `key_bits` lets callers skip passes over known-zero digits (e.g. ranks
+/// bounded by `n` in suffix-array construction).
+///
+/// # Examples
+/// ```
+/// let mut v = vec![30u64, 1, 20, 3];
+/// rpb_parlay::radix_sort_by_key(&mut v, 64, |&x| x);
+/// assert_eq!(v, vec![1, 3, 20, 30]);
+/// ```
+pub fn radix_sort_by_key<T, F>(data: &mut [T], key_bits: u32, key: F)
+where
+    T: Copy + Send + Sync,
+    F: Fn(&T) -> u64 + Send + Sync,
+{
+    let n = data.len();
+    if n <= 1 {
+        return;
+    }
+    if n < SEQ_CUTOFF {
+        data.sort_by_key(|x| key(x));
+        return;
+    }
+    let passes = key_bits.div_ceil(RADIX_BITS).max(1);
+    let mut buf: Vec<T> = Vec::with_capacity(n);
+    // SAFETY: `buf` is used strictly as a scatter target; every pass writes
+    // all `n` slots before they are read (counting sort is a permutation).
+    #[allow(clippy::uninit_vec)]
+    unsafe {
+        buf.set_len(n)
+    };
+    let mut src_is_data = true;
+    for pass in 0..passes {
+        let shift = pass * RADIX_BITS;
+        if src_is_data {
+            counting_sort_pass(data, &mut buf, shift, &key);
+        } else {
+            counting_sort_pass(&buf, data, shift, &key);
+        }
+        src_is_data = !src_is_data;
+    }
+    if !src_is_data {
+        data.copy_from_slice(&buf);
+    }
+}
+
+/// One stable counting-sort pass on digit `shift..shift+8`.
+fn counting_sort_pass<T, F>(src: &[T], dst: &mut [T], shift: u32, key: &F)
+where
+    T: Copy + Send + Sync,
+    F: Fn(&T) -> u64 + Send + Sync,
+{
+    let n = src.len();
+    let nblocks = rayon::current_num_threads().max(1) * 4;
+    let block = n.div_ceil(nblocks).max(1);
+    let nblocks = n.div_ceil(block);
+    // Per-block digit histograms.
+    let mut counts: Vec<usize> = src
+        .par_chunks(block)
+        .flat_map_iter(|chunk| {
+            let mut hist = vec![0usize; BUCKETS];
+            for x in chunk {
+                hist[((key(x) >> shift) & (BUCKETS as u64 - 1)) as usize] += 1;
+            }
+            hist.into_iter()
+        })
+        .collect();
+    debug_assert_eq!(counts.len(), nblocks * BUCKETS);
+    // Column-major exclusive scan: offset of (digit d, block b) is the count
+    // of all smaller digits plus the same digit in earlier blocks — that
+    // ordering is what makes the sort stable.
+    let mut transposed = vec![0usize; nblocks * BUCKETS];
+    for b in 0..nblocks {
+        for d in 0..BUCKETS {
+            transposed[d * nblocks + b] = counts[b * BUCKETS + d];
+        }
+    }
+    scan_inplace_exclusive(&mut transposed, 0, |a, b| a + b);
+    for b in 0..nblocks {
+        for d in 0..BUCKETS {
+            counts[b * BUCKETS + d] = transposed[d * nblocks + b];
+        }
+    }
+    // Scatter: block b writes each element to its digit's running offset.
+    // Destination ranges per (block, digit) are disjoint by the scan.
+    let dst_ptr = SendPtr::new(dst.as_mut_ptr());
+    src.par_chunks(block).enumerate().for_each(|(b, chunk)| {
+        let mut offs: [usize; BUCKETS] = [0; BUCKETS];
+        offs.copy_from_slice(&counts[b * BUCKETS..(b + 1) * BUCKETS]);
+        for &x in chunk {
+            let d = ((key(&x) >> shift) & (BUCKETS as u64 - 1)) as usize;
+            // SAFETY: offs[d] walks the half-open range owned exclusively by
+            // (block b, digit d); ranges partition 0..n.
+            unsafe { dst_ptr.write(offs[d], x) };
+            offs[d] += 1;
+        }
+    });
+}
+
+/// Sorts `u64` values ascending.
+pub fn radix_sort_u64(data: &mut [u64]) {
+    radix_sort_by_key(data, 64, |&x| x);
+}
+
+/// Sorts `u32` values ascending (only 4 digit passes).
+pub fn radix_sort_u32(data: &mut [u32]) {
+    radix_sort_by_key(data, 32, |&x| x as u64);
+}
+
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::random::hash64;
+
+    #[test]
+    fn sorts_small() {
+        let mut v = vec![5u64, 3, 9, 1, 1, 0];
+        radix_sort_u64(&mut v);
+        assert_eq!(v, vec![0, 1, 1, 3, 5, 9]);
+    }
+
+    #[test]
+    fn sorts_large_random() {
+        let mut v: Vec<u64> = (0..200_000).map(hash64).collect();
+        let mut want = v.clone();
+        want.sort_unstable();
+        radix_sort_u64(&mut v);
+        assert_eq!(v, want);
+    }
+
+    #[test]
+    fn sorts_u32() {
+        let mut v: Vec<u32> = (0..100_000).map(|i| hash64(i) as u32).collect();
+        let mut want = v.clone();
+        want.sort_unstable();
+        radix_sort_u32(&mut v);
+        assert_eq!(v, want);
+    }
+
+    #[test]
+    fn is_stable_on_pairs() {
+        // Sort (key, original_index) pairs by key only; equal keys must keep
+        // index order.
+        let n = 100_000usize;
+        let mut v: Vec<(u64, usize)> = (0..n).map(|i| (hash64(i as u64) % 64, i)).collect();
+        radix_sort_by_key(&mut v, 6, |p| p.0);
+        for w in v.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+            if w[0].0 == w[1].0 {
+                assert!(w[0].1 < w[1].1, "stability violated");
+            }
+        }
+    }
+
+    #[test]
+    fn respects_key_bits() {
+        // Keys < 2^16: only 2 passes should still fully sort.
+        let mut v: Vec<u64> = (0..100_000).map(|i| hash64(i) & 0xFFFF).collect();
+        let mut want = v.clone();
+        want.sort_unstable();
+        radix_sort_by_key(&mut v, 16, |&x| x);
+        assert_eq!(v, want);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let mut v: Vec<u64> = vec![];
+        radix_sort_u64(&mut v);
+        let mut v = vec![42u64];
+        radix_sort_u64(&mut v);
+        assert_eq!(v, vec![42]);
+    }
+
+    #[test]
+    fn already_sorted_and_reversed() {
+        let mut v: Vec<u64> = (0..50_000).collect();
+        radix_sort_u64(&mut v);
+        assert!(v.windows(2).all(|w| w[0] <= w[1]));
+        let mut v: Vec<u64> = (0..50_000).rev().collect();
+        radix_sort_u64(&mut v);
+        assert!(v.windows(2).all(|w| w[0] <= w[1]));
+    }
+}

@@ -1,0 +1,176 @@
+//! Parallel sample sort — the `sort` benchmark of RPB.
+//!
+//! PBBS's comparison sort: take an oversampled random sample, sort it, pick
+//! evenly spaced pivots, classify every element into a bucket (read-only),
+//! scatter elements into bucket-contiguous positions (destinations derived
+//! from a scan of per-block bucket counts), then sort each bucket in
+//! parallel. The bucket boundaries are exactly the `RngInd` pattern the
+//! paper studies: contiguous chunks whose offsets come from run-time data,
+//! made safe because scan output is monotone by construction.
+
+use rayon::prelude::*;
+
+use crate::random::Random;
+use crate::scan::scan_inplace_exclusive;
+use crate::sendptr::SendPtr;
+
+/// Below this size, delegate to the standard library's sequential sort.
+const SEQ_CUTOFF: usize = 1 << 14;
+/// Oversampling factor for pivot selection.
+const OVERSAMPLE: usize = 8;
+
+/// Sorts `data` with a parallel sample sort. Not stable.
+///
+/// # Examples
+/// ```
+/// let mut v = vec![3, 1, 4, 1, 5, 9, 2, 6];
+/// rpb_parlay::sample_sort(&mut v, |a, b| a.cmp(b));
+/// assert_eq!(v, vec![1, 1, 2, 3, 4, 5, 6, 9]);
+/// ```
+pub fn sample_sort<T, F>(data: &mut [T], cmp: F)
+where
+    T: Copy + Send + Sync,
+    F: Fn(&T, &T) -> std::cmp::Ordering + Send + Sync,
+{
+    let n = data.len();
+    if n < SEQ_CUTOFF {
+        data.sort_unstable_by(&cmp);
+        return;
+    }
+    let nbuckets = ((n as f64).sqrt() / 8.0).ceil() as usize;
+    let nbuckets = nbuckets.clamp(2, 1024);
+    // 1. Sample and pick pivots.
+    let r = Random::new(0xD1CE);
+    let mut sample: Vec<T> = (0..nbuckets * OVERSAMPLE)
+        .map(|i| data[(r.ith_rand(i as u64) % n as u64) as usize])
+        .collect();
+    sample.sort_unstable_by(&cmp);
+    let pivots: Vec<T> = (1..nbuckets).map(|i| sample[i * OVERSAMPLE]).collect();
+
+    // 2. Classify each element (read-only over data + pivots).
+    let bucket_of = |x: &T| -> usize {
+        // partition_point: first pivot greater than x.
+        pivots.partition_point(|p| cmp(p, x) != std::cmp::Ordering::Greater)
+    };
+    let nblocks = rayon::current_num_threads().max(1) * 4;
+    let block = n.div_ceil(nblocks).max(1);
+    let nblocks = n.div_ceil(block);
+    let ids: Vec<u32> = data.par_iter().map(|x| bucket_of(x) as u32).collect();
+
+    // 3. Per-block bucket counts, column-major scan for stability-style
+    //    disjoint destination ranges.
+    let mut counts: Vec<usize> = ids
+        .par_chunks(block)
+        .flat_map_iter(|chunk| {
+            let mut hist = vec![0usize; nbuckets];
+            for &b in chunk {
+                hist[b as usize] += 1;
+            }
+            hist.into_iter()
+        })
+        .collect();
+    let mut transposed = vec![0usize; nblocks * nbuckets];
+    for b in 0..nblocks {
+        for d in 0..nbuckets {
+            transposed[d * nblocks + b] = counts[b * nbuckets + d];
+        }
+    }
+    scan_inplace_exclusive(&mut transposed, 0, |a, b| a + b);
+    // Bucket start offsets (for step 5) before folding back.
+    let bucket_starts: Vec<usize> = (0..nbuckets).map(|d| transposed[d * nblocks]).collect();
+    for b in 0..nblocks {
+        for d in 0..nbuckets {
+            counts[b * nbuckets + d] = transposed[d * nblocks + b];
+        }
+    }
+
+    // 4. Scatter into a buffer; (block, bucket) ranges are disjoint.
+    let mut buf: Vec<T> = Vec::with_capacity(n);
+    {
+        let buf_ptr = SendPtr::new(buf.as_mut_ptr());
+        data.par_chunks(block).zip(ids.par_chunks(block)).enumerate().for_each(
+            |(b, (chunk, id_chunk))| {
+                let mut offs = counts[b * nbuckets..(b + 1) * nbuckets].to_vec();
+                for (&x, &d) in chunk.iter().zip(id_chunk) {
+                    // SAFETY: offs[d] walks the disjoint range owned by
+                    // (block b, bucket d); the scan partitions 0..n.
+                    unsafe { buf_ptr.write(offs[d as usize], x) };
+                    offs[d as usize] += 1;
+                }
+            },
+        );
+    }
+    // SAFETY: the scatter wrote all n slots exactly once.
+    unsafe { buf.set_len(n) };
+
+    // 5. Sort each bucket in parallel and copy back (Block-on-RngInd: the
+    //    chunk list comes from bucket_starts, monotone by construction).
+    let mut slices: Vec<&mut [T]> = Vec::with_capacity(nbuckets);
+    {
+        let mut rest: &mut [T] = &mut buf;
+        let mut prev = 0usize;
+        for d in 1..=nbuckets {
+            let end = if d == nbuckets { n } else { bucket_starts[d] };
+            let (head, tail) = rest.split_at_mut(end - prev);
+            slices.push(head);
+            rest = tail;
+            prev = end;
+        }
+    }
+    slices.into_par_iter().for_each(|s| s.sort_unstable_by(&cmp));
+    data.copy_from_slice(&buf);
+}
+
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::random::hash64;
+
+    #[test]
+    fn sorts_random_u64() {
+        let mut v: Vec<u64> = (0..100_000).map(hash64).collect();
+        let mut want = v.clone();
+        want.sort_unstable();
+        sample_sort(&mut v, |a, b| a.cmp(b));
+        assert_eq!(v, want);
+    }
+
+    #[test]
+    fn sorts_with_duplicates() {
+        let mut v: Vec<u64> = (0..100_000).map(|i| hash64(i) % 10).collect();
+        let mut want = v.clone();
+        want.sort_unstable();
+        sample_sort(&mut v, |a, b| a.cmp(b));
+        assert_eq!(v, want);
+    }
+
+    #[test]
+    fn sorts_all_equal() {
+        let mut v = vec![7u64; 50_000];
+        sample_sort(&mut v, |a, b| a.cmp(b));
+        assert!(v.iter().all(|&x| x == 7));
+    }
+
+    #[test]
+    fn sorts_descending_comparator() {
+        let mut v: Vec<u64> = (0..50_000).map(hash64).collect();
+        sample_sort(&mut v, |a, b| b.cmp(a));
+        assert!(v.windows(2).all(|w| w[0] >= w[1]));
+    }
+
+    #[test]
+    fn small_input_falls_back() {
+        let mut v = vec![2u8, 1];
+        sample_sort(&mut v, |a, b| a.cmp(b));
+        assert_eq!(v, vec![1, 2]);
+    }
+
+    #[test]
+    fn sorts_floats_by_total_order() {
+        let mut v: Vec<f64> =
+            (0..60_000).map(|i| (hash64(i) % 1000) as f64 - 500.0).collect();
+        sample_sort(&mut v, |a, b| a.partial_cmp(b).expect("no NaN"));
+        assert!(v.windows(2).all(|w| w[0] <= w[1]));
+    }
+}

@@ -1,0 +1,80 @@
+//! `bfs` — breadth-first search over a MultiQueue (Table 1 row 13).
+//!
+//! The paper's dynamic-dispatch benchmark: long-running worker threads
+//! pop `(distance, vertex)` tasks from the MultiQueue, relax the vertex's
+//! neighbours with a `write_min` priority update on the shared distance
+//! array (`AW`), and push improved vertices back. The MQ's relaxed order
+//! makes this label-correcting: a vertex may be popped multiple times
+//! with stale distances, which the `dist` check discards — correctness
+//! does not depend on pop order, only termination speed does.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use rpb_concurrent::write_min_u64;
+use rpb_fearless::ExecMode;
+use rpb_graph::Graph;
+use rpb_multiqueue::execute;
+
+/// Unreachable marker.
+pub const INF: u64 = u64::MAX;
+
+/// Parallel MQ-driven BFS hop distances from `src`.
+///
+/// `threads` worker threads drive a MultiQueue with `2 × threads` internal
+/// queues (the paper's configuration family).
+pub fn run_par(g: &Graph, src: usize, threads: usize, _mode: ExecMode) -> Vec<u64> {
+    let n = g.num_vertices();
+    let dist: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(INF)).collect();
+    dist[src].store(0, Ordering::Relaxed);
+    execute(threads, 2 * threads.max(1), vec![(0u64, src as u32)], |d, v, h| {
+        let v = v as usize;
+        // Stale task: a better distance already settled.
+        if d > dist[v].load(Ordering::Relaxed) {
+            return;
+        }
+        for &w in g.neighbors(v) {
+            let nd = d + 1;
+            if write_min_u64(&dist[w as usize], nd) {
+                h.push(nd, w);
+            }
+        }
+    });
+    dist.into_iter().map(|d| d.into_inner()).collect()
+}
+
+/// Sequential queue BFS baseline.
+pub fn run_seq(g: &Graph, src: usize) -> Vec<u64> {
+    rpb_graph::seq::bfs(g, src)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inputs;
+    use rpb_graph::GraphKind;
+
+    #[test]
+    fn matches_sequential_bfs() {
+        for kind in [GraphKind::Link, GraphKind::Road] {
+            let g = inputs::graph(kind, 2000);
+            let want = run_seq(&g, 0);
+            for threads in [1, 4] {
+                let got = run_par(&g, 0, threads, ExecMode::Sync);
+                assert_eq!(got, want, "{kind:?} at {threads} threads");
+            }
+        }
+    }
+
+    #[test]
+    fn unreachable_stays_inf() {
+        let g = rpb_graph::Graph::undirected_from_edges(4, &[(0, 1)]);
+        let d = run_par(&g, 0, 2, ExecMode::Sync);
+        assert_eq!(d, vec![0, 1, INF, INF]);
+    }
+
+    #[test]
+    fn single_vertex() {
+        let g = rpb_graph::Graph::from_edges(1, &[]);
+        assert_eq!(run_par(&g, 0, 2, ExecMode::Sync), vec![0]);
+    }
+}

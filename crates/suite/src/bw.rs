@@ -1,0 +1,92 @@
+//! `bw` — Burrows–Wheeler decode (Table 1 row 1).
+//!
+//! Pipeline: LF mapping by blocked stable counting (`Block` + `Stride`),
+//! parallel list ranking over the LF chain (irregular reads), then the
+//! output scatter `out[m-1-rank] = bwt[row]` — a `SngInd` write through
+//! the rank permutation, expressed per the selected [`ExecMode`].
+
+use rayon::prelude::*;
+
+use rpb_fearless::{ExecMode, ParIndIterMutExt, SharedMutSlice, UniquenessCheck};
+use rpb_parlay::list_rank::{list_order, NIL};
+use rpb_text::bwt::{lf_mapping, SENTINEL};
+
+/// Parallel BWT decode in the given mode. Input must contain the sentinel
+/// byte exactly once; returns the text without sentinel.
+pub fn run_par(bwt: &[u8], mode: ExecMode) -> Vec<u8> {
+    let m = bwt.len();
+    if m <= 1 {
+        return Vec::new();
+    }
+    let lf = lf_mapping(bwt);
+    let p0 = bwt.iter().position(|&c| c == SENTINEL).expect("bw: sentinel missing");
+    let mut next = lf;
+    let back = next.par_iter().position_any(|&t| t == p0).expect("bw: malformed LF chain");
+    next[back] = NIL;
+    // order[k] = the row visited at step k; text index m-1-k.
+    let order = list_order(&next, p0);
+    assert_eq!(order.len(), m, "bw: LF chain does not cover all rows");
+    // Scatter: out[m-1-k] = bwt[order[k]]. The offsets m-1-k over k are a
+    // permutation (SngInd); we skip k = 0 (the sentinel slot).
+    let offsets: Vec<usize> = (1..m).map(|k| m - 1 - k).collect();
+    let mut out = vec![0u8; m - 1];
+    match mode {
+        ExecMode::Unsafe => {
+            let view = SharedMutSlice::new(&mut out);
+            (1..m).into_par_iter().for_each(|k| {
+                // SAFETY: m-1-k unique per k.
+                unsafe { view.write(m - 1 - k, bwt[order[k]]) };
+            });
+        }
+        ExecMode::Checked => {
+            match out.try_par_ind_iter_mut(&offsets, UniquenessCheck::MarkTable) {
+                Ok(it) => it.enumerate().for_each(|(j, slot)| *slot = bwt[order[j + 1]]),
+                Err(e) => panic!("bw scatter: {e}"),
+            }
+        }
+        ExecMode::Sync => {
+            use std::sync::atomic::{AtomicU8, Ordering};
+            // SAFETY: exclusive borrow as atomics; relaxed stores placate
+            // rustc (the paper's Listing 6(e)).
+            let atomic: &[AtomicU8] = unsafe {
+                std::slice::from_raw_parts(out.as_ptr() as *const AtomicU8, out.len())
+            };
+            (1..m).into_par_iter().for_each(|k| {
+                atomic[m - 1 - k].store(bwt[order[k]], Ordering::Relaxed);
+            });
+        }
+    }
+    out
+}
+
+/// Sequential baseline.
+pub fn run_seq(bwt: &[u8]) -> Vec<u8> {
+    rpb_text::bwt::bwt_decode_seq(bwt)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inputs;
+
+    #[test]
+    fn all_modes_round_trip() {
+        let text = inputs::wiki(30_000);
+        let bwt = rpb_text::bwt_encode(&text, ExecMode::Unsafe);
+        for mode in [ExecMode::Unsafe, ExecMode::Checked, ExecMode::Sync] {
+            assert_eq!(run_par(&bwt, mode), text, "{mode}");
+        }
+        assert_eq!(run_seq(&bwt), text);
+    }
+
+    #[test]
+    fn tiny_input() {
+        let bwt = rpb_text::bwt_encode(b"abracadabra", ExecMode::Checked);
+        assert_eq!(run_par(&bwt, ExecMode::Checked), b"abracadabra".to_vec());
+    }
+
+    #[test]
+    fn empty() {
+        assert!(run_par(&[SENTINEL], ExecMode::Checked).is_empty());
+    }
+}

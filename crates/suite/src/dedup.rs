@@ -1,0 +1,88 @@
+//! `dedup` — remove duplicates (Table 1 row 10).
+//!
+//! Two implementations matching the paper's trade-off:
+//!
+//! * hash-based ([`ExecMode::Unsafe`]/[`ExecMode::Sync`]): phase-
+//!   concurrent CAS hash set (Listing 8) — the PBBS approach; the CAS
+//!   synchronization is *necessary*, so unsafe and sync coincide,
+//! * sort-based ([`ExecMode::Checked`]): radix sort + adjacent-unique +
+//!   pack — fully safe Rust with dynamic-check-free regular patterns,
+//!   the deterministic alternative.
+//!
+//! Output order differs between strategies, so results are canonicalized
+//! (sorted) for comparison.
+
+use rayon::prelude::*;
+
+use rpb_concurrent::ConcurrentHashSet;
+use rpb_fearless::ExecMode;
+
+/// Parallel dedup; returns the distinct values, sorted ascending.
+pub fn run_par(data: &[u64], mode: ExecMode) -> Vec<u64> {
+    match mode {
+        ExecMode::Unsafe | ExecMode::Sync => {
+            if data.is_empty() {
+                return Vec::new();
+            }
+            let set = ConcurrentHashSet::with_capacity(data.len());
+            data.par_iter().for_each(|&x| {
+                set.insert(x);
+            });
+            let mut out = set.elements();
+            rpb_parlay::radix_sort_u64(&mut out);
+            out
+        }
+        ExecMode::Checked => {
+            let mut sorted = data.to_vec();
+            rpb_parlay::radix_sort_u64(&mut sorted);
+            let flags: Vec<bool> = sorted
+                .par_iter()
+                .enumerate()
+                .map(|(i, &x)| i == 0 || sorted[i - 1] != x)
+                .collect();
+            rpb_parlay::pack(&sorted, &flags)
+        }
+    }
+}
+
+/// Sequential baseline.
+pub fn run_seq(data: &[u64]) -> Vec<u64> {
+    let mut out: Vec<u64> = data.to_vec();
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inputs;
+
+    #[test]
+    fn all_modes_agree() {
+        let data = inputs::exponential(100_000);
+        let want = run_seq(&data);
+        for mode in [ExecMode::Unsafe, ExecMode::Checked, ExecMode::Sync] {
+            assert_eq!(run_par(&data, mode), want, "{mode}");
+        }
+    }
+
+    #[test]
+    fn heavy_duplication() {
+        let data: Vec<u64> = (0..50_000).map(|i| i % 17).collect();
+        let got = run_par(&data, ExecMode::Sync);
+        assert_eq!(got, (0..17).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn all_distinct() {
+        let data: Vec<u64> = (0..10_000).collect();
+        assert_eq!(run_par(&data, ExecMode::Checked).len(), 10_000);
+    }
+
+    #[test]
+    fn empty() {
+        assert!(run_par(&[], ExecMode::Checked).is_empty());
+        assert!(run_par(&[], ExecMode::Sync).is_empty());
+    }
+}

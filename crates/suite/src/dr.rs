@@ -1,0 +1,80 @@
+//! `dr` — Delaunay refinement (Table 1 row 4).
+//!
+//! Wraps [`rpb_geom`]: build the Delaunay triangulation of the Kuzmin
+//! point set, then eliminate skinny triangles with parallel
+//! reservation-coordinated circumcenter insertion. The `AW` machinery
+//! (reservations + raw views) is inherent to the algorithm, so the mode
+//! switch does not change the implementation — `dr` is one of the
+//! benchmarks for which the paper offers no checked middle ground, only
+//! "synchronization that has scared programmers for decades".
+
+use rpb_fearless::ExecMode;
+use rpb_geom::{delaunay, refine, refine_seq, Point, RefineParams, RefineStats, Triangulation};
+
+/// Output of a `dr` run.
+pub struct DrResult {
+    /// The refined mesh.
+    pub mesh: Triangulation,
+    /// Refinement statistics.
+    pub stats: RefineStats,
+}
+
+/// Default refinement parameters for the benchmark: Ruppert √2 bound
+/// with a size floor budgeting ~40 triangles per input point (the
+/// stand-in for PBBS boundary handling; see `rpb-geom` docs).
+pub fn params(points: &[Point]) -> RefineParams {
+    RefineParams::for_points(points, 40)
+}
+
+/// Parallel Delaunay refinement.
+pub fn run_par(points: &[Point], _mode: ExecMode) -> DrResult {
+    let mut mesh = delaunay(points);
+    let stats = refine(&mut mesh, params(points));
+    DrResult { mesh, stats }
+}
+
+/// Sequential baseline.
+pub fn run_seq(points: &[Point]) -> DrResult {
+    let mut mesh = delaunay(points);
+    let stats = refine_seq(&mut mesh, params(points));
+    DrResult { mesh, stats }
+}
+
+/// Verifies the refinement postcondition: structurally valid mesh and no
+/// refinable skinny triangle left behind.
+pub fn verify(points: &[Point], r: &DrResult) -> Result<(), String> {
+    r.mesh.check_valid();
+    let p = params(points);
+    if r.stats.inserted >= p.max_steiner {
+        return Err(format!("hit the Steiner cap ({})", r.stats.inserted));
+    }
+    let skinny = rpb_geom::refine::count_skinny(&r.mesh, &p);
+    if skinny > r.stats.unrefinable {
+        return Err(format!(
+            "{skinny} skinny triangles remain but only {} marked unrefinable",
+            r.stats.unrefinable
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inputs;
+
+    #[test]
+    fn par_refinement_reaches_quality() {
+        let pts = inputs::kuzmin(300);
+        let r = run_par(&pts, ExecMode::Checked);
+        verify(&pts, &r).expect("refined");
+        assert!(r.stats.inserted > 0);
+    }
+
+    #[test]
+    fn seq_refinement_reaches_quality() {
+        let pts = inputs::kuzmin(300);
+        let r = run_seq(&pts);
+        verify(&pts, &r).expect("refined");
+    }
+}

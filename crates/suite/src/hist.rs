@@ -1,0 +1,210 @@
+//! `hist` — histogram (Table 1 row 11).
+//!
+//! Counting variants matching the paper's Fig. 5(b) discussion:
+//!
+//! * [`ExecMode::Unsafe`]/[`ExecMode::Checked`] — blocked per-task local
+//!   histograms merged with a tree reduction (`Block` + `Stride`; safe,
+//!   no synchronization),
+//! * [`ExecMode::Sync`] — direct `fetch_add` on shared atomic counters:
+//!   "almost zero-cost but scary" per the paper when the bin is a word.
+//!
+//! The paper's headline Fig. 5(b) outlier is the **large-struct** bin:
+//! types without atomic support must fall back to `Mutex`es, costing ~4×.
+//! [`run_large`] reproduces that variant with a multi-word accumulator
+//! ([`LargeBin`]).
+
+use rayon::prelude::*;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+
+use rpb_fearless::ExecMode;
+
+/// Number of elements per local-histogram block.
+const BLOCK: usize = 1 << 14;
+
+/// Parallel histogram of `data` into `nbuckets` equal-width buckets over
+/// `[0, range)`.
+pub fn run_par(data: &[u64], nbuckets: usize, range: u64, mode: ExecMode) -> Vec<u64> {
+    assert!(nbuckets > 0);
+    let bucket_of = bucketer(nbuckets, range);
+    match mode {
+        ExecMode::Unsafe | ExecMode::Checked => {
+            // Per-block locals + merge: fearless safe Rust.
+            data.par_chunks(BLOCK)
+                .map(|chunk| {
+                    let mut local = vec![0u64; nbuckets];
+                    for &x in chunk {
+                        local[bucket_of(x)] += 1;
+                    }
+                    local
+                })
+                .reduce(
+                    || vec![0u64; nbuckets],
+                    |mut a, b| {
+                        for (s, x) in a.iter_mut().zip(b) {
+                            *s += x;
+                        }
+                        a
+                    },
+                )
+        }
+        ExecMode::Sync => {
+            let counts: Vec<AtomicU64> = (0..nbuckets).map(|_| AtomicU64::new(0)).collect();
+            data.par_iter().for_each(|&x| {
+                counts[bucket_of(x)].fetch_add(1, Ordering::Relaxed);
+            });
+            counts.into_iter().map(|c| c.into_inner()).collect()
+        }
+    }
+}
+
+/// Sequential baseline.
+pub fn run_seq(data: &[u64], nbuckets: usize, range: u64) -> Vec<u64> {
+    let bucket_of = bucketer(nbuckets, range);
+    let mut counts = vec![0u64; nbuckets];
+    for &x in data {
+        counts[bucket_of(x)] += 1;
+    }
+    counts
+}
+
+fn bucketer(nbuckets: usize, range: u64) -> impl Fn(u64) -> usize {
+    let width = (range / nbuckets as u64).max(1);
+    move |x: u64| ((x / width) as usize).min(nbuckets - 1)
+}
+
+/// A multi-word accumulator with no atomic equivalent — the "large
+/// structs in hist cannot use atomics, requiring Mutexes" case of
+/// Sec. 7.4.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LargeBin {
+    /// Element count.
+    pub count: u64,
+    /// Sum of values.
+    pub sum: u64,
+    /// Minimum value (`u64::MAX` when empty).
+    pub min: u64,
+    /// Maximum value.
+    pub max: u64,
+    /// Sum of squares (wrapping).
+    pub sum_sq: u64,
+}
+
+impl Default for LargeBin {
+    fn default() -> Self {
+        LargeBin { count: 0, sum: 0, min: u64::MAX, max: 0, sum_sq: 0 }
+    }
+}
+
+impl LargeBin {
+    fn add(&mut self, x: u64) {
+        self.count += 1;
+        self.sum = self.sum.wrapping_add(x);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+        self.sum_sq = self.sum_sq.wrapping_add(x.wrapping_mul(x));
+    }
+
+    fn merge(&mut self, o: &LargeBin) {
+        self.count += o.count;
+        self.sum = self.sum.wrapping_add(o.sum);
+        self.min = self.min.min(o.min);
+        self.max = self.max.max(o.max);
+        self.sum_sq = self.sum_sq.wrapping_add(o.sum_sq);
+    }
+}
+
+/// Large-struct histogram.
+///
+/// * non-`Sync` modes: per-block locals + merge,
+/// * [`ExecMode::Sync`]: one `Mutex<LargeBin>` per bucket — the 4×
+///   configuration of Fig. 5(b).
+pub fn run_large(data: &[u64], nbuckets: usize, range: u64, mode: ExecMode) -> Vec<LargeBin> {
+    assert!(nbuckets > 0);
+    let bucket_of = bucketer(nbuckets, range);
+    match mode {
+        ExecMode::Unsafe | ExecMode::Checked => data
+            .par_chunks(BLOCK)
+            .map(|chunk| {
+                let mut local = vec![LargeBin::default(); nbuckets];
+                for &x in chunk {
+                    local[bucket_of(x)].add(x);
+                }
+                local
+            })
+            .reduce(
+                || vec![LargeBin::default(); nbuckets],
+                |mut a, b| {
+                    for (s, x) in a.iter_mut().zip(&b) {
+                        s.merge(x);
+                    }
+                    a
+                },
+            ),
+        ExecMode::Sync => {
+            let bins: Vec<Mutex<LargeBin>> =
+                (0..nbuckets).map(|_| Mutex::new(LargeBin::default())).collect();
+            data.par_iter().for_each(|&x| {
+                bins[bucket_of(x)].lock().add(x);
+            });
+            bins.into_iter().map(|m| m.into_inner()).collect()
+        }
+    }
+}
+
+/// Sequential large-bin baseline.
+pub fn run_large_seq(data: &[u64], nbuckets: usize, range: u64) -> Vec<LargeBin> {
+    let bucket_of = bucketer(nbuckets, range);
+    let mut bins = vec![LargeBin::default(); nbuckets];
+    for &x in data {
+        bins[bucket_of(x)].add(x);
+    }
+    bins
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inputs;
+
+    #[test]
+    fn all_modes_match_sequential() {
+        let data = inputs::exponential(200_000);
+        let range = 200_000;
+        let want = run_seq(&data, 256, range);
+        assert_eq!(want.iter().sum::<u64>(), data.len() as u64);
+        for mode in [ExecMode::Unsafe, ExecMode::Checked, ExecMode::Sync] {
+            assert_eq!(run_par(&data, 256, range, mode), want, "{mode}");
+        }
+    }
+
+    #[test]
+    fn large_bins_match_sequential() {
+        let data = inputs::exponential(100_000);
+        let range = 100_000;
+        let want = run_large_seq(&data, 64, range);
+        for mode in [ExecMode::Unsafe, ExecMode::Checked, ExecMode::Sync] {
+            assert_eq!(run_large(&data, 64, range, mode), want, "{mode}");
+        }
+    }
+
+    #[test]
+    fn single_bucket_counts_everything() {
+        let data = vec![1u64, 2, 3];
+        assert_eq!(run_par(&data, 1, 10, ExecMode::Sync), vec![3]);
+    }
+
+    #[test]
+    fn out_of_range_values_clamp_to_last_bucket() {
+        let data = vec![999u64];
+        let h = run_par(&data, 4, 100, ExecMode::Checked);
+        assert_eq!(h[3], 1);
+    }
+
+    #[test]
+    fn empty_input() {
+        let h = run_par(&[], 8, 100, ExecMode::Unsafe);
+        assert_eq!(h, vec![0; 8]);
+    }
+}

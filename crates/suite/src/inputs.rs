@@ -1,0 +1,101 @@
+//! Named workload builders shared by tests, examples, benches, and the
+//! harness. Sizes are parameterized by a single `scale` so the harness can
+//! sweep laptop-sized versions of the paper's inputs.
+
+use rpb_fearless::ExecMode;
+use rpb_geom::Point;
+use rpb_graph::{Graph, GraphKind, WeightedGraph};
+
+/// The `wiki` stand-in text at a given byte length.
+pub fn wiki(len: usize) -> Vec<u8> {
+    rpb_text::wiki_like_text(len, 0xA11CE)
+}
+
+/// A BWT of the `wiki` text (input to the `bw` benchmark).
+pub fn wiki_bwt(len: usize) -> Vec<u8> {
+    rpb_text::bwt_encode(&wiki(len), ExecMode::Unsafe)
+}
+
+/// The `exponential` integer sequence of PBBS (`sort`/`dedup`/`hist`/
+/// `isort` input).
+pub fn exponential(n: usize) -> Vec<u64> {
+    rpb_parlay::seqdata::exponential_u64(n, n as u64, 0xE4B)
+}
+
+/// The `kuzmin` point set (`dr` input).
+pub fn kuzmin(n: usize) -> Vec<Point> {
+    rpb_geom::kuzmin_points(n, 0x4222)
+}
+
+/// An unweighted graph of the given Table 2 family.
+pub fn graph(kind: GraphKind, n: usize) -> Graph {
+    kind.build(n, 0x917A)
+}
+
+/// A weighted graph of the given family (weights `1..=255`).
+pub fn weighted_graph(kind: GraphKind, n: usize) -> WeightedGraph {
+    kind.build_weighted(n, 255, 0x917A)
+}
+
+/// The edge list of a graph family (for `mm`, `sf`).
+pub fn edges(kind: GraphKind, n: usize) -> (usize, Vec<(u32, u32)>) {
+    let g = graph(kind, n);
+    (g.num_vertices(), dedup_undirected(&g.to_edges()))
+}
+
+/// Weighted edge list (for `msf`).
+pub fn weighted_edges(kind: GraphKind, n: usize) -> (usize, Vec<(u32, u32, u32)>) {
+    let wg = weighted_graph(kind, n);
+    let mut out = Vec::with_capacity(wg.num_arcs() / 2);
+    for u in 0..wg.num_vertices() {
+        for (v, w) in wg.neighbors(u) {
+            if (u as u32) < v {
+                out.push((u as u32, v, w));
+            }
+        }
+    }
+    out.sort_unstable();
+    out.dedup();
+    (wg.num_vertices(), out)
+}
+
+/// Keeps one canonical copy (`u < v`) of each undirected arc pair, and
+/// drops self-loops.
+fn dedup_undirected(arcs: &[(u32, u32)]) -> Vec<(u32, u32)> {
+    let mut edges: Vec<(u32, u32)> = arcs
+        .iter()
+        .filter(|&&(u, v)| u != v)
+        .map(|&(u, v)| if u < v { (u, v) } else { (v, u) })
+        .collect();
+    edges.sort_unstable();
+    edges.dedup();
+    edges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edge_lists_are_canonical() {
+        let (_, es) = edges(GraphKind::Rmat, 256);
+        for w in es.windows(2) {
+            assert!(w[0] < w[1], "not sorted/deduped");
+        }
+        assert!(es.iter().all(|&(u, v)| u < v));
+    }
+
+    #[test]
+    fn builders_are_deterministic() {
+        assert_eq!(wiki(1000), wiki(1000));
+        assert_eq!(exponential(100), exponential(100));
+    }
+
+    #[test]
+    fn weighted_edges_match_graph() {
+        let (n, es) = weighted_edges(GraphKind::Road, 100);
+        assert!(n >= 100);
+        assert!(!es.is_empty());
+        assert!(es.iter().all(|&(u, v, w)| u < v && w >= 1));
+    }
+}

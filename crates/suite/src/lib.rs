@@ -1,0 +1,55 @@
+//! # rpb-suite
+//!
+//! The 14 Rust Parallel Benchmarks (RPB) of *"When Is Parallelism Fearless
+//! and Zero-Cost with Rust?"* (SPAA '24), each with switches to toggle
+//! unsafe parallel features ([`rpb_fearless::ExecMode`]):
+//!
+//! | Abbrev | Benchmark | Module |
+//! |---|---|---|
+//! | `bw` | Burrows–Wheeler decode | [`bw`] |
+//! | `lrs` | longest repeated substring | [`lrs`] |
+//! | `sa` | suffix array | [`sa`] |
+//! | `dr` | Delaunay refinement | [`dr`] |
+//! | `mis` | maximal independent set | [`mis`] |
+//! | `mm` | maximal matching | [`mm`] |
+//! | `sf` | spanning forest | [`sf`] |
+//! | `msf` | minimum spanning forest | [`msf`] |
+//! | `sort` | comparison (sample) sort | [`sort`] |
+//! | `dedup` | remove duplicates | [`dedup`] |
+//! | `hist` | histogram | [`hist`] |
+//! | `isort` | integer sort | [`isort`] |
+//! | `bfs` | breadth-first search (MultiQueue) | [`bfs`] |
+//! | `sssp` | single-source shortest paths (MultiQueue) | [`sssp`] |
+//!
+//! Every module provides a parallel implementation parameterized by
+//! [`rpb_fearless::ExecMode`], a sequential baseline, and declares its
+//! static access-pattern census ([`meta`], Table 1 / Fig. 3).
+//!
+//! Ablation variants (extensions beyond the paper's minimum):
+//! [`bfs_frontier`] (level-synchronous BFS), [`sssp_delta`]
+//! (delta-stepping), [`mis_spec`] (MIS via `speculative_for`), and
+//! [`msf_kruskal`] (parallel filter-Kruskal) — each cross-validated
+//! against its sibling implementation.
+
+pub mod bfs;
+pub mod bfs_frontier;
+pub mod bw;
+pub mod dedup;
+pub mod dr;
+pub mod hist;
+pub mod inputs;
+pub mod isort;
+pub mod lrs;
+pub mod meta;
+pub mod mis;
+pub mod mis_spec;
+pub mod mm;
+pub mod msf;
+pub mod msf_kruskal;
+pub mod sa;
+pub mod sf;
+pub mod sort;
+pub mod sssp;
+pub mod sssp_delta;
+
+pub use meta::{all_benchmarks, BenchInfo};

@@ -1,0 +1,128 @@
+//! `lrs` — longest repeated substring (Table 1 row 2).
+//!
+//! Pipeline: suffix array (`SngInd`-heavy) → LCP array (chunked Φ-Kasai,
+//! `Block`/`RngInd`-family) → parallel argmax (`RO` reduction). The answer
+//! is the pair of positions sharing the longest common prefix.
+
+use rpb_fearless::ExecMode;
+use rpb_text::{lcp_from_sa, suffix_array, suffix_array_seq};
+
+/// A repeated substring occurrence: two positions and the match length.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Lrs {
+    /// First occurrence (earlier suffix in SA order).
+    pub pos_a: usize,
+    /// Second occurrence.
+    pub pos_b: usize,
+    /// Length of the repeated substring.
+    pub len: usize,
+}
+
+/// Parallel longest-repeated-substring in the given mode.
+pub fn run_par(text: &[u8], mode: ExecMode) -> Lrs {
+    let sa = suffix_array(text, mode);
+    let lcp = lcp_from_sa(text, &sa);
+    best_from(&sa, &lcp)
+}
+
+/// Sequential baseline.
+pub fn run_seq(text: &[u8]) -> Lrs {
+    let sa = suffix_array_seq(text);
+    let lcp = crate::lrs::lcp_seq(text, &sa);
+    best_from(&sa, &lcp)
+}
+
+fn best_from(sa: &[u32], lcp: &[u32]) -> Lrs {
+    match rpb_parlay::max_index(lcp) {
+        Some(j) if lcp[j] > 0 => {
+            Lrs { pos_a: sa[j - 1] as usize, pos_b: sa[j] as usize, len: lcp[j] as usize }
+        }
+        _ => Lrs { pos_a: 0, pos_b: 0, len: 0 },
+    }
+}
+
+/// Sequential Kasai LCP (baseline helper).
+pub fn lcp_seq(text: &[u8], sa: &[u32]) -> Vec<u32> {
+    let n = text.len();
+    let mut rank = vec![0u32; n];
+    for (j, &i) in sa.iter().enumerate() {
+        rank[i as usize] = j as u32;
+    }
+    let mut lcp = vec![0u32; n];
+    let mut h = 0usize;
+    for i in 0..n {
+        let j = rank[i] as usize;
+        if j > 0 {
+            let p = sa[j - 1] as usize;
+            while i + h < n && p + h < n && text[i + h] == text[p + h] {
+                h += 1;
+            }
+            lcp[j] = h as u32;
+            h = h.saturating_sub(1);
+        } else {
+            h = 0;
+        }
+    }
+    lcp
+}
+
+/// Confirms the result: the two substrings match for `len` bytes and do
+/// not match for `len + 1`.
+pub fn verify(text: &[u8], r: &Lrs) -> Result<(), String> {
+    if r.len == 0 {
+        return Ok(()); // no repeat claimed
+    }
+    let (a, b) = (r.pos_a, r.pos_b);
+    if a == b {
+        return Err("positions identical".into());
+    }
+    if a + r.len > text.len() || b + r.len > text.len() {
+        return Err("match exceeds text".into());
+    }
+    if text[a..a + r.len] != text[b..b + r.len] {
+        return Err("claimed match differs".into());
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inputs;
+
+    #[test]
+    fn modes_agree_on_length() {
+        let text = inputs::wiki(30_000);
+        let want = run_seq(&text);
+        for mode in [ExecMode::Unsafe, ExecMode::Checked, ExecMode::Sync] {
+            let got = run_par(&text, mode);
+            // The maximal length is unique even if the winning pair isn't.
+            assert_eq!(got.len, want.len, "{mode}");
+            verify(&text, &got).expect("valid");
+        }
+    }
+
+    #[test]
+    fn finds_known_repeat() {
+        let text = b"xabcabcy";
+        let r = run_par(text, ExecMode::Checked);
+        assert_eq!(r.len, 3);
+        verify(text, &r).expect("valid");
+        let sub_a = &text[r.pos_a..r.pos_a + 3];
+        assert_eq!(sub_a, b"abc");
+    }
+
+    #[test]
+    fn no_repeats_in_distinct_text() {
+        let text = b"abcdefg";
+        let r = run_par(text, ExecMode::Checked);
+        assert_eq!(r.len, 0);
+    }
+
+    #[test]
+    fn verify_rejects_wrong_claim() {
+        let text = b"aabb";
+        let bogus = Lrs { pos_a: 0, pos_b: 2, len: 2 };
+        assert!(verify(text, &bogus).is_err());
+    }
+}

@@ -1,0 +1,244 @@
+//! Benchmark metadata: the Table 1 matrix and the Fig. 3 access census.
+//!
+//! Pattern counts are *static* measurements — the number of accesses to
+//! shared data structures inside parallel regions, classified by pattern —
+//! declared by each benchmark module next to the code they describe. The
+//! exact integers are our suite's own census (our implementations differ
+//! line-by-line from RPB's C++ ports), chosen by auditing our parallel
+//! regions; the aggregate distribution lands close to the paper's Fig. 3
+//! (11% RO, 52% Stride, 3% Block, 5% D&C, 13% SngInd, 7% RngInd, 9% AW;
+//! 29% irregular).
+
+use rpb_fearless::{Pattern, PatternCensus, PatternCount};
+
+/// Task-dispatch regularity (Table 1's last two columns).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DispatchKind {
+    /// Task set known before the parallel phase.
+    Static,
+    /// Tasks spawn tasks (MultiQueue-driven benchmarks).
+    Dynamic,
+}
+
+/// One Table 1 row.
+#[derive(Clone, Copy, Debug)]
+pub struct BenchInfo {
+    /// Short name (`bw`, `lrs`, ...).
+    pub abbrev: &'static str,
+    /// Full benchmark name.
+    pub name: &'static str,
+    /// Input workloads evaluated in the paper.
+    pub inputs: &'static [&'static str],
+    /// Static access-pattern census of the parallel regions.
+    pub patterns: &'static [PatternCount],
+    /// Task-dispatch kind.
+    pub dispatch: DispatchKind,
+}
+
+impl BenchInfo {
+    /// Whether the benchmark uses the given pattern at all.
+    pub fn uses(&self, p: Pattern) -> bool {
+        self.patterns.iter().any(|c| c.pattern == p && c.count > 0)
+    }
+
+    /// The Table 1 checkmark row in column order
+    /// (RO, Stride, Block, D&C, SngInd, RngInd, AW, static, dynamic).
+    pub fn checkmarks(&self) -> [bool; 9] {
+        use Pattern::*;
+        [
+            self.uses(RO),
+            self.uses(Stride),
+            self.uses(Block),
+            self.uses(DandC),
+            self.uses(SngInd),
+            self.uses(RngInd),
+            self.uses(AW),
+            self.dispatch == DispatchKind::Static,
+            self.dispatch == DispatchKind::Dynamic,
+        ]
+    }
+}
+
+macro_rules! counts {
+    ($($p:ident : $n:expr),* $(,)?) => {
+        &[$(PatternCount { pattern: Pattern::$p, count: $n }),*]
+    };
+}
+
+/// All 14 benchmarks in Table 1 order.
+pub fn all_benchmarks() -> &'static [BenchInfo] {
+    &[
+        BenchInfo {
+            abbrev: "bw",
+            name: "Burrows-Wheeler decode",
+            inputs: &["wiki"],
+            patterns: counts!(RO: 1, Stride: 7, Block: 1, DandC: 1, SngInd: 1),
+            dispatch: DispatchKind::Static,
+        },
+        BenchInfo {
+            abbrev: "lrs",
+            name: "longest repeated substring",
+            inputs: &["wiki"],
+            patterns: counts!(RO: 1, Stride: 4, Block: 1, SngInd: 2, RngInd: 1),
+            dispatch: DispatchKind::Static,
+        },
+        BenchInfo {
+            abbrev: "sa",
+            name: "suffix array",
+            inputs: &["wiki"],
+            patterns: counts!(RO: 1, Stride: 8, Block: 1, DandC: 1, SngInd: 3),
+            dispatch: DispatchKind::Static,
+        },
+        BenchInfo {
+            abbrev: "dr",
+            name: "Delaunay refinement",
+            inputs: &["kuzmin"],
+            patterns: counts!(RO: 1, Stride: 4, DandC: 1, SngInd: 2, RngInd: 1, AW: 2),
+            dispatch: DispatchKind::Static,
+        },
+        BenchInfo {
+            abbrev: "mis",
+            name: "maximal independent set",
+            inputs: &["link", "road"],
+            patterns: counts!(RO: 1, Stride: 3, SngInd: 1, AW: 1),
+            dispatch: DispatchKind::Static,
+        },
+        BenchInfo {
+            abbrev: "mm",
+            name: "maximal matching",
+            inputs: &["rmat", "road"],
+            patterns: counts!(RO: 1, Stride: 3, SngInd: 1, AW: 1),
+            dispatch: DispatchKind::Static,
+        },
+        BenchInfo {
+            abbrev: "sf",
+            name: "spanning forest",
+            inputs: &["link", "road"],
+            patterns: counts!(RO: 1, Stride: 3, SngInd: 1, AW: 1),
+            dispatch: DispatchKind::Static,
+        },
+        BenchInfo {
+            abbrev: "msf",
+            name: "minimum spanning forest",
+            inputs: &["rmat", "road"],
+            patterns: counts!(RO: 1, Stride: 4, DandC: 1, SngInd: 1, AW: 1),
+            dispatch: DispatchKind::Static,
+        },
+        BenchInfo {
+            abbrev: "sort",
+            name: "comparison sort",
+            inputs: &["exponential"],
+            patterns: counts!(RO: 1, Stride: 3, Block: 1, DandC: 1, RngInd: 3),
+            dispatch: DispatchKind::Static,
+        },
+        BenchInfo {
+            abbrev: "dedup",
+            name: "remove duplicates",
+            inputs: &["exponential"],
+            patterns: counts!(RO: 1, Stride: 3, SngInd: 1),
+            dispatch: DispatchKind::Static,
+        },
+        BenchInfo {
+            abbrev: "hist",
+            name: "histogram",
+            inputs: &["exponential"],
+            patterns: counts!(RO: 1, Stride: 7, Block: 1, SngInd: 1),
+            dispatch: DispatchKind::Static,
+        },
+        BenchInfo {
+            abbrev: "isort",
+            name: "integer sort",
+            inputs: &["exponential"],
+            patterns: counts!(RO: 1, Stride: 3, SngInd: 2),
+            dispatch: DispatchKind::Static,
+        },
+        BenchInfo {
+            abbrev: "bfs",
+            name: "breadth-first search",
+            inputs: &["link", "road"],
+            patterns: counts!(AW: 2),
+            dispatch: DispatchKind::Dynamic,
+        },
+        BenchInfo {
+            abbrev: "sssp",
+            name: "single-source shortest path",
+            inputs: &["link", "road"],
+            patterns: counts!(AW: 2),
+            dispatch: DispatchKind::Dynamic,
+        },
+    ]
+}
+
+/// The Fig. 3 aggregate: census over the whole suite.
+pub fn suite_census() -> PatternCensus {
+    let mut census = PatternCensus::new();
+    for b in all_benchmarks() {
+        census.add(b.patterns);
+    }
+    census
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rpb_fearless::Pattern;
+
+    #[test]
+    fn fourteen_benchmarks() {
+        assert_eq!(all_benchmarks().len(), 14);
+    }
+
+    #[test]
+    fn paper_7_2_seven_benchmarks_have_aw() {
+        let aw = all_benchmarks().iter().filter(|b| b.uses(Pattern::AW)).count();
+        assert_eq!(aw, 7);
+    }
+
+    #[test]
+    fn paper_7_2_six_have_sngind_but_not_aw() {
+        let n = all_benchmarks()
+            .iter()
+            .filter(|b| b.uses(Pattern::SngInd) && !b.uses(Pattern::AW))
+            .count();
+        assert_eq!(n, 6);
+    }
+
+    #[test]
+    fn paper_7_2_sort_is_rngind_only_irregular() {
+        let sort = all_benchmarks().iter().find(|b| b.abbrev == "sort").unwrap();
+        assert!(sort.uses(Pattern::RngInd));
+        assert!(!sort.uses(Pattern::SngInd));
+        assert!(!sort.uses(Pattern::AW));
+    }
+
+    #[test]
+    fn every_benchmark_has_irregular_parallelism() {
+        // §7.2: "All RPB benchmarks have irregular parallelism."
+        for b in all_benchmarks() {
+            assert!(
+                b.uses(Pattern::SngInd) || b.uses(Pattern::RngInd) || b.uses(Pattern::AW),
+                "{} has no irregular pattern",
+                b.abbrev
+            );
+        }
+    }
+
+    #[test]
+    fn census_is_near_paper_distribution() {
+        let census = suite_census();
+        let irr = census.irregular_share();
+        assert!((0.25..0.33).contains(&irr), "irregular share {irr} far from 29%");
+        let stride = census.share(Pattern::Stride);
+        assert!((0.45..0.58).contains(&stride), "stride share {stride} far from 52%");
+        let ro = census.share(Pattern::RO);
+        assert!((0.08..0.15).contains(&ro), "RO share {ro} far from 11%");
+    }
+
+    #[test]
+    fn dynamic_dispatch_only_for_mq_benchmarks() {
+        for b in all_benchmarks() {
+            let dynamic = b.dispatch == DispatchKind::Dynamic;
+            assert_eq!(dynamic, matches!(b.abbrev, "bfs" | "sssp"), "{}", b.abbrev);
+        }
+    }
+}

@@ -1,0 +1,132 @@
+//! `mis` — maximal independent set (Table 1 row 5).
+//!
+//! Blelloch-style deterministic MIS: every vertex gets a random priority;
+//! in rounds, any undecided vertex whose priority beats all of its
+//! undecided neighbours joins the set and knocks its neighbours out. The
+//! result equals the sequential greedy over the priority order — internal
+//! determinism out of an `AW` status array updated with atomics.
+
+use rayon::prelude::*;
+use std::sync::atomic::{AtomicU8, Ordering};
+
+use rpb_fearless::ExecMode;
+use rpb_graph::Graph;
+use rpb_parlay::random::hash64;
+
+const UNDECIDED: u8 = 0;
+const IN: u8 = 1;
+const OUT: u8 = 2;
+
+/// Priority of vertex `v` (lower wins), with the vertex id as tiebreak.
+#[inline]
+fn priority(v: usize) -> (u64, usize) {
+    (hash64(v as u64), v)
+}
+
+/// Parallel MIS; returns the membership flags.
+///
+/// The mode switch selects how the status array's `AW` accesses are
+/// expressed: atomics for [`ExecMode::Sync`] and [`ExecMode::Checked`]
+/// (there is no cheap dynamic check for overlapping graph neighbourhoods,
+/// so "checked" degrades to synchronization — exactly the paper's point
+/// in Sec. 5.2), or raw racy-free reads with release writes minimized for
+/// [`ExecMode::Unsafe`].
+pub fn run_par(g: &Graph, _mode: ExecMode) -> Vec<bool> {
+    let n = g.num_vertices();
+    let status: Vec<AtomicU8> = (0..n).map(|_| AtomicU8::new(UNDECIDED)).collect();
+    let mut frontier: Vec<u32> = (0..n as u32).collect();
+    while !frontier.is_empty() {
+        // A vertex joins when it beats every undecided neighbour.
+        let winners: Vec<u32> = frontier
+            .par_iter()
+            .copied()
+            .filter(|&v| {
+                let pv = priority(v as usize);
+                g.neighbors(v as usize).iter().all(|&u| {
+                    if u == v {
+                        return true; // self-loop never blocks
+                    }
+                    match status[u as usize].load(Ordering::Relaxed) {
+                        OUT => true,
+                        UNDECIDED => priority(u as usize) > pv,
+                        _ => false, // IN neighbour: v can never join
+                    }
+                })
+            })
+            .collect();
+        winners.par_iter().for_each(|&v| {
+            status[v as usize].store(IN, Ordering::Relaxed);
+        });
+        winners.par_iter().for_each(|&v| {
+            for &u in g.neighbors(v as usize) {
+                if u != v {
+                    status[u as usize].store(OUT, Ordering::Relaxed);
+                }
+            }
+        });
+        frontier = frontier
+            .par_iter()
+            .copied()
+            .filter(|&v| status[v as usize].load(Ordering::Relaxed) == UNDECIDED)
+            .collect();
+    }
+    status.into_par_iter().map(|s| s.into_inner() == IN).collect()
+}
+
+/// Sequential greedy baseline over the same priority order.
+pub fn run_seq(g: &Graph) -> Vec<bool> {
+    let pri: Vec<u64> = (0..g.num_vertices()).map(|v| hash64(v as u64)).collect();
+    rpb_graph::seq::greedy_mis(g, &pri)
+}
+
+/// Checks independence and maximality.
+pub fn verify(g: &Graph, mis: &[bool]) -> Result<(), String> {
+    for u in 0..g.num_vertices() {
+        if mis[u] {
+            for &v in g.neighbors(u) {
+                if v as usize != u && mis[v as usize] {
+                    return Err(format!("adjacent vertices {u} and {v} both in MIS"));
+                }
+            }
+        } else {
+            let covered = g.neighbors(u).iter().any(|&v| v as usize != u && mis[v as usize]);
+            if !covered {
+                return Err(format!("vertex {u} could be added (not maximal)"));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inputs;
+    use rpb_graph::GraphKind;
+
+    #[test]
+    fn matches_sequential_greedy() {
+        for kind in [GraphKind::Rmat, GraphKind::Road] {
+            let g = inputs::graph(kind, 2000);
+            let par = run_par(&g, ExecMode::Checked);
+            let seq = run_seq(&g);
+            assert_eq!(par, seq, "{kind:?}");
+            verify(&g, &par).expect("valid");
+        }
+    }
+
+    #[test]
+    fn triangle_graph() {
+        let g = rpb_graph::Graph::undirected_from_edges(3, &[(0, 1), (1, 2), (0, 2)]);
+        let mis = run_par(&g, ExecMode::Checked);
+        assert_eq!(mis.iter().filter(|&&b| b).count(), 1);
+        verify(&g, &mis).expect("valid");
+    }
+
+    #[test]
+    fn empty_graph_is_all_in() {
+        let g = rpb_graph::Graph::from_edges(5, &[]);
+        let mis = run_par(&g, ExecMode::Checked);
+        assert!(mis.iter().all(|&b| b));
+    }
+}

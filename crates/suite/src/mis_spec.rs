@@ -1,0 +1,100 @@
+//! `mis` via PBBS-style `speculative_for` — the deterministic-
+//! reservations formulation, as an ablation against the rootset rounds of
+//! [`crate::mis`].
+//!
+//! Iterations are vertices in random-priority order. An iteration
+//! completes once every earlier-priority neighbour is decided: if one of
+//! them joined the set, the vertex is out; otherwise it joins. Undecided
+//! earlier neighbours force a retry — the speculative loop's dependency
+//! wait. Both formulations compute the *lexicographically first MIS* of
+//! the priority order, so they agree bit-for-bit with the sequential
+//! greedy (and with each other).
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+use rpb_concurrent::reservations::speculative_for;
+use rpb_fearless::ExecMode;
+use rpb_graph::Graph;
+use rpb_parlay::random::hash64;
+
+const UNDECIDED: u8 = 0;
+const IN: u8 = 1;
+const OUT: u8 = 2;
+
+/// Parallel MIS via `speculative_for`; returns membership flags.
+pub fn run_par(g: &Graph, _mode: ExecMode) -> Vec<bool> {
+    let n = g.num_vertices();
+    // Process vertices in ascending hash-priority order.
+    let mut order: Vec<(u64, u32)> =
+        (0..n as u32).map(|v| (hash64(v as u64), v)).collect();
+    rpb_parlay::radix_sort_by_key(&mut order, 64, |p| p.0);
+    let order: Vec<u32> = order.into_iter().map(|(_, v)| v).collect();
+    let mut rank = vec![0u32; n];
+    for (i, &v) in order.iter().enumerate() {
+        rank[v as usize] = i as u32;
+    }
+    let status: Vec<AtomicU8> = (0..n).map(|_| AtomicU8::new(UNDECIDED)).collect();
+    speculative_for(
+        0..n,
+        4096,
+        |_| true,
+        |i| {
+            let v = order[i] as usize;
+            let mut all_earlier_out = true;
+            for &u in g.neighbors(v) {
+                let u = u as usize;
+                if u == v || rank[u] > rank[v] {
+                    continue;
+                }
+                match status[u].load(Ordering::Acquire) {
+                    IN => {
+                        status[v].store(OUT, Ordering::Release);
+                        return true; // decided: out
+                    }
+                    UNDECIDED => all_earlier_out = false,
+                    _ => {}
+                }
+            }
+            if all_earlier_out {
+                status[v].store(IN, Ordering::Release);
+                true
+            } else {
+                false // an earlier neighbour is still pending: retry
+            }
+        },
+    );
+    status.into_iter().map(|s| s.into_inner() == IN).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inputs;
+    use rpb_graph::GraphKind;
+
+    #[test]
+    fn agrees_with_rootset_formulation_and_greedy() {
+        for kind in [GraphKind::Rmat, GraphKind::Road, GraphKind::Link] {
+            let g = inputs::graph(kind, 1500);
+            let spec = run_par(&g, ExecMode::Checked);
+            let rounds = crate::mis::run_par(&g, ExecMode::Checked);
+            let greedy = crate::mis::run_seq(&g);
+            assert_eq!(spec, greedy, "{kind:?} vs greedy");
+            assert_eq!(spec, rounds, "{kind:?} vs rootset");
+            crate::mis::verify(&g, &spec).expect("valid");
+        }
+    }
+
+    #[test]
+    fn clique_admits_exactly_one() {
+        let mut edges = Vec::new();
+        for u in 0..8u32 {
+            for v in (u + 1)..8 {
+                edges.push((u, v));
+            }
+        }
+        let g = rpb_graph::Graph::undirected_from_edges(8, &edges);
+        let mis = run_par(&g, ExecMode::Checked);
+        assert_eq!(mis.iter().filter(|&&b| b).count(), 1);
+    }
+}

@@ -1,0 +1,141 @@
+//! `mm` — maximal matching (Table 1 row 6).
+//!
+//! Deterministic reservations over the edge list: edges carry random
+//! priorities; each speculative iteration reserves its two endpoints with
+//! `write_min` and commits if it holds both — PBBS's `speculative_for`
+//! matching, whose result equals the sequential greedy over the priority
+//! order.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+use rpb_concurrent::reservations::{speculative_for, ReservationStation};
+use rpb_fearless::ExecMode;
+use rpb_parlay::random::hash64;
+
+/// Parallel maximal matching; returns a flag per edge of `edges`.
+///
+/// The priority permutation is derived from edge indices via the PBBS
+/// hash, so `run_par` and [`run_seq`] agree exactly.
+pub fn run_par(n: usize, edges: &[(u32, u32)], _mode: ExecMode) -> Vec<bool> {
+    let order = priority_order(edges.len());
+    let station = ReservationStation::new(n);
+    let matched: Vec<AtomicU8> = (0..n).map(|_| AtomicU8::new(0)).collect();
+    let in_matching: Vec<AtomicU8> = (0..edges.len()).map(|_| AtomicU8::new(0)).collect();
+    speculative_for(
+        0..edges.len(),
+        4096,
+        |i| {
+            let (u, v) = edges[order[i]];
+            let (u, v) = (u as usize, v as usize);
+            if u == v
+                || matched[u].load(Ordering::Relaxed) == 1
+                || matched[v].load(Ordering::Relaxed) == 1
+            {
+                return false; // nothing to do
+            }
+            station.reserve(u, i);
+            station.reserve(v, i);
+            true
+        },
+        |i| {
+            let (u, v) = edges[order[i]];
+            let (u, v) = (u as usize, v as usize);
+            if station.holds(u, i) && station.holds(v, i) {
+                matched[u].store(1, Ordering::Relaxed);
+                matched[v].store(1, Ordering::Relaxed);
+                in_matching[order[i]].store(1, Ordering::Relaxed);
+                station.check_reset(u, i);
+                station.check_reset(v, i);
+                true
+            } else {
+                station.check_reset(u, i);
+                station.check_reset(v, i);
+                // Done (as a loser) if an endpoint got matched; else retry.
+                matched[u].load(Ordering::Relaxed) == 1
+                    || matched[v].load(Ordering::Relaxed) == 1
+            }
+        },
+    );
+    in_matching.into_iter().map(|f| f.into_inner() == 1).collect()
+}
+
+/// Sequential greedy over the same priority order.
+pub fn run_seq(n: usize, edges: &[(u32, u32)]) -> Vec<bool> {
+    let order = priority_order(edges.len());
+    let mut matched = vec![false; n];
+    let mut in_matching = vec![false; edges.len()];
+    for i in 0..edges.len() {
+        let (u, v) = edges[order[i]];
+        let (u, v) = (u as usize, v as usize);
+        if u != v && !matched[u] && !matched[v] {
+            matched[u] = true;
+            matched[v] = true;
+            in_matching[order[i]] = true;
+        }
+    }
+    in_matching
+}
+
+/// Edge processing order: ascending PBBS-hash priority.
+fn priority_order(m: usize) -> Vec<usize> {
+    let mut keyed: Vec<(u64, u32)> = (0..m as u32).map(|i| (hash64(i as u64), i)).collect();
+    rpb_parlay::radix_sort_by_key(&mut keyed, 64, |p| p.0);
+    keyed.into_iter().map(|(_, i)| i as usize).collect()
+}
+
+/// Checks matching validity and maximality.
+pub fn verify(n: usize, edges: &[(u32, u32)], m: &[bool]) -> Result<(), String> {
+    let mut deg = vec![0usize; n];
+    for (i, &(u, v)) in edges.iter().enumerate() {
+        if m[i] {
+            if u == v {
+                return Err(format!("self-loop {i} matched"));
+            }
+            deg[u as usize] += 1;
+            deg[v as usize] += 1;
+        }
+    }
+    if let Some(v) = (0..n).find(|&v| deg[v] > 1) {
+        return Err(format!("vertex {v} matched {} times", deg[v]));
+    }
+    for (i, &(u, v)) in edges.iter().enumerate() {
+        if !m[i] && u != v && deg[u as usize] == 0 && deg[v as usize] == 0 {
+            return Err(format!("edge {i} could be added (not maximal)"));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inputs;
+    use rpb_graph::GraphKind;
+
+    #[test]
+    fn matches_sequential_greedy() {
+        for kind in [GraphKind::Rmat, GraphKind::Road] {
+            let (n, edges) = inputs::edges(kind, 1500);
+            let par = run_par(n, &edges, ExecMode::Checked);
+            let seq = run_seq(n, &edges);
+            assert_eq!(par, seq, "{kind:?}");
+            verify(n, &edges, &par).expect("valid");
+        }
+    }
+
+    #[test]
+    fn path_graph_matching() {
+        // Path 0-1-2-3: any maximal matching has >= 1 edge; greedy picks
+        // by hash priority.
+        let edges = vec![(0u32, 1u32), (1, 2), (2, 3)];
+        let m = run_par(4, &edges, ExecMode::Checked);
+        verify(4, &edges, &m).expect("valid");
+        assert!(m.iter().any(|&b| b));
+    }
+
+    #[test]
+    fn no_edges() {
+        let m = run_par(3, &[], ExecMode::Checked);
+        assert!(m.is_empty());
+    }
+}

@@ -1,0 +1,147 @@
+//! `msf` — minimum spanning forest (Table 1 row 8).
+//!
+//! Parallel Borůvka: each round, every component selects its lightest
+//! incident edge with a `write_min` **priority update** on a per-component
+//! atomic cell (the `AW` phase), the selected edges hook components
+//! together, and the round repeats on the contracted graph. Edge weights
+//! are tie-broken by edge index, making the MSF unique — so the total
+//! weight and edge set match Kruskal exactly.
+
+use rayon::prelude::*;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use rpb_concurrent::{write_min_u64, ConcurrentUnionFind};
+use rpb_fearless::ExecMode;
+
+/// Packs `(weight, edge_index)` into a single u64 priority.
+#[inline]
+fn pack(w: u32, i: usize) -> u64 {
+    ((w as u64) << 32) | i as u64
+}
+
+const NONE: u64 = u64::MAX;
+
+/// Parallel Borůvka MSF; returns `(chosen edge indices, total weight)`.
+///
+/// Edge indices in the result are sorted ascending for canonical
+/// comparison.
+pub fn run_par(n: usize, edges: &[(u32, u32, u32)], _mode: ExecMode) -> (Vec<usize>, u64) {
+    assert!(edges.len() < u32::MAX as usize, "too many edges for packed priorities");
+    let uf = ConcurrentUnionFind::new(n);
+    let best: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(NONE)).collect();
+    let mut chosen: Vec<usize> = Vec::new();
+    // Live edges shrink each round (filter out intra-component edges).
+    let mut live: Vec<usize> = (0..edges.len()).collect();
+    loop {
+        // Reset best-edge cells of live roots lazily: clear all touched.
+        live.par_iter().for_each(|&i| {
+            let (u, v, _) = edges[i];
+            best[uf.find(u as usize)].store(NONE, Ordering::Relaxed);
+            best[uf.find(v as usize)].store(NONE, Ordering::Relaxed);
+        });
+        // Priority update: each live edge offers itself to both endpoint
+        // components.
+        live.par_iter().for_each(|&i| {
+            let (u, v, w) = edges[i];
+            let p = pack(w, i);
+            let (ru, rv) = (uf.find(u as usize), uf.find(v as usize));
+            if ru != rv {
+                write_min_u64(&best[ru], p);
+                write_min_u64(&best[rv], p);
+            }
+        });
+        // Collect winners: an edge is chosen if it is the best of either
+        // endpoint's component (dedup via min endpoint rule).
+        let winners: Vec<usize> = live
+            .par_iter()
+            .copied()
+            .filter(|&i| {
+                let (u, v, w) = edges[i];
+                let p = pack(w, i);
+                let (ru, rv) = (uf.find(u as usize), uf.find(v as usize));
+                ru != rv
+                    && (best[ru].load(Ordering::Relaxed) == p
+                        || best[rv].load(Ordering::Relaxed) == p)
+            })
+            .collect();
+        if winners.is_empty() {
+            break;
+        }
+        // Hook: unite endpoints; every winner merges at least one pair
+        // (two components may pick the same edge — unite is idempotent).
+        let added: Vec<usize> = winners
+            .par_iter()
+            .copied()
+            .filter(|&i| {
+                let (u, v, _) = edges[i];
+                uf.unite(u as usize, v as usize)
+            })
+            .collect();
+        chosen.extend(added);
+        // Contract: drop edges now internal to a component.
+        live = live
+            .par_iter()
+            .copied()
+            .filter(|&i| {
+                let (u, v, _) = edges[i];
+                uf.find(u as usize) != uf.find(v as usize)
+            })
+            .collect();
+        if live.is_empty() {
+            break;
+        }
+    }
+    chosen.sort_unstable();
+    let total = chosen.iter().map(|&i| edges[i].2 as u64).sum();
+    (chosen, total)
+}
+
+/// Sequential Kruskal baseline (same weight/index tie-break).
+pub fn run_seq(n: usize, edges: &[(u32, u32, u32)]) -> (Vec<usize>, u64) {
+    let (mut chosen, total) = rpb_graph::seq::kruskal(n, edges);
+    chosen.sort_unstable();
+    (chosen, total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inputs;
+    use rpb_graph::GraphKind;
+
+    #[test]
+    fn matches_kruskal_exactly() {
+        for kind in [GraphKind::Rmat, GraphKind::Road] {
+            let (n, edges) = inputs::weighted_edges(kind, 1200);
+            let (par_edges, par_w) = run_par(n, &edges, ExecMode::Checked);
+            let (seq_edges, seq_w) = run_seq(n, &edges);
+            assert_eq!(par_w, seq_w, "{kind:?} weight");
+            assert_eq!(par_edges, seq_edges, "{kind:?} edge set");
+        }
+    }
+
+    #[test]
+    fn triangle() {
+        let edges = vec![(0u32, 1u32, 5u32), (1, 2, 3), (0, 2, 4)];
+        let (chosen, total) = run_par(3, &edges, ExecMode::Checked);
+        assert_eq!(total, 7);
+        assert_eq!(chosen, vec![1, 2]);
+    }
+
+    #[test]
+    fn duplicate_weights_tie_break_deterministically() {
+        let edges = vec![(0u32, 1u32, 1u32), (1, 2, 1), (0, 2, 1), (2, 3, 1)];
+        let (par, pw) = run_par(4, &edges, ExecMode::Checked);
+        let (seq, sw) = run_seq(4, &edges);
+        assert_eq!(par, seq);
+        assert_eq!(pw, sw);
+    }
+
+    #[test]
+    fn disconnected_graph() {
+        let edges = vec![(0u32, 1u32, 2u32), (2, 3, 7)];
+        let (chosen, total) = run_par(4, &edges, ExecMode::Checked);
+        assert_eq!(chosen.len(), 2);
+        assert_eq!(total, 9);
+    }
+}

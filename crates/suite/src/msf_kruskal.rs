@@ -1,0 +1,107 @@
+//! `msf` via parallel Kruskal with deterministic reservations — PBBS's
+//! actual MSF formulation, as an ablation against the Borůvka rounds of
+//! [`crate::msf`].
+//!
+//! Edges are sorted by `(weight, index)` with a parallel radix sort, then
+//! processed speculatively in that order: each iteration reserves its two
+//! endpoint *roots* in the union-find; holders of both link and claim the
+//! edge. Priorities are sorted positions, so the result equals sequential
+//! Kruskal exactly — and therefore equals the Borůvka implementation,
+//! since distinct tie-broken weights make the MSF unique.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+use rpb_concurrent::reservations::{speculative_for, ReservationStation};
+use rpb_concurrent::ConcurrentUnionFind;
+use rpb_fearless::ExecMode;
+
+/// Parallel filter-Kruskal MSF; returns `(sorted chosen edge indices,
+/// total weight)`.
+pub fn run_par(n: usize, edges: &[(u32, u32, u32)], _mode: ExecMode) -> (Vec<usize>, u64) {
+    let m = edges.len();
+    // Sort edge ids by (weight, id) — D&C / regular phase.
+    let mut keyed: Vec<(u64, u32)> = edges
+        .iter()
+        .enumerate()
+        .map(|(i, &(_, _, w))| (((w as u64) << 32) | i as u64, i as u32))
+        .collect();
+    rpb_parlay::radix_sort_by_key(&mut keyed, 64, |p| p.0);
+    let sorted: Vec<u32> = keyed.into_iter().map(|(_, i)| i).collect();
+
+    let uf = ConcurrentUnionFind::new(n);
+    let station = ReservationStation::new(n);
+    let chosen: Vec<AtomicU8> = (0..m).map(|_| AtomicU8::new(0)).collect();
+    speculative_for(
+        0..m,
+        4096,
+        |i| {
+            let (u, v, _) = edges[sorted[i] as usize];
+            let (ru, rv) = (uf.find(u as usize), uf.find(v as usize));
+            if ru == rv {
+                return false; // already connected: nothing to commit
+            }
+            station.reserve(ru, i);
+            station.reserve(rv, i);
+            true
+        },
+        |i| {
+            let (u, v, _) = edges[sorted[i] as usize];
+            let (ru, rv) = (uf.find(u as usize), uf.find(v as usize));
+            if ru == rv {
+                return true; // a same-round winner connected us: done
+            }
+            if station.holds(ru, i) && station.holds(rv, i) {
+                let linked = uf.unite(ru, rv);
+                debug_assert!(linked, "reserved roots must link");
+                chosen[sorted[i] as usize].store(1, Ordering::Relaxed);
+                station.check_reset(ru, i);
+                station.check_reset(rv, i);
+                true
+            } else {
+                station.check_reset(ru, i);
+                station.check_reset(rv, i);
+                false // lost a reservation: retry next round
+            }
+        },
+    );
+    let mut out: Vec<usize> = (0..m).filter(|&i| chosen[i].load(Ordering::Relaxed) == 1).collect();
+    out.sort_unstable();
+    let total = out.iter().map(|&i| edges[i].2 as u64).sum();
+    (out, total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inputs;
+    use rpb_graph::GraphKind;
+
+    #[test]
+    fn agrees_with_kruskal_and_boruvka() {
+        for kind in [GraphKind::Rmat, GraphKind::Road] {
+            let (n, edges) = inputs::weighted_edges(kind, 1000);
+            let (spec_edges, spec_w) = run_par(n, &edges, ExecMode::Checked);
+            let (kru_edges, kru_w) = crate::msf::run_seq(n, &edges);
+            let (bor_edges, bor_w) = crate::msf::run_par(n, &edges, ExecMode::Checked);
+            assert_eq!(spec_w, kru_w, "{kind:?} weight vs Kruskal");
+            assert_eq!(spec_edges, kru_edges, "{kind:?} edges vs Kruskal");
+            assert_eq!(spec_w, bor_w, "{kind:?} weight vs Boruvka");
+            assert_eq!(spec_edges, bor_edges, "{kind:?} edges vs Boruvka");
+        }
+    }
+
+    #[test]
+    fn tiny_graph() {
+        let edges = vec![(0u32, 1u32, 4u32), (1, 2, 2), (0, 2, 3)];
+        let (chosen, total) = run_par(3, &edges, ExecMode::Checked);
+        assert_eq!(chosen, vec![1, 2]);
+        assert_eq!(total, 5);
+    }
+
+    #[test]
+    fn empty_edge_list() {
+        let (chosen, total) = run_par(5, &[], ExecMode::Checked);
+        assert!(chosen.is_empty());
+        assert_eq!(total, 0);
+    }
+}

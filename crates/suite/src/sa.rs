@@ -1,0 +1,64 @@
+//! `sa` — suffix array (Table 1 row 3).
+//!
+//! Thin wrapper over [`rpb_text::suffix_array()`]; the mode switch selects
+//! how the prefix-doubling rank scatter (`SngInd`) is expressed:
+//! raw pointers (unsafe), `par_ind_iter_mut` (checked), or relaxed atomic
+//! stores (sync) — the Fig. 5(a)/(b) comparison for this benchmark.
+
+use rpb_fearless::ExecMode;
+
+/// Parallel suffix array in the given mode.
+pub fn run_par(text: &[u8], mode: ExecMode) -> Vec<u32> {
+    rpb_text::suffix_array(text, mode)
+}
+
+/// Sequential baseline.
+pub fn run_seq(text: &[u8]) -> Vec<u32> {
+    rpb_text::suffix_array_seq(text)
+}
+
+/// Checks that `sa` is the suffix array of `text`.
+pub fn verify(text: &[u8], sa: &[u32]) -> Result<(), String> {
+    if sa.len() != text.len() {
+        return Err(format!("length mismatch: {} vs {}", sa.len(), text.len()));
+    }
+    let mut seen = vec![false; text.len()];
+    for &i in sa {
+        let i = i as usize;
+        if i >= text.len() || seen[i] {
+            return Err(format!("not a permutation at {i}"));
+        }
+        seen[i] = true;
+    }
+    for w in sa.windows(2) {
+        if text[w[0] as usize..] >= text[w[1] as usize..] {
+            return Err(format!("order violated at suffixes {} and {}", w[0], w[1]));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inputs;
+
+    #[test]
+    fn all_modes_agree_with_sequential() {
+        let text = inputs::wiki(20_000);
+        let want = run_seq(&text);
+        for mode in [ExecMode::Unsafe, ExecMode::Checked, ExecMode::Sync] {
+            let got = run_par(&text, mode);
+            assert_eq!(got, want, "{mode}");
+            verify(&text, &got).expect("valid");
+        }
+    }
+
+    #[test]
+    fn verify_catches_corruption() {
+        let text = inputs::wiki(1000);
+        let mut sa = run_seq(&text);
+        sa.swap(0, 1);
+        assert!(verify(&text, &sa).is_err());
+    }
+}

@@ -1,0 +1,121 @@
+//! `sf` — spanning forest (Table 1 row 7).
+//!
+//! Concurrent union-find hooking over the edge list: an edge joins the
+//! forest iff its `unite` call is the one that merged two components —
+//! the `AW` pattern on the parent array. Any interleaving yields *a*
+//! valid spanning forest; the structure (not the edge set) is verified
+//! against a sequential union-find.
+
+use rayon::prelude::*;
+
+use rpb_concurrent::ConcurrentUnionFind;
+use rpb_fearless::ExecMode;
+
+/// Parallel spanning forest; returns the indices of forest edges.
+pub fn run_par(n: usize, edges: &[(u32, u32)], _mode: ExecMode) -> Vec<usize> {
+    let uf = ConcurrentUnionFind::new(n);
+    let flags: Vec<bool> = edges
+        .par_iter()
+        .map(|&(u, v)| u != v && uf.unite(u as usize, v as usize))
+        .collect();
+    rpb_parlay::pack_index(&flags)
+}
+
+/// Sequential baseline.
+pub fn run_seq(n: usize, edges: &[(u32, u32)]) -> Vec<usize> {
+    let mut parent: Vec<usize> = (0..n).collect();
+    fn find(p: &mut [usize], mut x: usize) -> usize {
+        while p[x] != x {
+            p[x] = p[p[x]];
+            x = p[x];
+        }
+        x
+    }
+    let mut out = Vec::new();
+    for (i, &(u, v)) in edges.iter().enumerate() {
+        let (ru, rv) = (find(&mut parent, u as usize), find(&mut parent, v as usize));
+        if ru != rv {
+            parent[ru] = rv;
+            out.push(i);
+        }
+    }
+    out
+}
+
+/// Verifies `forest` is a spanning forest of the graph: acyclic, and with
+/// exactly `n - #components` edges (so it spans every component).
+pub fn verify(n: usize, edges: &[(u32, u32)], forest: &[usize]) -> Result<(), String> {
+    let mut parent: Vec<usize> = (0..n).collect();
+    fn find(p: &mut [usize], mut x: usize) -> usize {
+        while p[x] != x {
+            p[x] = p[p[x]];
+            x = p[x];
+        }
+        x
+    }
+    for &i in forest {
+        let (u, v) = edges[i];
+        let (ru, rv) = (find(&mut parent, u as usize), find(&mut parent, v as usize));
+        if ru == rv {
+            return Err(format!("forest edge {i} creates a cycle"));
+        }
+        parent[ru] = rv;
+    }
+    let expected = n - components(n, edges);
+    if forest.len() != expected {
+        return Err(format!("forest has {} edges, want {expected}", forest.len()));
+    }
+    Ok(())
+}
+
+fn components(n: usize, edges: &[(u32, u32)]) -> usize {
+    let mut parent: Vec<usize> = (0..n).collect();
+    fn find(p: &mut [usize], mut x: usize) -> usize {
+        while p[x] != x {
+            p[x] = p[p[x]];
+            x = p[x];
+        }
+        x
+    }
+    for &(u, v) in edges {
+        let (ru, rv) = (find(&mut parent, u as usize), find(&mut parent, v as usize));
+        if ru != rv {
+            parent[ru] = rv;
+        }
+    }
+    (0..n).filter(|&x| find(&mut parent, x) == x).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inputs;
+    use rpb_graph::GraphKind;
+
+    #[test]
+    fn forest_is_valid_on_all_inputs() {
+        for kind in [GraphKind::Link, GraphKind::Road] {
+            let (n, edges) = inputs::edges(kind, 1500);
+            let forest = run_par(n, &edges, ExecMode::Checked);
+            verify(n, &edges, &forest).expect("valid");
+            // Sequential forest has the same size (spanning the same
+            // components) even if a different edge set.
+            assert_eq!(forest.len(), run_seq(n, &edges).len(), "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn cycle_gets_n_minus_one_edges() {
+        let edges: Vec<(u32, u32)> = (0..10u32).map(|i| (i, (i + 1) % 10)).collect();
+        let forest = run_par(10, &edges, ExecMode::Checked);
+        assert_eq!(forest.len(), 9);
+        verify(10, &edges, &forest).expect("valid");
+    }
+
+    #[test]
+    fn self_loops_ignored() {
+        let edges = vec![(0u32, 0u32), (0, 1), (1, 1)];
+        let forest = run_par(2, &edges, ExecMode::Checked);
+        assert_eq!(forest, vec![1]);
+    }
+}

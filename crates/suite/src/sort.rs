@@ -1,0 +1,148 @@
+//! `sort` — comparison sort (Table 1 row 9).
+//!
+//! Parallel sample sort. The bucket phase is the `RngInd` pattern: bucket
+//! boundaries come from a run-time scan, and each task sorts one
+//! contiguous bucket. The mode switch picks the `RngInd` expression:
+//!
+//! * [`ExecMode::Checked`] — `par_ind_chunks_mut` with its (cheap)
+//!   monotonicity check — the configuration the paper recommends and
+//!   itself uses for RPB ("we use par_ind_chunks_mut to express RngInd
+//!   because its overhead is negligible"),
+//! * [`ExecMode::Unsafe`] / [`ExecMode::Sync`] — the `split_at_mut`
+//!   carving inside [`rpb_parlay::sample_sort`] (statically safe; there
+//!   is no meaningful synchronization variant of bucketing, so `Sync`
+//!   aliases the default implementation).
+
+use rayon::prelude::*;
+
+use rpb_fearless::{ExecMode, ParIndChunksMutExt};
+use rpb_parlay::random::Random;
+use rpb_parlay::scan::scan_inplace_exclusive;
+use rpb_parlay::sendptr::SendPtr;
+
+/// Parallel sort of `u64` keys in the given mode.
+pub fn run_par(data: &mut [u64], mode: ExecMode) {
+    match mode {
+        ExecMode::Checked => checked_sample_sort(data),
+        ExecMode::Unsafe | ExecMode::Sync => {
+            rpb_parlay::sample_sort(data, |a, b| a.cmp(b))
+        }
+    }
+}
+
+/// Sequential baseline (`std` unstable sort, the usual C++ `std::sort`
+/// stand-in).
+pub fn run_seq(data: &mut [u64]) {
+    data.sort_unstable();
+}
+
+/// Sample sort whose bucket phase goes through `par_ind_chunks_mut`.
+fn checked_sample_sort(data: &mut [u64]) {
+    let n = data.len();
+    if n < 1 << 14 {
+        data.sort_unstable();
+        return;
+    }
+    let nbuckets = (((n as f64).sqrt() / 8.0).ceil() as usize).clamp(2, 1024);
+    let r = Random::new(0xD1CE);
+    let mut sample: Vec<u64> =
+        (0..nbuckets * 8).map(|i| data[(r.ith_rand(i as u64) % n as u64) as usize]).collect();
+    sample.sort_unstable();
+    let pivots: Vec<u64> = (1..nbuckets).map(|i| sample[i * 8]).collect();
+    let bucket_of = |x: u64| pivots.partition_point(|&p| p <= x);
+
+    let nblocks = rayon::current_num_threads().max(1) * 4;
+    let block = n.div_ceil(nblocks).max(1);
+    let nblocks = n.div_ceil(block);
+    let ids: Vec<u32> = data.par_iter().map(|&x| bucket_of(x) as u32).collect();
+    let mut counts: Vec<usize> = ids
+        .par_chunks(block)
+        .flat_map_iter(|chunk| {
+            let mut hist = vec![0usize; nbuckets];
+            for &b in chunk {
+                hist[b as usize] += 1;
+            }
+            hist.into_iter()
+        })
+        .collect();
+    let mut transposed = vec![0usize; nblocks * nbuckets];
+    for b in 0..nblocks {
+        for d in 0..nbuckets {
+            transposed[d * nblocks + b] = counts[b * nbuckets + d];
+        }
+    }
+    scan_inplace_exclusive(&mut transposed, 0, |a, b| a + b);
+    // Bucket boundaries for the RngInd phase: monotone by construction.
+    let mut bounds: Vec<usize> = (0..nbuckets).map(|d| transposed[d * nblocks]).collect();
+    bounds.push(n);
+    for b in 0..nblocks {
+        for d in 0..nbuckets {
+            counts[b * nbuckets + d] = transposed[d * nblocks + b];
+        }
+    }
+    // Scatter into a buffer (scan-proven disjoint destinations).
+    let mut buf: Vec<u64> = vec![0; n];
+    {
+        let buf_ptr = SendPtr::new(buf.as_mut_ptr());
+        data.par_chunks(block).zip(ids.par_chunks(block)).enumerate().for_each(
+            |(b, (chunk, id_chunk))| {
+                let mut offs = counts[b * nbuckets..(b + 1) * nbuckets].to_vec();
+                for (&x, &d) in chunk.iter().zip(id_chunk) {
+                    // SAFETY: (block, bucket) ranges partition 0..n.
+                    unsafe { buf_ptr.write(offs[d as usize], x) };
+                    offs[d as usize] += 1;
+                }
+            },
+        );
+    }
+    // RngInd bucket sort through the paper's checked iterator.
+    buf.par_ind_chunks_mut(&bounds).for_each(|bucket| bucket.sort_unstable());
+    data.copy_from_slice(&buf);
+}
+
+/// Checks sortedness and that the result is a permutation of `original`.
+pub fn verify(original: &[u64], sorted: &[u64]) -> Result<(), String> {
+    if sorted.windows(2).any(|w| w[0] > w[1]) {
+        return Err("not sorted".into());
+    }
+    let mut a = original.to_vec();
+    a.sort_unstable();
+    if a != sorted {
+        return Err("not a permutation of the input".into());
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inputs;
+
+    #[test]
+    fn all_modes_sort_exponential_input() {
+        let input = inputs::exponential(100_000);
+        let mut want = input.clone();
+        run_seq(&mut want);
+        for mode in [ExecMode::Unsafe, ExecMode::Checked, ExecMode::Sync] {
+            let mut got = input.clone();
+            run_par(&mut got, mode);
+            assert_eq!(got, want, "{mode}");
+            verify(&input, &got).expect("valid");
+        }
+    }
+
+    #[test]
+    fn checked_handles_skew() {
+        // All-equal keys put everything in one bucket.
+        let mut v = vec![42u64; 50_000];
+        run_par(&mut v, ExecMode::Checked);
+        assert!(v.iter().all(|&x| x == 42));
+    }
+
+    #[test]
+    fn small_input() {
+        let mut v = vec![3u64, 1, 2];
+        run_par(&mut v, ExecMode::Checked);
+        assert_eq!(v, vec![1, 2, 3]);
+    }
+}

@@ -1,0 +1,79 @@
+//! `sssp` — single-source shortest paths over a MultiQueue (Table 1
+//! row 14).
+//!
+//! Relaxed-priority Dijkstra: identical worker structure to [`crate::bfs`]
+//! but with weighted relaxations. Because the MultiQueue only
+//! approximates priority order, the algorithm is label-correcting — the
+//! classic trade of wasted re-relaxations for scalable scheduling
+//! (Postnikova et al., PPoPP'22).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use rpb_concurrent::write_min_u64;
+use rpb_fearless::ExecMode;
+use rpb_graph::WeightedGraph;
+use rpb_multiqueue::execute;
+
+/// Unreachable marker.
+pub const INF: u64 = u64::MAX;
+
+/// Parallel MQ-driven shortest-path distances from `src`.
+pub fn run_par(g: &WeightedGraph, src: usize, threads: usize, _mode: ExecMode) -> Vec<u64> {
+    let n = g.num_vertices();
+    let dist: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(INF)).collect();
+    dist[src].store(0, Ordering::Relaxed);
+    execute(threads, 2 * threads.max(1), vec![(0u64, src as u32)], |d, v, h| {
+        let v = v as usize;
+        if d > dist[v].load(Ordering::Relaxed) {
+            return; // stale
+        }
+        for (w, wt) in g.neighbors(v) {
+            let nd = d + wt as u64;
+            if write_min_u64(&dist[w as usize], nd) {
+                h.push(nd, w);
+            }
+        }
+    });
+    dist.into_iter().map(|d| d.into_inner()).collect()
+}
+
+/// Sequential Dijkstra baseline.
+pub fn run_seq(g: &WeightedGraph, src: usize) -> Vec<u64> {
+    rpb_graph::seq::dijkstra(g, src)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inputs;
+    use rpb_graph::GraphKind;
+
+    #[test]
+    fn matches_dijkstra() {
+        for kind in [GraphKind::Link, GraphKind::Road] {
+            let g = inputs::weighted_graph(kind, 1500);
+            let want = run_seq(&g, 0);
+            for threads in [1, 4] {
+                let got = run_par(&g, 0, threads, ExecMode::Sync);
+                assert_eq!(got, want, "{kind:?} at {threads} threads");
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_diamond_takes_light_path() {
+        let g = rpb_graph::WeightedGraph::from_edges(
+            4,
+            &[(0, 1, 1), (1, 3, 1), (0, 2, 10), (2, 3, 10), (0, 3, 5)],
+        );
+        let d = run_par(&g, 0, 2, ExecMode::Sync);
+        assert_eq!(d[3], 2);
+    }
+
+    #[test]
+    fn disconnected_vertex() {
+        let g = rpb_graph::WeightedGraph::from_edges(3, &[(0, 1, 7)]);
+        let d = run_par(&g, 0, 2, ExecMode::Sync);
+        assert_eq!(d, vec![0, 7, INF]);
+    }
+}

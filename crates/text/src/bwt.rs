@@ -1,0 +1,244 @@
+//! Burrows–Wheeler transform: encode (input preparation) and the parallel
+//! decode pipeline of the `bw` benchmark.
+//!
+//! Decoding follows PBBS: build the LF mapping with a blocked stable
+//! counting pass (per-block histograms + column-major scan — the `Block`
+//! and `SngInd` phases of Table 1), then recover the text order by
+//! *parallel list ranking* over the LF chain (the `D&C`/irregular-read
+//! phase), and finally emit the text with a `Stride` gather.
+
+use rayon::prelude::*;
+
+use rpb_fearless::ExecMode;
+use rpb_parlay::list_rank::{list_order, NIL};
+use rpb_parlay::scan::scan_inplace_exclusive;
+
+use crate::suffix_array::suffix_array;
+
+/// Sentinel byte appended by [`bwt_encode`]; must not occur in the input.
+pub const SENTINEL: u8 = 0;
+
+/// Encodes `text` (sentinel-free) into its BWT, including the sentinel.
+///
+/// # Panics
+/// Panics if `text` contains byte 0.
+pub fn bwt_encode(text: &[u8], mode: ExecMode) -> Vec<u8> {
+    assert!(
+        !text.contains(&SENTINEL),
+        "bwt_encode input must not contain the 0 sentinel byte"
+    );
+    let mut s = Vec::with_capacity(text.len() + 1);
+    s.extend_from_slice(text);
+    s.push(SENTINEL);
+    let sa = suffix_array(&s, mode);
+    let m = s.len();
+    sa.par_iter()
+        .map(|&i| {
+            let i = i as usize;
+            if i == 0 {
+                s[m - 1]
+            } else {
+                s[i - 1]
+            }
+        })
+        .collect()
+}
+
+/// Computes the LF mapping of a BWT string: `lf[i]` is the row of the
+/// rotation obtained by prepending `bwt[i]`, i.e.
+/// `C[bwt[i]] + rank(bwt[i], i)`.
+///
+/// Implemented as one blocked stable-counting pass: per-block byte
+/// histograms (`Block`), a column-major exclusive scan (sequential over
+/// 256 × blocks counters), then a per-block walk emitting each row's slot
+/// (`Stride` write to `lf`).
+pub fn lf_mapping(bwt: &[u8]) -> Vec<usize> {
+    let m = bwt.len();
+    if m == 0 {
+        return Vec::new();
+    }
+    let nblocks = rayon::current_num_threads().max(1) * 4;
+    let block = m.div_ceil(nblocks).max(1);
+    let nblocks = m.div_ceil(block);
+    let mut counts: Vec<usize> = bwt
+        .par_chunks(block)
+        .flat_map_iter(|chunk| {
+            let mut hist = vec![0usize; 256];
+            for &c in chunk {
+                hist[c as usize] += 1;
+            }
+            hist.into_iter()
+        })
+        .collect();
+    // Column-major scan: offset for (char c, block b) = #chars < c overall
+    // + #occurrences of c in earlier blocks.
+    let mut transposed = vec![0usize; nblocks * 256];
+    for b in 0..nblocks {
+        for c in 0..256 {
+            transposed[c * nblocks + b] = counts[b * 256 + c];
+        }
+    }
+    scan_inplace_exclusive(&mut transposed, 0, |a, b| a + b);
+    for b in 0..nblocks {
+        for c in 0..256 {
+            counts[b * 256 + c] = transposed[c * nblocks + b];
+        }
+    }
+    let mut lf = vec![0usize; m];
+    lf.par_chunks_mut(block).zip(bwt.par_chunks(block)).enumerate().for_each(
+        |(b, (lf_chunk, chunk))| {
+            let mut offs = counts[b * 256..(b + 1) * 256].to_vec();
+            for (slot, &c) in lf_chunk.iter_mut().zip(chunk) {
+                *slot = offs[c as usize];
+                offs[c as usize] += 1;
+            }
+        },
+    );
+    lf
+}
+
+/// Decodes a BWT string (must contain the sentinel exactly once) back to
+/// the original text, in parallel, returning the text without sentinel.
+///
+/// # Panics
+/// Panics if the sentinel is missing or the LF chain is malformed.
+pub fn bwt_decode(bwt: &[u8]) -> Vec<u8> {
+    let m = bwt.len();
+    if m <= 1 {
+        return Vec::new();
+    }
+    let lf = lf_mapping(bwt);
+    let p0 = bwt
+        .iter()
+        .position(|&c| c == SENTINEL)
+        .expect("bwt_decode: sentinel byte missing");
+    // Break the LF cycle at the row that maps back to the start.
+    let mut next = lf;
+    let back = next
+        .par_iter()
+        .position_any(|&t| t == p0)
+        .expect("bwt_decode: malformed LF chain");
+    next[back] = NIL;
+    let order = list_order(&next, p0);
+    assert_eq!(order.len(), m, "bwt_decode: LF chain does not cover all rows");
+    // T[m-1-k] = bwt[order[k]] — emit forward with a Stride write.
+    let mut out: Vec<u8> =
+        (0..m - 1).into_par_iter().map(|k| bwt[order[m - 1 - k]]).collect();
+    debug_assert_eq!(bwt[order[0]], SENTINEL);
+    out.truncate(m - 1);
+    out
+}
+
+/// Sequential decode baseline (direct LF walk).
+pub fn bwt_decode_seq(bwt: &[u8]) -> Vec<u8> {
+    let m = bwt.len();
+    if m <= 1 {
+        return Vec::new();
+    }
+    // Sequential LF mapping.
+    let mut counts = [0usize; 256];
+    for &c in bwt {
+        counts[c as usize] += 1;
+    }
+    let mut c_cum = [0usize; 256];
+    let mut acc = 0;
+    for c in 0..256 {
+        c_cum[c] = acc;
+        acc += counts[c];
+    }
+    let mut occ = [0usize; 256];
+    let mut lf = vec![0usize; m];
+    for (i, &c) in bwt.iter().enumerate() {
+        lf[i] = c_cum[c as usize] + occ[c as usize];
+        occ[c as usize] += 1;
+    }
+    let mut t = bwt.iter().position(|&c| c == SENTINEL).expect("sentinel");
+    let mut out = vec![0u8; m];
+    for k in (0..m).rev() {
+        out[k] = bwt[t];
+        t = lf[t];
+    }
+    out.truncate(m - 1);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_banana() {
+        let t = b"banana".to_vec();
+        let bwt = bwt_encode(&t, ExecMode::Checked);
+        assert_eq!(bwt_decode(&bwt), t);
+        assert_eq!(bwt_decode_seq(&bwt), t);
+    }
+
+    #[test]
+    fn known_bwt_of_banana() {
+        // With a 0 sentinel, BWT("banana") = "annb\0aa".
+        let bwt = bwt_encode(b"banana", ExecMode::Unsafe);
+        assert_eq!(bwt, b"annb\0aa".to_vec());
+    }
+
+    #[test]
+    fn round_trip_wiki_like() {
+        let t = crate::gen::wiki_like_text(80_000, 4);
+        let bwt = bwt_encode(&t, ExecMode::Unsafe);
+        assert_eq!(bwt_decode(&bwt), t);
+    }
+
+    #[test]
+    fn parallel_and_seq_decode_agree() {
+        let t = crate::gen::wiki_like_text(40_000, 8);
+        let bwt = bwt_encode(&t, ExecMode::Unsafe);
+        assert_eq!(bwt_decode(&bwt), bwt_decode_seq(&bwt));
+    }
+
+    #[test]
+    fn lf_mapping_is_a_permutation() {
+        let t = crate::gen::wiki_like_text(10_000, 2);
+        let bwt = bwt_encode(&t, ExecMode::Unsafe);
+        let lf = lf_mapping(&bwt);
+        let mut seen = vec![false; lf.len()];
+        for &x in &lf {
+            assert!(!seen[x], "LF not a permutation");
+            seen[x] = true;
+        }
+    }
+
+    #[test]
+    fn lf_matches_sequential_definition() {
+        let bwt = bwt_encode(b"abracadabra", ExecMode::Checked);
+        let lf = lf_mapping(&bwt);
+        // Sequential definition.
+        let mut counts = [0usize; 256];
+        for &c in &bwt {
+            counts[c as usize] += 1;
+        }
+        let mut cum = [0usize; 256];
+        let mut acc = 0;
+        for c in 0..256 {
+            cum[c] = acc;
+            acc += counts[c];
+        }
+        let mut occ = [0usize; 256];
+        for (i, &c) in bwt.iter().enumerate() {
+            assert_eq!(lf[i], cum[c as usize] + occ[c as usize], "row {i}");
+            occ[c as usize] += 1;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "sentinel")]
+    fn encode_rejects_sentinel_in_input() {
+        bwt_encode(&[1, 2, 0, 3], ExecMode::Checked);
+    }
+
+    #[test]
+    fn empty_text() {
+        let bwt = bwt_encode(b"", ExecMode::Checked);
+        assert_eq!(bwt, vec![SENTINEL]);
+        assert!(bwt_decode(&bwt).is_empty());
+    }
+}

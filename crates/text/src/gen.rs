@@ -1,0 +1,91 @@
+//! Deterministic "wiki-like" corpus generator.
+//!
+//! Substitutes for the paper's Wikipedia (`wiki`) input: natural-language
+//! statistics matter for `sa`/`lrs`/`bw` because suffix sorting and LCP
+//! depths depend on repeated substructure. The generator draws words
+//! Zipf-style from a synthetic lexicon and periodically re-emits earlier
+//! passages, planting the long repeats that make `lrs` meaningful.
+
+use rpb_parlay::random::SeqRng;
+
+/// Generates roughly `target_len` bytes of lowercase text with spaces.
+///
+/// Properties:
+/// * deterministic in `seed`,
+/// * Zipf-weighted word frequencies (like natural language),
+/// * ~5% of output re-emits an earlier passage verbatim (long repeats),
+/// * bytes are in `b'a'..=b'z'` and `b' '` — never the 0 sentinel.
+pub fn wiki_like_text(target_len: usize, seed: u64) -> Vec<u8> {
+    let mut rng = SeqRng::new(seed);
+    // Synthetic lexicon: 4000 words, lengths 2..=12.
+    let lexicon: Vec<Vec<u8>> = (0..4000)
+        .map(|_| {
+            let len = 2 + (rng.next_bounded(11)) as usize;
+            (0..len).map(|_| b'a' + rng.next_bounded(26) as u8).collect()
+        })
+        .collect();
+    let mut out: Vec<u8> = Vec::with_capacity(target_len + 64);
+    while out.len() < target_len {
+        if out.len() > 2048 && rng.next_bounded(20) == 0 {
+            // Plant a repeat: copy an earlier passage of 256..=2048 bytes.
+            let len = 256 + rng.next_bounded(1793) as usize;
+            let start = rng.next_bounded((out.len() - len.min(out.len() - 1)) as u64) as usize;
+            let end = (start + len).min(out.len());
+            let passage = out[start..end].to_vec();
+            out.extend_from_slice(&passage);
+        } else {
+            // Zipf word pick: rank ~ u^(1/(1-theta)) over the lexicon.
+            let u = (rng.next_f64()).max(1e-12);
+            let rank = ((lexicon.len() as f64) * u.powf(2.0)) as usize;
+            out.extend_from_slice(&lexicon[rank.min(lexicon.len() - 1)]);
+            out.push(b' ');
+        }
+    }
+    out.truncate(target_len);
+    // Guard: the truncation cannot introduce a 0 byte, but assert the
+    // invariant the BWT encoder relies on.
+    debug_assert!(!out.contains(&0));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(wiki_like_text(10_000, 1), wiki_like_text(10_000, 1));
+        assert_ne!(wiki_like_text(10_000, 1), wiki_like_text(10_000, 2));
+    }
+
+    #[test]
+    fn exact_length_and_alphabet() {
+        let t = wiki_like_text(5000, 3);
+        assert_eq!(t.len(), 5000);
+        assert!(t.iter().all(|&c| c == b' ' || c.is_ascii_lowercase()));
+    }
+
+    #[test]
+    fn has_long_repeats() {
+        // The planted passages guarantee a repeated substring of at least
+        // a few hundred bytes in a 200 KB sample.
+        let t = wiki_like_text(200_000, 7);
+        let sa = crate::suffix_array::suffix_array(&t, rpb_fearless::ExecMode::Unsafe);
+        let lcp = crate::lcp::lcp_from_sa(&t, &sa);
+        let max_lcp = lcp.iter().copied().max().unwrap_or(0);
+        assert!(max_lcp >= 200, "no long repeat found (max LCP {max_lcp})");
+    }
+
+    #[test]
+    fn word_frequencies_are_skewed() {
+        let t = wiki_like_text(100_000, 5);
+        let words: Vec<&[u8]> = t.split(|&c| c == b' ').filter(|w| !w.is_empty()).collect();
+        let mut counts = std::collections::HashMap::new();
+        for w in &words {
+            *counts.entry(*w).or_insert(0usize) += 1;
+        }
+        let max = counts.values().copied().max().unwrap();
+        let mean = words.len() / counts.len().max(1);
+        assert!(max > 4 * mean, "zipf skew missing: max {max}, mean {mean}");
+    }
+}

@@ -1,0 +1,131 @@
+//! Longest-common-prefix arrays via chunked Φ-Kasai.
+//!
+//! Kasai's algorithm computes PLCP (LCP by text position) exploiting
+//! `PLCP[i] >= PLCP[i-1] - 1`, which makes it inherently sequential. The
+//! parallel variant here splits positions into chunks and restarts the
+//! `h` counter at each chunk head: still correct (the inequality is only a
+//! work-saving device), embarrassingly parallel across chunks, and close
+//! to linear work on natural text. This is the same family of compromise
+//! PBBS makes for its LCP.
+
+use rayon::prelude::*;
+
+/// PLCP array: `plcp[i]` = LCP of the suffix at text position `i` with its
+/// lexicographic predecessor (0 for the lexicographically first suffix).
+pub fn plcp(text: &[u8], sa: &[u32]) -> Vec<u32> {
+    let n = text.len();
+    assert_eq!(sa.len(), n, "suffix array length mismatch");
+    if n == 0 {
+        return Vec::new();
+    }
+    // rank = inverse SA; phi[i] = suffix preceding i in SA order.
+    let mut rank = vec![0u32; n];
+    for (j, &i) in sa.iter().enumerate() {
+        rank[i as usize] = j as u32;
+    }
+    const NONE: u32 = u32::MAX;
+    let phi: Vec<u32> = (0..n)
+        .into_par_iter()
+        .map(|i| {
+            let j = rank[i];
+            if j == 0 {
+                NONE
+            } else {
+                sa[j as usize - 1]
+            }
+        })
+        .collect();
+    // Chunked Kasai over text positions.
+    let chunk = 1 << 14;
+    let mut out = vec![0u32; n];
+    out.par_chunks_mut(chunk).enumerate().for_each(|(c, chunk_out)| {
+        let base = c * chunk;
+        let mut h = 0usize;
+        for (k, slot) in chunk_out.iter_mut().enumerate() {
+            let i = base + k;
+            let j = phi[i];
+            if j == NONE {
+                h = 0;
+                *slot = 0;
+                continue;
+            }
+            let j = j as usize;
+            while i + h < n && j + h < n && text[i + h] == text[j + h] {
+                h += 1;
+            }
+            *slot = h as u32;
+            h = h.saturating_sub(1);
+        }
+    });
+    out
+}
+
+/// LCP array in suffix-array order: `lcp[j]` = LCP of `sa[j]` and
+/// `sa[j-1]` (`lcp[0] = 0`).
+pub fn lcp_from_sa(text: &[u8], sa: &[u32]) -> Vec<u32> {
+    let p = plcp(text, sa);
+    sa.par_iter().map(|&i| p[i as usize]).collect()
+}
+
+/// Naive reference for tests.
+pub fn lcp_naive(text: &[u8], sa: &[u32]) -> Vec<u32> {
+    let mut out = vec![0u32; sa.len()];
+    for j in 1..sa.len() {
+        let (a, b) = (sa[j - 1] as usize, sa[j] as usize);
+        let mut h = 0;
+        while a + h < text.len() && b + h < text.len() && text[a + h] == text[b + h] {
+            h += 1;
+        }
+        out[j] = h as u32;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::suffix_array::{suffix_array, suffix_array_naive};
+    use rpb_fearless::ExecMode;
+
+    #[test]
+    fn banana_lcp() {
+        let t = b"banana";
+        let sa = suffix_array_naive(t);
+        // SA: 5(a) 3(ana) 1(anana) 0(banana) 4(na) 2(nana)
+        assert_eq!(lcp_naive(t, &sa), vec![0, 1, 3, 0, 0, 2]);
+        assert_eq!(lcp_from_sa(t, &sa), vec![0, 1, 3, 0, 0, 2]);
+    }
+
+    #[test]
+    fn random_text_matches_naive() {
+        let t: Vec<u8> =
+            (0..5000u64).map(|i| (rpb_parlay::random::hash64(i) % 3) as u8 + b'a').collect();
+        let sa = suffix_array(&t, ExecMode::Checked);
+        assert_eq!(lcp_from_sa(&t, &sa), lcp_naive(&t, &sa));
+    }
+
+    #[test]
+    fn text_crossing_chunk_boundaries() {
+        // Bigger than one 16Ki chunk to exercise the chunked restart.
+        let t = crate::gen::wiki_like_text(50_000, 3);
+        let sa = suffix_array(&t, ExecMode::Unsafe);
+        assert_eq!(lcp_from_sa(&t, &sa), lcp_naive(&t, &sa));
+    }
+
+    #[test]
+    fn all_same_char() {
+        let t = vec![b'z'; 100];
+        let sa = suffix_array_naive(&t);
+        let lcp = lcp_from_sa(&t, &sa);
+        // SA is n-1, n-2, ..., 0; LCP[j] = j after the first.
+        for (j, &l) in lcp.iter().enumerate() {
+            assert_eq!(l as usize, j.saturating_sub(0).min(j));
+        }
+    }
+
+    #[test]
+    fn empty() {
+        assert!(plcp(b"", &[]).is_empty());
+        assert!(lcp_from_sa(b"", &[]).is_empty());
+    }
+}

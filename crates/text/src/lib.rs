@@ -1,0 +1,22 @@
+//! # rpb-text
+//!
+//! Text-processing substrate for the `sa`, `lrs`, and `bw` benchmarks:
+//!
+//! * [`mod@suffix_array`] — parallel prefix-doubling suffix array construction
+//!   (the rank-scatter step is the paper's flagship `SngInd` use),
+//! * [`mod@lcp`] — longest-common-prefix arrays via chunked Φ-Kasai,
+//! * [`mod@bwt`] — Burrows–Wheeler encode (for building test inputs) and the
+//!   parallel decode pipeline (LF mapping + list ranking),
+//! * [`mod@gen`] — a deterministic "wiki-like" corpus generator substituting
+//!   for the paper's Wikipedia input: Zipf-weighted lexicon with planted
+//!   long repeats so `lrs` has structure to find.
+
+pub mod bwt;
+pub mod gen;
+pub mod lcp;
+pub mod suffix_array;
+
+pub use bwt::{bwt_decode, bwt_encode, lf_mapping};
+pub use gen::wiki_like_text;
+pub use lcp::{lcp_from_sa, plcp};
+pub use suffix_array::{suffix_array, suffix_array_naive, suffix_array_seq};

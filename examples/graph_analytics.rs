@@ -1,0 +1,80 @@
+//! Graph-analytics scenario: the six graph benchmarks of RPB on the
+//! paper's three input families (Table 2 stand-ins), with validation
+//! against sequential references.
+//!
+//! Run with: `cargo run --release --example graph_analytics [n_vertices]`
+
+use std::time::Instant;
+
+use rpb::graph::GraphKind;
+use rpb::suite::{bfs, inputs, mis, mm, msf, sf, sssp};
+use rpb::ExecMode;
+
+fn main() {
+    let n: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(20_000);
+    let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+
+    for kind in [GraphKind::Link, GraphKind::Rmat, GraphKind::Road] {
+        let g = inputs::graph(kind, n);
+        println!(
+            "\n=== {} graph: |V| = {}, |E| = {}, avg deg = {:.1} ===",
+            kind.shorthand(),
+            g.num_vertices(),
+            g.num_arcs() / 2,
+            g.avg_degree()
+        );
+
+        // mis
+        let t0 = Instant::now();
+        let set = mis::run_par(&g, ExecMode::Checked);
+        let t = t0.elapsed();
+        mis::verify(&g, &set).expect("MIS valid");
+        println!("mis : {:>10.2?}  |MIS| = {}", t, set.iter().filter(|&&b| b).count());
+
+        // mm
+        let (nv, edges) = inputs::edges(kind, n);
+        let t0 = Instant::now();
+        let matching = mm::run_par(nv, &edges, ExecMode::Checked);
+        let t = t0.elapsed();
+        mm::verify(nv, &edges, &matching).expect("matching valid");
+        println!(
+            "mm  : {:>10.2?}  |M| = {}",
+            t,
+            matching.iter().filter(|&&b| b).count()
+        );
+
+        // sf
+        let t0 = Instant::now();
+        let forest = sf::run_par(nv, &edges, ExecMode::Checked);
+        let t = t0.elapsed();
+        sf::verify(nv, &edges, &forest).expect("forest valid");
+        println!("sf  : {:>10.2?}  |F| = {} edges", t, forest.len());
+
+        // msf
+        let (nw, wedges) = inputs::weighted_edges(kind, n);
+        let t0 = Instant::now();
+        let (chosen, total) = msf::run_par(nw, &wedges, ExecMode::Checked);
+        let t = t0.elapsed();
+        let (_, kruskal_total) = msf::run_seq(nw, &wedges);
+        assert_eq!(total, kruskal_total, "MSF weight mismatch vs Kruskal");
+        println!("msf : {:>10.2?}  weight = {} over {} edges", t, total, chosen.len());
+
+        // bfs (MultiQueue)
+        let t0 = Instant::now();
+        let dist = bfs::run_par(&g, 0, threads, ExecMode::Sync);
+        let t = t0.elapsed();
+        assert_eq!(dist, bfs::run_seq(&g, 0), "BFS distances mismatch");
+        let reached = dist.iter().filter(|&&d| d != bfs::INF).count();
+        println!("bfs : {:>10.2?}  reached {} vertices from 0", t, reached);
+
+        // sssp (MultiQueue)
+        let wg = inputs::weighted_graph(kind, n);
+        let t0 = Instant::now();
+        let dist = sssp::run_par(&wg, 0, threads, ExecMode::Sync);
+        let t = t0.elapsed();
+        assert_eq!(dist, sssp::run_seq(&wg, 0), "SSSP distances mismatch");
+        let far = dist.iter().filter(|&&d| d != sssp::INF).max().copied().unwrap_or(0);
+        println!("sssp: {:>10.2?}  eccentricity bound = {}", t, far);
+    }
+    println!("\nall parallel results validated against sequential references");
+}

@@ -1,0 +1,77 @@
+//! Computational-geometry scenario: the `dr` benchmark end to end —
+//! Kuzmin points → Delaunay triangulation → parallel
+//! reservation-coordinated refinement — with a quality histogram before
+//! and after.
+//!
+//! Run with: `cargo run --release --example mesh_refinement [n_points]`
+
+use std::time::Instant;
+
+use rpb::geom::predicates::radius_edge_ratio;
+use rpb::geom::{delaunay, refine, RefineParams, Triangulation};
+use rpb::suite::inputs;
+
+fn quality_histogram(mesh: &Triangulation) -> [usize; 5] {
+    // Buckets by radius/edge ratio: [<0.8, <1.0, <sqrt2, <2.5, >=2.5].
+    let mut hist = [0usize; 5];
+    for t in mesh.alive_tris() {
+        if mesh.touches_ghost(t) {
+            continue;
+        }
+        let [a, b, c] = mesh.corners(t);
+        let q = radius_edge_ratio(&a, &b, &c).unwrap_or(f64::INFINITY);
+        let bucket = if q < 0.8 {
+            0
+        } else if q < 1.0 {
+            1
+        } else if q < std::f64::consts::SQRT_2 {
+            2
+        } else if q < 2.5 {
+            3
+        } else {
+            4
+        };
+        hist[bucket] += 1;
+    }
+    hist
+}
+
+fn print_hist(label: &str, hist: [usize; 5]) {
+    let total: usize = hist.iter().sum();
+    println!("{label} quality (radius/edge ratio) over {total} triangles:");
+    let names = ["< 0.8 (excellent)", "< 1.0", "< 1.414 (target)", "< 2.5", ">= 2.5 (sliver)"];
+    for (name, count) in names.iter().zip(hist) {
+        let pct = 100.0 * count as f64 / total.max(1) as f64;
+        println!("  {name:<18} {count:>7}  {pct:5.1}%  {}", "#".repeat((pct / 2.0) as usize));
+    }
+}
+
+fn main() {
+    let n: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(20_000);
+    println!("generating {n} Kuzmin-distributed points...");
+    let points = inputs::kuzmin(n);
+
+    let t0 = Instant::now();
+    let mut mesh = delaunay(&points);
+    println!("delaunay  : {:?} — {} triangles", t0.elapsed(), mesh.num_alive());
+    mesh.check_valid();
+    print_hist("before", quality_histogram(&mesh));
+
+    let params = RefineParams::for_points(&points, 40);
+    println!(
+        "\nrefining to ratio <= {:.3} with size floor {:.4}...",
+        params.max_ratio, params.min_edge
+    );
+    let t0 = Instant::now();
+    let stats = refine(&mut mesh, params);
+    println!(
+        "refine    : {:?} — {} rounds, {} Steiner points, {} retries, {} unrefinable",
+        t0.elapsed(),
+        stats.rounds,
+        stats.inserted,
+        stats.retries,
+        stats.unrefinable
+    );
+    mesh.check_valid();
+    print_hist("after", quality_histogram(&mesh));
+}

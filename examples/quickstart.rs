@@ -1,0 +1,75 @@
+//! Quickstart: the paper's indirect parallel iterators in action.
+//!
+//! Demonstrates the fearlessness spectrum on the `SngInd` and `RngInd`
+//! patterns:
+//! * checked iterators that catch an implementation bug at run time,
+//!   near its cause (comfortable),
+//! * the unsafe escape hatch (scary, C++-equivalent),
+//! * the regular patterns Rayon already makes fearless.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use rayon::prelude::*;
+use rpb::fearless::{ParIndChunksMutExt, ParIndIterMutExt, UniquenessCheck};
+use rpb::parlay;
+
+fn main() {
+    // ---- Regular parallelism: fearless in safe Rust + Rayon. ----------
+    let mut squares: Vec<u64> = (0..1_000_000).collect();
+    // Stride pattern (paper Listing 4e): par_iter_mut.
+    squares.par_iter_mut().for_each(|x| *x *= *x);
+    println!("Stride   : squared 1M elements, squares[1000] = {}", squares[1000]);
+
+    // RO pattern (paper Listing 3c): parallel reduction.
+    let sum = parlay::reduce(&squares[..1000], 0u64, |a, b| a + b);
+    println!("RO       : sum of first 1000 squares = {sum}");
+
+    // ---- SngInd: out[offsets[i]] = f(i). ------------------------------
+    // The algorithm (a permutation) guarantees unique offsets, but rustc
+    // cannot know that. par_ind_iter_mut validates at run time.
+    let n = 1_000_000;
+    let offsets = parlay::seqdata::random_permutation(n, 42);
+    let input: Vec<u64> = (0..n as u64).collect();
+    let mut out = vec![0u64; n];
+    out.par_ind_iter_mut(&offsets)
+        .zip(input.par_iter())
+        .for_each(|(slot, &v)| *slot = v);
+    println!("SngInd   : scattered {n} elements through a checked permutation");
+
+    // An *incorrect* offsets array is caught at the call site — the
+    // "comfortable" tier of the paper's fear spectrum.
+    let mut bad_offsets = offsets.clone();
+    bad_offsets[0] = bad_offsets[1]; // plant the bug
+    match out.try_par_ind_iter_mut(&bad_offsets, UniquenessCheck::MarkTable) {
+        Ok(_) => unreachable!(),
+        Err(e) => println!("SngInd   : planted bug caught at run time: {e}"),
+    }
+
+    // ---- RngInd: out[offsets[i]..offsets[i+1]] = f(i). ----------------
+    // Chunk boundaries from run-time data; the monotonicity check is
+    // O(#chunks) — comfort at effectively zero cost.
+    let bounds: Vec<usize> = (0..=100).map(|i| i * n / 100).collect();
+    out.par_ind_chunks_mut(&bounds)
+        .enumerate()
+        .for_each(|(i, chunk)| chunk.fill(i as u64));
+    println!("RngInd   : filled 100 variable chunks via par_ind_chunks_mut");
+
+    // ---- The unsafe tier, for comparison (paper Listing 6d). ----------
+    let view = rpb::fearless::SharedMutSlice::new(&mut out);
+    offsets.par_iter().enumerate().for_each(|(i, &o)| {
+        // SAFETY: offsets is a permutation — unique indices.
+        unsafe { view.write(o, input[i]) };
+    });
+    println!("Unsafe   : same scatter, no checks — the scary tier");
+
+    // ---- Fearlessness summary (paper Table 3). -------------------------
+    println!("\nTable 3 — pattern → expression → fearlessness:");
+    for p in rpb::fearless::taxonomy::ALL_PATTERNS {
+        println!(
+            "  {:<6} {:<28} {}",
+            p.abbrev(),
+            p.expression(),
+            p.fearlessness()
+        );
+    }
+}

@@ -1,0 +1,60 @@
+//! Text-analytics scenario: the paper's `sa` → `lrs` → `bw` pipeline on a
+//! synthetic Wikipedia-like corpus, timed per safety mode.
+//!
+//! This is the Fig. 5(a) story in miniature: the suffix-array rank
+//! scatter is a `SngInd` write, and the run-time uniqueness check of the
+//! checked mode costs real work, while the `RngInd`-style phases are
+//! effectively free to check.
+//!
+//! Run with: `cargo run --release --example text_pipeline [bytes]`
+
+use std::time::Instant;
+
+use rpb::suite::{bw, lrs, sa};
+use rpb::ExecMode;
+
+fn main() {
+    let len: usize =
+        std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(400_000);
+    println!("generating {len} bytes of wiki-like text...");
+    let text = rpb::suite::inputs::wiki(len);
+
+    // Suffix array under each mode.
+    let mut sa_result = Vec::new();
+    for mode in [ExecMode::Unsafe, ExecMode::Checked, ExecMode::Sync] {
+        let t0 = Instant::now();
+        sa_result = sa::run_par(&text, mode);
+        println!("sa   [{mode:>7}]: {:?}", t0.elapsed());
+    }
+    sa::verify(&text, &sa_result).expect("suffix array valid");
+
+    // Longest repeated substring.
+    let t0 = Instant::now();
+    let repeat = lrs::run_par(&text, ExecMode::Unsafe);
+    println!(
+        "lrs  [ unsafe]: {:?} — longest repeat is {} bytes (at {} and {})",
+        t0.elapsed(),
+        repeat.len,
+        repeat.pos_a,
+        repeat.pos_b
+    );
+    lrs::verify(&text, &repeat).expect("repeat verified");
+    let snippet_len = repeat.len.min(48);
+    println!(
+        "               \"{}\"{}",
+        String::from_utf8_lossy(&text[repeat.pos_a..repeat.pos_a + snippet_len]),
+        if repeat.len > snippet_len { "..." } else { "" }
+    );
+
+    // Burrows–Wheeler round trip.
+    let t0 = Instant::now();
+    let bwt = rpb::text::bwt_encode(&text, ExecMode::Unsafe);
+    println!("bwt  [encode ]: {:?}", t0.elapsed());
+    for mode in [ExecMode::Unsafe, ExecMode::Checked, ExecMode::Sync] {
+        let t0 = Instant::now();
+        let decoded = bw::run_par(&bwt, mode);
+        println!("bw   [{mode:>7}]: {:?}", t0.elapsed());
+        assert_eq!(decoded, text, "round trip failed");
+    }
+    println!("round trip verified: decode(encode(text)) == text");
+}

@@ -1,0 +1,93 @@
+//! Determinism contract: the internally deterministic benchmarks must
+//! produce bit-identical results run to run and across Rayon pool sizes.
+//! (Paper Sec. 3.1: the nondeterminism of concurrency errors is what
+//! makes them nefarious — the deterministic-by-construction benchmarks
+//! are the antidote.)
+
+use rpb::graph::GraphKind;
+use rpb::suite::*;
+use rpb::ExecMode;
+
+/// Runs `f` inside a Rayon pool with `threads` workers.
+fn with_pool<T: Send>(threads: usize, f: impl FnOnce() -> T + Send) -> T {
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("pool")
+        .install(f)
+}
+
+#[test]
+fn sa_is_deterministic_across_pool_sizes() {
+    let text = inputs::wiki(15_000);
+    let base = with_pool(1, || sa::run_par(&text, ExecMode::Unsafe));
+    for threads in [2, 4] {
+        let got = with_pool(threads, || sa::run_par(&text, ExecMode::Unsafe));
+        assert_eq!(got, base, "{threads} threads");
+    }
+}
+
+#[test]
+fn mis_is_deterministic_across_pool_sizes() {
+    let g = inputs::graph(GraphKind::Rmat, 1500);
+    let base = with_pool(1, || mis::run_par(&g, ExecMode::Checked));
+    for threads in [2, 4] {
+        assert_eq!(with_pool(threads, || mis::run_par(&g, ExecMode::Checked)), base);
+    }
+}
+
+#[test]
+fn mm_is_deterministic_across_pool_sizes() {
+    let (n, edges) = inputs::edges(GraphKind::Rmat, 1500);
+    let base = with_pool(1, || mm::run_par(n, &edges, ExecMode::Checked));
+    for threads in [2, 4] {
+        assert_eq!(with_pool(threads, || mm::run_par(n, &edges, ExecMode::Checked)), base);
+    }
+}
+
+#[test]
+fn msf_is_deterministic_across_pool_sizes() {
+    let (n, edges) = inputs::weighted_edges(GraphKind::Road, 1000);
+    let base = with_pool(1, || msf::run_par(n, &edges, ExecMode::Checked));
+    for threads in [2, 4] {
+        assert_eq!(with_pool(threads, || msf::run_par(n, &edges, ExecMode::Checked)), base);
+    }
+}
+
+#[test]
+fn sort_dedup_hist_are_deterministic() {
+    let data = inputs::exponential(40_000);
+    let sorted = {
+        let mut v = data.clone();
+        sort::run_par(&mut v, ExecMode::Checked);
+        v
+    };
+    for threads in [1, 4] {
+        let got = with_pool(threads, || {
+            let mut v = data.clone();
+            sort::run_par(&mut v, ExecMode::Checked);
+            v
+        });
+        assert_eq!(got, sorted);
+        let d = with_pool(threads, || dedup::run_par(&data, ExecMode::Sync));
+        assert_eq!(d, dedup::run_seq(&data));
+        let h = with_pool(threads, || hist::run_par(&data, 128, 40_000, ExecMode::Sync));
+        assert_eq!(h, hist::run_seq(&data, 128, 40_000));
+    }
+}
+
+#[test]
+fn bfs_sssp_results_schedule_independent() {
+    // The MQ pop order is nondeterministic, but the fixed point (the
+    // distance array) is unique — any schedule must converge to it.
+    let g = inputs::graph(GraphKind::Road, 1200);
+    let want = bfs::run_seq(&g, 0);
+    for rep in 0..3 {
+        assert_eq!(bfs::run_par(&g, 0, 4, ExecMode::Sync), want, "repetition {rep}");
+    }
+    let wg = inputs::weighted_graph(GraphKind::Road, 1200);
+    let want = sssp::run_seq(&wg, 0);
+    for rep in 0..3 {
+        assert_eq!(sssp::run_par(&wg, 0, 4, ExecMode::Sync), want, "repetition {rep}");
+    }
+}

@@ -1,0 +1,66 @@
+//! Larger-input stress tests (still seconds-scale). These exercise the
+//! multi-block/multi-round code paths that small unit-test inputs skip:
+//! multiple radix passes, deep doubling rounds, many refinement rounds,
+//! long MQ runs.
+
+use rpb::graph::GraphKind;
+use rpb::suite::*;
+use rpb::ExecMode;
+
+#[test]
+fn text_pipeline_at_scale() {
+    // 300 KB: dozens of doubling rounds, multi-block scans and sorts.
+    let text = inputs::wiki(300_000);
+    let sa_par = sa::run_par(&text, ExecMode::Unsafe);
+    sa::verify(&text, &sa_par).expect("suffix array valid");
+    let repeat = lrs::run_par(&text, ExecMode::Unsafe);
+    lrs::verify(&text, &repeat).expect("lrs valid");
+    assert!(repeat.len >= 256, "planted repeats should exceed 256 bytes, got {}", repeat.len);
+    let bwt = rpb::text::bwt_encode(&text, ExecMode::Unsafe);
+    assert_eq!(bw::run_par(&bwt, ExecMode::Unsafe), text);
+}
+
+#[test]
+fn sort_family_at_scale() {
+    let data = inputs::exponential(1_500_000);
+    let mut a = data.clone();
+    sort::run_par(&mut a, ExecMode::Checked);
+    assert!(a.windows(2).all(|w| w[0] <= w[1]));
+    let mut b = data.clone();
+    isort::run_par(&mut b, 21, ExecMode::Checked);
+    assert_eq!(a, b, "sample sort and integer sort disagree");
+    let uniq = dedup::run_par(&data, ExecMode::Sync);
+    let mut want = data.clone();
+    want.sort_unstable();
+    want.dedup();
+    assert_eq!(uniq, want);
+}
+
+#[test]
+fn graph_kernels_at_scale() {
+    let g = inputs::graph(GraphKind::Rmat, 30_000);
+    let mis_flags = mis::run_par(&g, ExecMode::Checked);
+    mis::verify(&g, &mis_flags).expect("MIS valid");
+    let dist = bfs::run_par(&g, 0, 4, ExecMode::Sync);
+    assert_eq!(dist, bfs::run_seq(&g, 0));
+    let wg = inputs::weighted_graph(GraphKind::Road, 30_000);
+    let sd = sssp::run_par(&wg, 0, 4, ExecMode::Sync);
+    assert_eq!(sd, sssp::run_seq(&wg, 0));
+}
+
+#[test]
+fn refinement_at_scale() {
+    let pts = inputs::kuzmin(8_000);
+    let r = dr::run_par(&pts, ExecMode::Checked);
+    dr::verify(&pts, &r).expect("refined mesh valid");
+    assert!(r.stats.inserted > 100, "expected substantial refinement");
+}
+
+#[test]
+fn msf_variants_agree_at_scale() {
+    let (n, edges) = inputs::weighted_edges(GraphKind::Rmat, 20_000);
+    let (b_edges, b_w) = msf::run_par(n, &edges, ExecMode::Checked);
+    let (k_edges, k_w) = msf_kruskal::run_par(n, &edges, ExecMode::Checked);
+    assert_eq!(b_w, k_w);
+    assert_eq!(b_edges, k_edges);
+}
