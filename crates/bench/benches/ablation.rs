@@ -44,7 +44,9 @@ fn bench_check_strategies(c: &mut Criterion) {
 
 fn bench_schedulers(c: &mut Criterion) {
     let w = workloads();
-    let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
     let mut group = c.benchmark_group("ablation_scheduler");
     group.sample_size(10);
     group.bench_function("bfs_road/multiqueue", |b| {
@@ -81,5 +83,10 @@ fn bench_mq_queue_count(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_check_strategies, bench_schedulers, bench_mq_queue_count);
+criterion_group!(
+    benches,
+    bench_check_strategies,
+    bench_schedulers,
+    bench_mq_queue_count
+);
 criterion_main!(benches);

@@ -16,7 +16,9 @@ fn workloads() -> &'static Workloads {
 
 fn bench_fig4(c: &mut Criterion) {
     let w = workloads();
-    let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
     let mut group = c.benchmark_group("fig4");
     group.sample_size(10);
     for name in ALL_PAIRS {

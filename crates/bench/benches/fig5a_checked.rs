@@ -20,7 +20,9 @@ fn workloads() -> &'static Workloads {
 
 fn bench_fig5a(c: &mut Criterion) {
     let w = workloads();
-    let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
     let mut group = c.benchmark_group("fig5a");
     group.sample_size(10);
     for name in FIG5A_PAIRS {
@@ -48,9 +50,10 @@ fn bench_fig5a(c: &mut Criterion) {
             });
         });
     });
-    for (label, strat) in
-        [("checked_mark", UniquenessCheck::MarkTable), ("checked_sort", UniquenessCheck::Sort)]
-    {
+    for (label, strat) in [
+        ("checked_mark", UniquenessCheck::MarkTable),
+        ("checked_sort", UniquenessCheck::Sort),
+    ] {
         group.bench_function(label, |b| {
             let mut out = vec![0u64; n];
             b.iter(|| {

@@ -18,7 +18,9 @@ fn workloads() -> &'static Workloads {
 
 fn bench_fig5b(c: &mut Criterion) {
     let w = workloads();
-    let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
     let mut group = c.benchmark_group("fig5b");
     group.sample_size(10);
     for name in FIG5B_PAIRS {

@@ -1,14 +1,21 @@
 //! The `rpb` harness binary: regenerates every table and figure of the
 //! paper. See `rpb help`.
 
-use rpb_bench::{figures, Scale, Workloads};
+use std::path::PathBuf;
+
+use rpb_bench::record::{self, EnvInfo};
+use rpb_bench::{figures, RunRecord, Scale, Workloads};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cmd = args.first().map(String::as_str).unwrap_or("help");
     let mut scale = Scale::default();
-    let mut threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+    let mut threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
     let mut reps = 3usize;
+    let mut json_path: Option<PathBuf> = None;
+    let mut report_path: Option<PathBuf> = None;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -31,12 +38,27 @@ fn main() {
                     .and_then(|a| a.parse().ok())
                     .unwrap_or_else(|| die("--reps needs a number"));
             }
+            "--json" => {
+                i += 1;
+                json_path = Some(PathBuf::from(
+                    args.get(i).unwrap_or_else(|| die("--json needs a path")),
+                ));
+            }
+            other if cmd == "report" && report_path.is_none() && !other.starts_with('-') => {
+                report_path = Some(PathBuf::from(other));
+            }
             other => die(&format!("unknown option {other}")),
         }
         i += 1;
     }
+    if json_path.is_some() && !matches!(cmd, "fig4" | "fig5a" | "fig5b" | "all") {
+        die("--json only applies to fig4|fig5a|fig5b|all");
+    }
 
-    let needs_workloads = matches!(cmd, "table2" | "fig4" | "fig5a" | "fig5b" | "all" | "verify");
+    let needs_workloads = matches!(
+        cmd,
+        "table2" | "fig4" | "fig5a" | "fig5b" | "all" | "verify"
+    );
     let workloads = needs_workloads.then(|| {
         eprintln!(
             "building workloads (text {}B, seq {}, graph {}, points {})...",
@@ -46,25 +68,46 @@ fn main() {
     });
     let w = workloads.as_ref();
 
+    let mut recs: Vec<RunRecord> = Vec::new();
     match cmd {
         "table1" => print!("{}", figures::table1()),
         "table2" => print!("{}", figures::table2(w.expect("workloads"))),
         "table3" => print!("{}", figures::table3()),
         "fig3" => print!("{}", figures::fig3()),
-        "fig4" => print!("{}", figures::fig4(w.expect("workloads"), threads, reps)),
-        "fig5a" => print!("{}", figures::fig5a(w.expect("workloads"), threads, reps)),
-        "fig5b" => print!("{}", figures::fig5b(w.expect("workloads"), threads, reps)),
+        "fig4" => print!(
+            "{}",
+            figures::fig4(w.expect("workloads"), threads, reps, &mut recs)
+        ),
+        "fig5a" => print!(
+            "{}",
+            figures::fig5a(w.expect("workloads"), threads, reps, &mut recs)
+        ),
+        "fig5b" => print!(
+            "{}",
+            figures::fig5b(w.expect("workloads"), threads, reps, &mut recs)
+        ),
         "fig6" => print!("{}", figures::fig6_report(scale.seq_len, reps)),
         "verify" => verify(w.expect("workloads"), threads),
+        "report" => {
+            let path = report_path.unwrap_or_else(|| die("report needs a JSON file path"));
+            let text = std::fs::read_to_string(&path)
+                .unwrap_or_else(|e| die(&format!("cannot read {}: {e}", path.display())));
+            let doc = rpb_obs::Json::parse(&text)
+                .unwrap_or_else(|e| die(&format!("cannot parse {}: {e}", path.display())));
+            match record::render_report(&doc) {
+                Ok(summary) => print!("{summary}"),
+                Err(e) => die(&e),
+            }
+        }
         "all" => {
             let w = w.expect("workloads");
             println!("{}", figures::table1());
             println!("{}", figures::table2(w));
             println!("{}", figures::table3());
             println!("{}", figures::fig3());
-            println!("{}", figures::fig4(w, threads, reps));
-            println!("{}", figures::fig5a(w, threads, reps));
-            println!("{}", figures::fig5b(w, threads, reps));
+            println!("{}", figures::fig4(w, threads, reps, &mut recs));
+            println!("{}", figures::fig5a(w, threads, reps, &mut recs));
+            println!("{}", figures::fig5b(w, threads, reps, &mut recs));
             println!("{}", figures::fig6_report(scale.seq_len, reps));
         }
         _ => {
@@ -72,9 +115,21 @@ fn main() {
                 "rpb — regenerate the tables and figures of\n\
                  \"When Is Parallelism Fearless and Zero-Cost with Rust?\" (SPAA'24)\n\n\
                  usage: rpb <table1|table2|table3|fig3|fig4|fig5a|fig5b|fig6|all|verify>\n\
-                 \x20       [--scale small|medium|large] [--threads N] [--reps N]"
+                 \x20       [--scale small|medium|large] [--threads N] [--reps N] [--json PATH]\n\
+                 \x20      rpb report <file.json>   # summarize a --json report\n\n\
+                 --json writes one structured record per timed case (schema\n\
+                 \"rpb-bench-v1\"); telemetry fields are all-zero unless built\n\
+                 with --features obs. `rpb report` renders the check-overhead\n\
+                 and MultiQueue summaries from such a file."
             );
         }
+    }
+
+    if let Some(path) = json_path {
+        let env = EnvInfo::collect();
+        record::write_json(&path, &recs, scale, &env)
+            .unwrap_or_else(|e| die(&format!("cannot write {}: {e}", path.display())));
+        eprintln!("wrote {} records to {}", recs.len(), path.display());
     }
 }
 
@@ -101,7 +156,10 @@ fn verify(w: &rpb_bench::Workloads, threads: usize) {
     let seq_lrs = lrs::run_seq(&w.text);
     for m in modes {
         let r = lrs::run_par(&w.text, m);
-        check(&format!("lrs/{m}"), r.len == seq_lrs.len && lrs::verify(&w.text, &r).is_ok());
+        check(
+            &format!("lrs/{m}"),
+            r.len == seq_lrs.len && lrs::verify(&w.text, &r).is_ok(),
+        );
     }
     let seq_sa = sa::run_seq(&w.text);
     for m in modes {
@@ -111,8 +169,14 @@ fn verify(w: &rpb_bench::Workloads, threads: usize) {
     check("dr/checked", dr::verify(&w.points, &r).is_ok());
     for (label, g) in [("link", &w.link), ("road", &w.road)] {
         let seq = mis::run_seq(g);
-        check(&format!("mis-{label}"), mis::run_par(g, ExecMode::Checked) == seq);
-        check(&format!("mis_spec-{label}"), mis_spec::run_par(g, ExecMode::Checked) == seq);
+        check(
+            &format!("mis-{label}"),
+            mis::run_par(g, ExecMode::Checked) == seq,
+        );
+        check(
+            &format!("mis_spec-{label}"),
+            mis_spec::run_par(g, ExecMode::Checked) == seq,
+        );
     }
     for (label, (n, es)) in [("rmat", &w.rmat_edges), ("road", &w.road_edges)] {
         check(
@@ -124,8 +188,14 @@ fn verify(w: &rpb_bench::Workloads, threads: usize) {
     }
     for (label, (n, es)) in [("rmat", &w.rmat_wedges), ("road", &w.road_wedges)] {
         let seq = msf::run_seq(*n, es);
-        check(&format!("msf-{label}"), msf::run_par(*n, es, ExecMode::Checked) == seq);
-        check(&format!("msf_kruskal-{label}"), msf_kruskal::run_par(*n, es, ExecMode::Checked) == seq);
+        check(
+            &format!("msf-{label}"),
+            msf::run_par(*n, es, ExecMode::Checked) == seq,
+        );
+        check(
+            &format!("msf_kruskal-{label}"),
+            msf_kruskal::run_par(*n, es, ExecMode::Checked) == seq,
+        );
     }
     let mut want = w.seq.clone();
     sort::run_seq(&mut want);
@@ -136,12 +206,18 @@ fn verify(w: &rpb_bench::Workloads, threads: usize) {
     }
     let seq_dedup = dedup::run_seq(&w.seq);
     for m in modes {
-        check(&format!("dedup/{m}"), dedup::run_par(&w.seq, m) == seq_dedup);
+        check(
+            &format!("dedup/{m}"),
+            dedup::run_par(&w.seq, m) == seq_dedup,
+        );
     }
     let range = w.seq.len() as u64;
     let seq_hist = hist::run_seq(&w.seq, 256, range);
     for m in modes {
-        check(&format!("hist/{m}"), hist::run_par(&w.seq, 256, range, m) == seq_hist);
+        check(
+            &format!("hist/{m}"),
+            hist::run_par(&w.seq, 256, range, m) == seq_hist,
+        );
     }
     let bits = 64 - (w.seq.len() as u64).leading_zeros();
     let mut iwant = w.seq.clone();
@@ -153,14 +229,26 @@ fn verify(w: &rpb_bench::Workloads, threads: usize) {
     }
     for (label, g) in [("link", &w.link), ("road", &w.road)] {
         let seq = bfs::run_seq(g, 0);
-        check(&format!("bfs-{label}/mq"), bfs::run_par(g, 0, threads, ExecMode::Sync) == seq);
-        check(&format!("bfs-{label}/frontier"), bfs_frontier::run_par(g, 0) == seq);
+        check(
+            &format!("bfs-{label}/mq"),
+            bfs::run_par(g, 0, threads, ExecMode::Sync) == seq,
+        );
+        check(
+            &format!("bfs-{label}/frontier"),
+            bfs_frontier::run_par(g, 0) == seq,
+        );
     }
     for (label, g) in [("link", &w.wlink), ("road", &w.wroad)] {
         let seq = sssp::run_seq(g, 0);
-        check(&format!("sssp-{label}/mq"), sssp::run_par(g, 0, threads, ExecMode::Sync) == seq);
+        check(
+            &format!("sssp-{label}/mq"),
+            sssp::run_par(g, 0, threads, ExecMode::Sync) == seq,
+        );
         let delta = sssp_delta::default_delta(g);
-        check(&format!("sssp-{label}/delta"), sssp_delta::run_par(g, 0, delta) == seq);
+        check(
+            &format!("sssp-{label}/delta"),
+            sssp_delta::run_par(g, 0, delta) == seq,
+        );
     }
     println!("\nall {ok} checks passed");
 }

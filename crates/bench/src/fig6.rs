@@ -38,14 +38,18 @@ pub fn par_hash_thread_per_task(v: &mut [usize], cap: usize) -> usize {
         for vi in v[..n].iter_mut() {
             threads.push(s.spawn(|| hash_task(vi)));
         }
-        threads.into_iter().for_each(|t| t.join().expect("no panic"));
+        threads
+            .into_iter()
+            .for_each(|t| t.join().expect("no panic"));
     });
     n
 }
 
 /// Listing 14: one thread per core, equal chunks. (14 LoC.)
 pub fn par_hash_thread_per_core(v: &mut [usize]) {
-    let num_threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+    let num_threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
     let elements_per_thread = v.len().div_ceil(num_threads).max(1);
     let chunks = v.chunks_mut(elements_per_thread);
     std::thread::scope(|s| {
@@ -53,14 +57,18 @@ pub fn par_hash_thread_per_core(v: &mut [usize]) {
         for chunk in chunks {
             threads.push(s.spawn(|| chunk.iter_mut().for_each(hash_task)));
         }
-        threads.into_iter().for_each(|t| t.join().expect("no panic"));
+        threads
+            .into_iter()
+            .for_each(|t| t.join().expect("no panic"));
     });
 }
 
 /// Listing 15: worker threads pulling jobs from a `Mutex`-guarded queue.
 /// (23 LoC.)
 pub fn par_hash_job_queue(v: &mut [usize]) {
-    let num_threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+    let num_threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
     let elements_per_job = 10_000;
     let jobs = Mutex::new(v.chunks_mut(elements_per_job));
     std::thread::scope(|s| {
@@ -76,7 +84,9 @@ pub fn par_hash_job_queue(v: &mut [usize]) {
                 }
             }));
         }
-        threads.into_iter().for_each(|t| t.join().expect("no panic"));
+        threads
+            .into_iter()
+            .for_each(|t| t.join().expect("no panic"));
     });
 }
 

@@ -1,7 +1,9 @@
 //! Emitters for every table and figure of the paper's evaluation.
 //!
 //! Each function returns the rendered text so the `rpb` binary, tests,
-//! and EXPERIMENTS.md generation share one implementation.
+//! and EXPERIMENTS.md generation share one implementation. The timed
+//! figures (4, 5a, 5b) additionally append one [`RunRecord`] per timed
+//! case to a caller-supplied vector — the data behind `rpb … --json`.
 
 use std::fmt::Write as _;
 use std::time::Duration;
@@ -9,17 +11,104 @@ use std::time::Duration;
 use rpb_fearless::ExecMode;
 use rpb_suite::meta::{all_benchmarks, suite_census};
 
+use crate::record::RunRecord;
 use crate::runner::{recommended_mode, run_case, run_seq_case, FIG5A_PAIRS, FIG5B_PAIRS};
 use crate::workloads::Workloads;
-use crate::{fig6, gmean, time_best, ALL_PAIRS};
+use crate::{fig6, gmean, time_best, TimingStats, ALL_PAIRS};
 
-/// Runs `f` inside a Rayon pool of `threads` workers.
+/// Per-thread pool telemetry (feature `obs` only): counts worker starts
+/// and records each worker's lifetime, feeding
+/// `pool_threads_started` / `pool_thread_lifetime_ns`.
+#[cfg(feature = "obs")]
+mod pool_obs {
+    use std::cell::Cell;
+    use std::time::Instant;
+
+    thread_local! {
+        static STARTED_AT: Cell<Option<Instant>> = const { Cell::new(None) };
+    }
+
+    pub(super) fn on_start() {
+        rpb_obs::metrics::POOL_THREADS_STARTED.add(1);
+        STARTED_AT.with(|s| s.set(Some(Instant::now())));
+    }
+
+    pub(super) fn on_exit() {
+        if let Some(t0) = STARTED_AT.with(|s| s.take()) {
+            rpb_obs::metrics::POOL_THREAD_LIFETIME_NS.record(t0.elapsed());
+        }
+    }
+}
+
+/// Runs `f` inside a Rayon pool of `threads` workers. With `--features
+/// obs` the pool's workers report start/exit telemetry.
 fn in_pool<T: Send>(threads: usize, f: impl FnOnce() -> T + Send) -> T {
-    rayon::ThreadPoolBuilder::new()
-        .num_threads(threads)
-        .build()
-        .expect("thread pool")
-        .install(f)
+    let builder = rayon::ThreadPoolBuilder::new().num_threads(threads);
+    #[cfg(feature = "obs")]
+    let builder = builder
+        .start_handler(|_| pool_obs::on_start())
+        .exit_handler(|_| pool_obs::on_exit());
+    builder.build().expect("thread pool").install(f)
+}
+
+/// Runs one parallel case with telemetry bracketing: metrics are reset
+/// before and snapshotted after (so each record's telemetry covers the
+/// warmup + all measured reps of exactly this case), and the MultiQueue
+/// online rank sampler is armed for the inherently-synchronized pairs.
+fn timed_par(
+    recs: &mut Vec<RunRecord>,
+    figure: &'static str,
+    name: &str,
+    w: &Workloads,
+    mode: ExecMode,
+    threads: usize,
+    reps: usize,
+) -> TimingStats {
+    rpb_obs::metrics::reset();
+    #[cfg(feature = "obs")]
+    let sample_ranks =
+        mode == ExecMode::Sync && (name.starts_with("bfs") || name.starts_with("sssp"));
+    #[cfg(feature = "obs")]
+    if sample_ranks {
+        rpb_multiqueue::enable_online_sampler(16);
+    }
+    let ts = in_pool(threads, || run_case(name, w, mode, threads, reps));
+    #[cfg(feature = "obs")]
+    if sample_ranks {
+        rpb_multiqueue::disable_online_sampler();
+    }
+    recs.push(RunRecord::new(
+        figure,
+        name,
+        "par",
+        mode.label(),
+        threads,
+        ts,
+        rpb_obs::metrics::snapshot(),
+    ));
+    ts
+}
+
+/// Sequential-baseline counterpart of [`timed_par`].
+fn timed_seq(
+    recs: &mut Vec<RunRecord>,
+    figure: &'static str,
+    name: &str,
+    w: &Workloads,
+    reps: usize,
+) -> TimingStats {
+    rpb_obs::metrics::reset();
+    let ts = in_pool(1, || run_seq_case(name, w, reps));
+    recs.push(RunRecord::new(
+        figure,
+        name,
+        "seq",
+        "seq",
+        1,
+        ts,
+        rpb_obs::metrics::snapshot(),
+    ));
+    ts
 }
 
 fn secs(d: Duration) -> f64 {
@@ -29,12 +118,25 @@ fn secs(d: Duration) -> f64 {
 /// Table 1: ported benchmarks and their parallel access patterns.
 pub fn table1() -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "Table 1: Ported benchmarks and their parallel access patterns");
+    let _ = writeln!(
+        out,
+        "Table 1: Ported benchmarks and their parallel access patterns"
+    );
     let _ = writeln!(
         out,
         "{:<6} {:<28} {:<14} {:>3} {:>7} {:>6} {:>4} {:>7} {:>7} {:>3} {:>7} {:>8}",
-        "Abbrv", "Benchmark", "Inputs", "RO", "Stride", "Block", "D&C", "SngInd", "RngInd",
-        "AW", "static", "dynamic"
+        "Abbrv",
+        "Benchmark",
+        "Inputs",
+        "RO",
+        "Stride",
+        "Block",
+        "D&C",
+        "SngInd",
+        "RngInd",
+        "AW",
+        "static",
+        "dynamic"
     );
     for b in all_benchmarks() {
         let marks = b.checkmarks();
@@ -63,8 +165,15 @@ pub fn table1() -> String {
 /// workloads were built with).
 pub fn table2(w: &Workloads) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "Table 2: Input graphs (generated stand-ins; see DESIGN.md)");
-    let _ = writeln!(out, "{:<28} {:<10} {:>10} {:>12} {:>8}", "Name", "Shorthand", "|V|", "|E|", "|E|/|V|");
+    let _ = writeln!(
+        out,
+        "Table 2: Input graphs (generated stand-ins; see DESIGN.md)"
+    );
+    let _ = writeln!(
+        out,
+        "{:<28} {:<10} {:>10} {:>12} {:>8}",
+        "Name", "Shorthand", "|V|", "|E|", "|E|/|V|"
+    );
     for (name, short, g) in [
         ("Hyperlink-like (skewed RMAT)", "link", &w.link),
         ("R-MAT graph", "rmat", &w.rmat),
@@ -87,7 +196,11 @@ pub fn table2(w: &Workloads) -> String {
 pub fn table3() -> String {
     let mut out = String::new();
     let _ = writeln!(out, "Table 3: Studied patterns and their safety levels");
-    let _ = writeln!(out, "{:<7} {:<28} {:<32} {}", "Abbr.", "Write pattern", "Parallel expression", "Fearlessness");
+    let _ = writeln!(
+        out,
+        "{:<7} {:<28} {:<32} {}",
+        "Abbr.", "Write pattern", "Parallel expression", "Fearlessness"
+    );
     for p in rpb_fearless::taxonomy::ALL_PATTERNS {
         let _ = writeln!(
             out,
@@ -106,17 +219,30 @@ pub fn fig3() -> String {
     let census = suite_census();
     let mut out = String::new();
     let _ = writeln!(out, "Fig. 3: Distribution of access patterns in RPB-rs");
-    let _ = writeln!(out, "(paper: RO 11%, Stride 52%, Block 3%, D&C 5%, SngInd 13%, RngInd 7%, AW 9%)");
+    let _ = writeln!(
+        out,
+        "(paper: RO 11%, Stride 52%, Block 3%, D&C 5%, SngInd 13%, RngInd 7%, AW 9%)"
+    );
     for (p, count, share) in census.rows() {
         let bar = "#".repeat((share * 100.0 / 2.0) as usize);
-        let _ = writeln!(out, "  {:<7} {:>3} accesses {:>5.1}%  {}", p.abbrev(), count, share * 100.0, bar);
+        let _ = writeln!(
+            out,
+            "  {:<7} {:>3} accesses {:>5.1}%  {}",
+            p.abbrev(),
+            count,
+            share * 100.0,
+            bar
+        );
     }
     let _ = writeln!(
         out,
         "irregular (SngInd+RngInd+AW): {:.1}% of accesses  (paper: 29%)",
         census.irregular_share() * 100.0
     );
-    let aw = all_benchmarks().iter().filter(|b| b.uses(rpb_fearless::Pattern::AW)).count();
+    let aw = all_benchmarks()
+        .iter()
+        .filter(|b| b.uses(rpb_fearless::Pattern::AW))
+        .count();
     let _ = writeln!(out, "benchmarks with AW: {aw} of 14  (paper: 7 of 14)");
     out
 }
@@ -129,29 +255,37 @@ pub fn fig3() -> String {
 /// baseline — Fig. 4(a)'s question ("does the parallel abstraction cost
 /// anything at 1 thread?") and Fig. 4(b)'s scaling dots carry over
 /// directly.
-pub fn fig4(w: &Workloads, threads: usize, reps: usize) -> String {
+pub fn fig4(w: &Workloads, threads: usize, reps: usize, recs: &mut Vec<RunRecord>) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "Fig. 4: execution time, parallel (recommended mode) vs sequential baseline");
+    let _ = writeln!(
+        out,
+        "Fig. 4: execution time, parallel (recommended mode) vs sequential baseline"
+    );
     let _ = writeln!(
         out,
         "{:<10} {:>12} {:>12} {:>8} {:>12} {:>9}",
-        "pair", "seq", "par@1", "par/seq", format!("par@{threads}"), "scaling"
+        "pair",
+        "seq",
+        "par@1",
+        "par/seq",
+        format!("par@{threads}"),
+        "scaling"
     );
     let mut ratios1 = Vec::new();
     let mut scalings = Vec::new();
     for name in ALL_PAIRS {
         let mode = recommended_mode(name);
-        let t_seq = in_pool(1, || run_seq_case(name, w, reps));
-        let t_p1 = in_pool(1, || run_case(name, w, mode, 1, reps));
-        let t_pn = in_pool(threads, || run_case(name, w, mode, threads, reps));
-        let ratio = secs(t_p1) / secs(t_seq);
-        let scale = secs(t_p1) / secs(t_pn);
+        let t_seq = timed_seq(recs, "fig4", name, w, reps);
+        let t_p1 = timed_par(recs, "fig4", name, w, mode, 1, reps);
+        let t_pn = timed_par(recs, "fig4", name, w, mode, threads, reps);
+        let ratio = secs(t_p1.best) / secs(t_seq.best);
+        let scale = secs(t_p1.best) / secs(t_pn.best);
         ratios1.push(ratio);
         scalings.push(scale);
         let _ = writeln!(
             out,
             "{:<10} {:>12.2?} {:>12.2?} {:>8.2} {:>12.2?} {:>8.2}x",
-            name, t_seq, t_p1, ratio, t_pn, scale
+            name, t_seq.best, t_p1.best, ratio, t_pn.best, scale
         );
     }
     let _ = writeln!(
@@ -164,20 +298,27 @@ pub fn fig4(w: &Workloads, threads: usize, reps: usize) -> String {
 }
 
 /// Fig. 5(a): overhead of the checked `par_ind_iter_mut` vs unsafe.
-pub fn fig5a(w: &Workloads, threads: usize, reps: usize) -> String {
+pub fn fig5a(w: &Workloads, threads: usize, reps: usize, recs: &mut Vec<RunRecord>) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "Fig. 5a: dynamic offset checking for SngInd (checked / unsafe)");
-    let _ = writeln!(out, "{:<10} {:>12} {:>12} {:>9}", "pair", "unsafe", "checked", "overhead");
+    let _ = writeln!(
+        out,
+        "Fig. 5a: dynamic offset checking for SngInd (checked / unsafe)"
+    );
+    let _ = writeln!(
+        out,
+        "{:<10} {:>12} {:>12} {:>9}",
+        "pair", "unsafe", "checked", "overhead"
+    );
     for name in FIG5A_PAIRS {
-        let t_u = in_pool(threads, || run_case(name, w, ExecMode::Unsafe, threads, reps));
-        let t_c = in_pool(threads, || run_case(name, w, ExecMode::Checked, threads, reps));
+        let t_u = timed_par(recs, "fig5a", name, w, ExecMode::Unsafe, threads, reps);
+        let t_c = timed_par(recs, "fig5a", name, w, ExecMode::Checked, threads, reps);
         let _ = writeln!(
             out,
             "{:<10} {:>12.2?} {:>12.2?} {:>8.2}x",
             name,
-            t_u,
-            t_c,
-            secs(t_c) / secs(t_u)
+            t_u.best,
+            t_c.best,
+            secs(t_c.best) / secs(t_u.best)
         );
     }
     let _ = writeln!(out, "(paper: negligible for bw; up to ~2.8x for lrs/sa)");
@@ -185,30 +326,43 @@ pub fn fig5a(w: &Workloads, threads: usize, reps: usize) -> String {
 }
 
 /// Fig. 5(b): overhead of unnecessary synchronization vs unsafe.
-pub fn fig5b(w: &Workloads, threads: usize, reps: usize) -> String {
+pub fn fig5b(w: &Workloads, threads: usize, reps: usize, recs: &mut Vec<RunRecord>) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "Fig. 5b: unnecessary synchronization for SngInd and AW (sync / unsafe)");
-    let _ = writeln!(out, "{:<10} {:>12} {:>12} {:>9}", "pair", "unsafe", "sync", "overhead");
+    let _ = writeln!(
+        out,
+        "Fig. 5b: unnecessary synchronization for SngInd and AW (sync / unsafe)"
+    );
+    let _ = writeln!(
+        out,
+        "{:<10} {:>12} {:>12} {:>9}",
+        "pair", "unsafe", "sync", "overhead"
+    );
     for name in FIG5B_PAIRS {
-        let t_u = in_pool(threads, || run_case(name, w, ExecMode::Unsafe, threads, reps));
-        let t_s = in_pool(threads, || run_case(name, w, ExecMode::Sync, threads, reps));
+        let t_u = timed_par(recs, "fig5b", name, w, ExecMode::Unsafe, threads, reps);
+        let t_s = timed_par(recs, "fig5b", name, w, ExecMode::Sync, threads, reps);
         let _ = writeln!(
             out,
             "{:<10} {:>12.2?} {:>12.2?} {:>8.2}x",
             name,
-            t_u,
-            t_s,
-            secs(t_s) / secs(t_u)
+            t_u.best,
+            t_s.best,
+            secs(t_s.best) / secs(t_u.best)
         );
     }
-    let _ = writeln!(out, "(paper: ~1x for relaxed-atomic benchmarks, ~4x for hist's Mutex<large struct>)");
+    let _ = writeln!(
+        out,
+        "(paper: ~1x for relaxed-atomic benchmarks, ~4x for hist's Mutex<large struct>)"
+    );
     out
 }
 
 /// Fig. 6: the Rayon-justification microbenchmark (Appendix A).
 pub fn fig6_report(n: usize, reps: usize) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "Fig. 6: run times of Listing 11-15 implementations ({n} elements)");
+    let _ = writeln!(
+        out,
+        "Fig. 6: run times of Listing 11-15 implementations ({n} elements)"
+    );
     let _ = writeln!(out, "{:<22} {:>12} {:>6}  note", "variant", "time", "LoC");
     let fresh = || (0..n).collect::<Vec<usize>>();
 
@@ -217,7 +371,13 @@ pub fn fig6_report(n: usize, reps: usize) -> String {
         fig6::serial_hash(&mut v);
         std::hint::black_box(v);
     });
-    let _ = writeln!(out, "{:<22} {:>12.2?} {:>6}", fig6::VARIANTS[0].0, t, fig6::VARIANTS[0].1);
+    let _ = writeln!(
+        out,
+        "{:<22} {:>12.2?} {:>6}",
+        fig6::VARIANTS[0].0,
+        t.best,
+        fig6::VARIANTS[0].1
+    );
 
     // Thread-per-task: measure a 2000-element slice and extrapolate.
     let cap = 2000.min(n);
@@ -226,11 +386,13 @@ pub fn fig6_report(n: usize, reps: usize) -> String {
         fig6::par_hash_thread_per_task(&mut v, cap);
         std::hint::black_box(v);
     });
-    let extrapolated = t_cap.mul_f64(n as f64 / cap as f64);
+    let extrapolated = t_cap.best.mul_f64(n as f64 / cap as f64);
     let _ = writeln!(
         out,
         "{:<22} {:>12.2?} {:>6}  extrapolated from {cap} tasks; full size panics (paper: same)",
-        fig6::VARIANTS[1].0, extrapolated, fig6::VARIANTS[1].1
+        fig6::VARIANTS[1].0,
+        extrapolated,
+        fig6::VARIANTS[1].1
     );
 
     let t = time_best(reps, || {
@@ -238,21 +400,39 @@ pub fn fig6_report(n: usize, reps: usize) -> String {
         fig6::par_hash_thread_per_core(&mut v);
         std::hint::black_box(v);
     });
-    let _ = writeln!(out, "{:<22} {:>12.2?} {:>6}", fig6::VARIANTS[2].0, t, fig6::VARIANTS[2].1);
+    let _ = writeln!(
+        out,
+        "{:<22} {:>12.2?} {:>6}",
+        fig6::VARIANTS[2].0,
+        t.best,
+        fig6::VARIANTS[2].1
+    );
 
     let t = time_best(reps, || {
         let mut v = fresh();
         fig6::par_hash_job_queue(&mut v);
         std::hint::black_box(v);
     });
-    let _ = writeln!(out, "{:<22} {:>12.2?} {:>6}", fig6::VARIANTS[3].0, t, fig6::VARIANTS[3].1);
+    let _ = writeln!(
+        out,
+        "{:<22} {:>12.2?} {:>6}",
+        fig6::VARIANTS[3].0,
+        t.best,
+        fig6::VARIANTS[3].1
+    );
 
     let t = time_best(reps, || {
         let mut v = fresh();
         fig6::par_hash_rayon(&mut v);
         std::hint::black_box(v);
     });
-    let _ = writeln!(out, "{:<22} {:>12.2?} {:>6}", fig6::VARIANTS[4].0, t, fig6::VARIANTS[4].1);
+    let _ = writeln!(
+        out,
+        "{:<22} {:>12.2?} {:>6}",
+        fig6::VARIANTS[4].0,
+        t.best,
+        fig6::VARIANTS[4].1
+    );
     out
 }
 
@@ -274,12 +454,22 @@ mod tests {
 
     #[test]
     fn dynamic_tables_render_at_tiny_scale() {
-        let tiny = Scale { text_len: 3000, seq_len: 10_000, graph_n: 500, points_n: 200 };
+        let tiny = Scale {
+            text_len: 3000,
+            seq_len: 10_000,
+            graph_n: 500,
+            points_n: 200,
+        };
         let w = Workloads::build(tiny);
         let t2 = table2(&w);
         assert!(t2.contains("road"));
-        let f5a = fig5a(&w, 2, 1);
+        let mut recs = Vec::new();
+        let f5a = fig5a(&w, 2, 1, &mut recs);
         assert!(f5a.contains("lrs"));
+        // One unsafe + one checked record per Fig. 5(a) pair.
+        assert_eq!(recs.len(), 2 * FIG5A_PAIRS.len());
+        assert!(recs.iter().all(|r| r.figure == "fig5a" && r.kind == "par"));
+        assert!(recs.iter().any(|r| r.mode == "checked"));
         let f6 = fig6_report(50_000, 1);
         assert!(f6.contains("par_rayon"));
     }

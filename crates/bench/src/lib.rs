@@ -23,28 +23,65 @@
 
 pub mod fig6;
 pub mod figures;
+pub mod record;
 pub mod runner;
 pub mod scale;
 pub mod workloads;
 
+pub use record::{EnvInfo, RunRecord};
 pub use runner::{run_case, BenchSpec, ALL_PAIRS};
 pub use scale::Scale;
 pub use workloads::Workloads;
 
 use std::time::{Duration, Instant};
 
-/// Times `f` with one warmup and `reps` measured repetitions; returns the
-/// minimum (the paper reports means over 10 runs; minimum is the lower-
-/// variance choice for a noisy shared container and changes no ratios).
-pub fn time_best<F: FnMut()>(reps: usize, mut f: F) -> Duration {
+/// Result of one timed measurement: best and mean over the measured
+/// repetitions (warmup excluded).
+///
+/// The harness prints `best` (the lower-variance choice for a noisy shared
+/// container; changes no ratios vs. the paper's means over 10 runs) and the
+/// `--json` run records carry both, so the `BENCH_*.json` perf trajectory
+/// can track either statistic.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TimingStats {
+    /// Minimum measured repetition.
+    pub best: Duration,
+    /// Mean over the measured repetitions.
+    pub mean: Duration,
+    /// Number of measured repetitions (≥ 1; warmup not counted).
+    pub reps: usize,
+}
+
+impl TimingStats {
+    /// `best` in whole nanoseconds.
+    pub fn best_ns(&self) -> u128 {
+        self.best.as_nanos()
+    }
+
+    /// `mean` in whole nanoseconds.
+    pub fn mean_ns(&self) -> u128 {
+        self.mean.as_nanos()
+    }
+}
+
+/// Times `f` with one warmup and `reps` measured repetitions.
+pub fn time_best<F: FnMut()>(reps: usize, mut f: F) -> TimingStats {
     f(); // warmup
+    let reps = reps.max(1);
     let mut best = Duration::MAX;
-    for _ in 0..reps.max(1) {
+    let mut total = Duration::ZERO;
+    for _ in 0..reps {
         let t0 = Instant::now();
         f();
-        best = best.min(t0.elapsed());
+        let d = t0.elapsed();
+        best = best.min(d);
+        total += d;
     }
-    best
+    TimingStats {
+        best,
+        mean: total / reps as u32,
+        reps,
+    }
 }
 
 /// Geometric mean of ratios.
@@ -67,10 +104,17 @@ mod tests {
     }
 
     #[test]
-    fn time_best_returns_finite() {
-        let d = time_best(2, || {
+    fn time_best_returns_consistent_stats() {
+        let ts = time_best(3, || {
             std::hint::black_box((0..1000u64).sum::<u64>());
         });
-        assert!(d < Duration::from_secs(1));
+        assert_eq!(ts.reps, 3);
+        assert!(
+            ts.best <= ts.mean,
+            "best {:?} > mean {:?}",
+            ts.best,
+            ts.mean
+        );
+        assert!(ts.mean < Duration::from_secs(1));
     }
 }

@@ -1,0 +1,363 @@
+//! Structured run records: the machine-readable output behind
+//! `rpb … --json <path>` and the `rpb report` summary.
+//!
+//! Each timed benchmark run (one pair × mode × thread count) becomes one
+//! [`RunRecord`] carrying the timing statistics and a full telemetry
+//! snapshot from [`rpb_obs::metrics`]. A report file is a single JSON
+//! object `{"schema": "rpb-bench-v1", "records": [...]}` whose records
+//! embed the environment (`git_sha`, `cpu_count`, `rustc`) so perf
+//! trajectories (`BENCH_0.json`, `BENCH_1.json`, …) stay self-describing.
+
+use std::io::Write as _;
+
+use rpb_obs::{Json, Snapshot};
+
+use crate::scale::Scale;
+use crate::TimingStats;
+
+/// Schema tag written into every report file.
+pub const SCHEMA: &str = "rpb-bench-v1";
+
+/// Build/host environment captured once per harness invocation.
+#[derive(Clone, Debug)]
+pub struct EnvInfo {
+    /// `git rev-parse --short HEAD` of the working tree, or `"unknown"`.
+    pub git_sha: String,
+    /// `std::thread::available_parallelism()`.
+    pub cpu_count: usize,
+    /// First line of `rustc --version`, or `"unknown"`.
+    pub rustc: String,
+}
+
+impl EnvInfo {
+    /// Collects the environment by probing `git` and `rustc` (each falls
+    /// back to `"unknown"` when unavailable).
+    pub fn collect() -> EnvInfo {
+        EnvInfo {
+            git_sha: command_line("git", &["rev-parse", "--short", "HEAD"])
+                .unwrap_or_else(|| "unknown".into()),
+            cpu_count: std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1),
+            rustc: command_line("rustc", &["--version"]).unwrap_or_else(|| "unknown".into()),
+        }
+    }
+
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("git_sha".into(), Json::Str(self.git_sha.clone())),
+            ("cpu_count".into(), Json::from_u64(self.cpu_count as u64)),
+            ("rustc".into(), Json::Str(self.rustc.clone())),
+        ])
+    }
+}
+
+/// First output line of a command, if it runs successfully.
+fn command_line(cmd: &str, args: &[&str]) -> Option<String> {
+    let out = std::process::Command::new(cmd).args(args).output().ok()?;
+    if !out.status.success() {
+        return None;
+    }
+    let text = String::from_utf8(out.stdout).ok()?;
+    let line = text.lines().next()?.trim();
+    (!line.is_empty()).then(|| line.to_string())
+}
+
+/// One benchmark-pair × mode × thread-count run.
+#[derive(Clone, Debug)]
+pub struct RunRecord {
+    /// Which figure/table drove this run (`"fig4"`, `"fig5a"`, `"fig5b"`).
+    pub figure: &'static str,
+    /// Pair label as in Fig. 4 (`"bw"`, `"mis-link"`, …).
+    pub name: String,
+    /// `"par"` or `"seq"` (sequential baseline).
+    pub kind: &'static str,
+    /// Exec-mode label (`"unsafe"`, `"checked"`, `"sync"`) or `"seq"`.
+    pub mode: String,
+    /// Worker threads the run was given.
+    pub threads: usize,
+    /// Measured repetitions behind `best`/`mean` (warmup excluded).
+    pub reps: usize,
+    /// Best measured wall time, nanoseconds.
+    pub best_ns: u128,
+    /// Mean measured wall time, nanoseconds.
+    pub mean_ns: u128,
+    /// Telemetry accumulated over warmup + all repetitions (all zeros
+    /// unless built with `--features obs`).
+    pub telemetry: Snapshot,
+}
+
+impl RunRecord {
+    /// Builds a record from a finished measurement.
+    pub fn new(
+        figure: &'static str,
+        name: &str,
+        kind: &'static str,
+        mode: &str,
+        threads: usize,
+        timing: TimingStats,
+        telemetry: Snapshot,
+    ) -> RunRecord {
+        RunRecord {
+            figure,
+            name: name.to_string(),
+            kind,
+            mode: mode.to_string(),
+            threads,
+            reps: timing.reps,
+            best_ns: timing.best_ns(),
+            mean_ns: timing.mean_ns(),
+            telemetry,
+        }
+    }
+
+    /// Renders the record, embedding the shared scale and environment.
+    pub fn to_json(&self, scale: Scale, env: &EnvInfo) -> Json {
+        Json::Obj(vec![
+            ("figure".into(), Json::Str(self.figure.into())),
+            ("name".into(), Json::Str(self.name.clone())),
+            ("kind".into(), Json::Str(self.kind.into())),
+            ("mode".into(), Json::Str(self.mode.clone())),
+            ("threads".into(), Json::from_u64(self.threads as u64)),
+            ("scale".into(), scale_to_json(scale)),
+            ("reps".into(), Json::from_u64(self.reps as u64)),
+            ("best_ns".into(), Json::from_u128(self.best_ns)),
+            ("mean_ns".into(), Json::from_u128(self.mean_ns)),
+            ("telemetry".into(), self.telemetry.to_json()),
+            ("env".into(), env.to_json()),
+        ])
+    }
+}
+
+fn scale_to_json(scale: Scale) -> Json {
+    Json::Obj(vec![
+        ("text_len".into(), Json::from_u64(scale.text_len as u64)),
+        ("seq_len".into(), Json::from_u64(scale.seq_len as u64)),
+        ("graph_n".into(), Json::from_u64(scale.graph_n as u64)),
+        ("points_n".into(), Json::from_u64(scale.points_n as u64)),
+    ])
+}
+
+/// Renders a full report document.
+pub fn report_to_json(records: &[RunRecord], scale: Scale, env: &EnvInfo) -> Json {
+    Json::Obj(vec![
+        ("schema".into(), Json::Str(SCHEMA.into())),
+        (
+            "records".into(),
+            Json::Arr(records.iter().map(|r| r.to_json(scale, env)).collect()),
+        ),
+    ])
+}
+
+/// Writes a report document to `path` (overwrites).
+pub fn write_json(
+    path: &std::path::Path,
+    records: &[RunRecord],
+    scale: Scale,
+    env: &EnvInfo,
+) -> std::io::Result<()> {
+    let mut f = std::fs::File::create(path)?;
+    writeln!(f, "{}", report_to_json(records, scale, env))
+}
+
+/// Renders the human-readable `rpb report` summary from a parsed report
+/// document: per-pair check-overhead attribution (Fig. 5a's question) and
+/// MultiQueue behaviour (scheduler health for the Sync pairs).
+pub fn render_report(doc: &Json) -> Result<String, String> {
+    use std::fmt::Write as _;
+
+    if doc.get("schema").and_then(Json::as_str) != Some(SCHEMA) {
+        return Err(format!("not an {SCHEMA} report (missing/wrong \"schema\")"));
+    }
+    let records = doc
+        .get("records")
+        .and_then(Json::as_arr)
+        .ok_or("report has no \"records\" array")?;
+
+    let mut out = String::new();
+    let _ = writeln!(out, "rpb report — {} records", records.len());
+
+    let field = |r: &Json, k: &str| -> Result<u64, String> {
+        r.get(k)
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("record missing {k}"))
+    };
+    let text = |r: &Json, k: &str| -> Result<String, String> {
+        Ok(r.get(k)
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("record missing {k}"))?
+            .into())
+    };
+    let counter = |r: &Json, name: &str| -> u64 {
+        r.get("telemetry")
+            .and_then(|t| t.get("counters"))
+            .and_then(|c| c.get(name))
+            .and_then(Json::as_u64)
+            .unwrap_or(0)
+    };
+    let histo_sum_ns = |r: &Json, name: &str| -> u64 {
+        r.get("telemetry")
+            .and_then(|t| t.get("histos"))
+            .and_then(|h| h.get(name))
+            .and_then(|h| h.get("sum_ns"))
+            .and_then(Json::as_u64)
+            .unwrap_or(0)
+    };
+
+    // Check-overhead attribution: for each checked run, how much of the
+    // measured time went into the dynamic checks? Telemetry accumulates
+    // over warmup + reps, so normalize per execution.
+    let _ = writeln!(out, "\nCheck-overhead attribution (checked-mode runs):");
+    let _ = writeln!(
+        out,
+        "{:<12} {:<6} {:>12} {:>14} {:>14} {:>9}",
+        "pair", "figure", "best_ns", "sngind_chk/run", "rngind_chk/run", "share"
+    );
+    let mut any_checked = false;
+    for r in records {
+        if text(r, "mode")? != "checked" {
+            continue;
+        }
+        any_checked = true;
+        let best = field(r, "best_ns")?;
+        let execs = field(r, "reps")? + 1; // + warmup
+        let snd = histo_sum_ns(r, "sngind_check_ns") / execs;
+        let rng = histo_sum_ns(r, "rngind_check_ns") / execs;
+        let share = if best > 0 {
+            (snd + rng) as f64 / best as f64
+        } else {
+            0.0
+        };
+        let _ = writeln!(
+            out,
+            "{:<12} {:<6} {:>12} {:>14} {:>14} {:>8.1}%",
+            text(r, "name")?,
+            text(r, "figure")?,
+            best,
+            snd,
+            rng,
+            share * 100.0
+        );
+    }
+    if !any_checked {
+        let _ = writeln!(out, "  (no checked-mode records; run with --features obs)");
+    }
+
+    // MultiQueue behaviour for the Sync/MQ pairs.
+    let _ = writeln!(out, "\nMultiQueue telemetry (runs with scheduler traffic):");
+    let _ = writeln!(
+        out,
+        "{:<12} {:<6} {:>10} {:>10} {:>11} {:>10} {:>10}",
+        "pair", "mode", "pushes", "pops", "empty_pops", "idle", "rank_mean"
+    );
+    let mut any_mq = false;
+    for r in records {
+        let pushes = counter(r, "mq_pushes");
+        if pushes == 0 {
+            continue;
+        }
+        any_mq = true;
+        let samples = counter(r, "mq_rank_samples");
+        let rank_mean = if samples > 0 {
+            format!(
+                "{:.2}",
+                counter(r, "mq_rank_error_sum") as f64 / samples as f64
+            )
+        } else {
+            "-".into()
+        };
+        let _ = writeln!(
+            out,
+            "{:<12} {:<6} {:>10} {:>10} {:>11} {:>10} {:>10}",
+            text(r, "name")?,
+            text(r, "mode")?,
+            pushes,
+            counter(r, "mq_pops"),
+            counter(r, "mq_empty_pops"),
+            counter(r, "exec_idle_spins"),
+            rank_mean
+        );
+    }
+    if !any_mq {
+        let _ = writeln!(
+            out,
+            "  (no MultiQueue records; run fig4/all with --features obs)"
+        );
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn dummy_record(mode: &str) -> RunRecord {
+        RunRecord::new(
+            "fig4",
+            "bw",
+            "par",
+            mode,
+            2,
+            TimingStats {
+                best: Duration::from_nanos(1000),
+                mean: Duration::from_nanos(1200),
+                reps: 3,
+            },
+            Snapshot::default(),
+        )
+    }
+
+    #[test]
+    fn record_json_has_the_documented_fields() {
+        let env = EnvInfo {
+            git_sha: "abc123".into(),
+            cpu_count: 4,
+            rustc: "rustc x".into(),
+        };
+        let j = dummy_record("checked").to_json(Scale::small(), &env);
+        for k in [
+            "figure",
+            "name",
+            "kind",
+            "mode",
+            "threads",
+            "scale",
+            "reps",
+            "best_ns",
+            "mean_ns",
+            "telemetry",
+            "env",
+        ] {
+            assert!(j.get(k).is_some(), "missing field {k}");
+        }
+        assert_eq!(j.get("best_ns").unwrap().as_u64(), Some(1000));
+        assert_eq!(
+            j.get("env").unwrap().get("git_sha").unwrap().as_str(),
+            Some("abc123")
+        );
+        assert_eq!(
+            j.get("scale").unwrap().get("seq_len").unwrap().as_u64(),
+            Some(Scale::small().seq_len as u64)
+        );
+    }
+
+    #[test]
+    fn report_document_round_trips_and_renders() {
+        let env = EnvInfo::collect();
+        let recs = vec![dummy_record("checked"), dummy_record("unsafe")];
+        let doc = report_to_json(&recs, Scale::small(), &env);
+        let parsed = Json::parse(&doc.to_string()).expect("round trip");
+        assert_eq!(parsed.get("schema").unwrap().as_str(), Some(SCHEMA));
+        assert_eq!(parsed.get("records").unwrap().as_arr().unwrap().len(), 2);
+        let rendered = render_report(&parsed).expect("render");
+        assert!(rendered.contains("Check-overhead attribution"));
+        assert!(rendered.contains("bw"));
+    }
+
+    #[test]
+    fn render_rejects_foreign_documents() {
+        assert!(render_report(&Json::parse("{\"x\":1}").unwrap()).is_err());
+        assert!(render_report(&Json::Null).is_err());
+    }
+}

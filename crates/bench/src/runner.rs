@@ -1,13 +1,11 @@
 //! Per-benchmark execution: the 20 benchmark-input pairs of Fig. 4 and
 //! their sequential baselines.
 
-use std::time::Duration;
-
 use rpb_fearless::ExecMode;
 use rpb_suite::{bfs, bw, dedup, dr, hist, isort, lrs, mis, mm, msf, sa, sf, sort, sssp};
 
-use crate::time_best;
 use crate::workloads::Workloads;
+use crate::{time_best, TimingStats};
 
 /// One benchmark-input pair.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -18,9 +16,26 @@ pub struct BenchSpec {
 
 /// The 20 benchmark-input pairs of Fig. 4, in its x-axis order.
 pub const ALL_PAIRS: [&str; 20] = [
-    "bw", "lrs", "sa", "dr", "mis-link", "mis-road", "mm-road", "mm-rmat", "sf-link",
-    "sf-road", "msf-rmat", "msf-road", "sort", "dedup", "hist", "isort", "bfs-road",
-    "bfs-link", "sssp-link", "sssp-road",
+    "bw",
+    "lrs",
+    "sa",
+    "dr",
+    "mis-link",
+    "mis-road",
+    "mm-road",
+    "mm-rmat",
+    "sf-link",
+    "sf-road",
+    "msf-rmat",
+    "msf-road",
+    "sort",
+    "dedup",
+    "hist",
+    "isort",
+    "bfs-road",
+    "bfs-link",
+    "sssp-link",
+    "sssp-road",
 ];
 
 /// The benchmarks of Fig. 5(a): the heavy `SngInd` uniqueness check.
@@ -28,14 +43,20 @@ pub const FIG5A_PAIRS: [&str; 3] = ["bw", "lrs", "sa"];
 
 /// The pairs of Fig. 5(b): unnecessary synchronization for SngInd/AW.
 pub const FIG5B_PAIRS: [&str; 12] = [
-    "bw", "lrs", "sa", "mis-link", "mis-road", "mm-rmat", "mm-road", "msf-rmat",
-    "msf-road", "sf-link", "sf-road", "hist",
+    "bw", "lrs", "sa", "mis-link", "mis-road", "mm-rmat", "mm-road", "msf-rmat", "msf-road",
+    "sf-link", "sf-road", "hist",
 ];
 
 /// Executes one parallel benchmark run inside the current Rayon pool
-/// (MultiQueue benchmarks take `threads` directly). Returns the measured
-/// best-of-`reps` wall time.
-pub fn run_case(name: &str, w: &Workloads, mode: ExecMode, threads: usize, reps: usize) -> Duration {
+/// (MultiQueue benchmarks take `threads` directly). Returns best/mean
+/// timing over `reps` measured repetitions.
+pub fn run_case(
+    name: &str,
+    w: &Workloads,
+    mode: ExecMode,
+    threads: usize,
+    reps: usize,
+) -> TimingStats {
     let key_bits = 64 - (w.seq.len() as u64).leading_zeros();
     match name {
         "bw" => time_best(reps, || {
@@ -109,7 +130,7 @@ pub fn run_case(name: &str, w: &Workloads, mode: ExecMode, threads: usize, reps:
 }
 
 /// Sequential baseline for a pair.
-pub fn run_seq_case(name: &str, w: &Workloads, reps: usize) -> Duration {
+pub fn run_seq_case(name: &str, w: &Workloads, reps: usize) -> TimingStats {
     let key_bits = 64 - (w.seq.len() as u64).leading_zeros();
     match name {
         "bw" => time_best(reps, || {
@@ -182,7 +203,12 @@ pub fn run_seq_case(name: &str, w: &Workloads, reps: usize) -> Duration {
 
 /// The paper's recommended RPB configuration per pair (Sec. 7.3: unsafe
 /// for `SngInd`/`AW`, checked for `RngInd`).
+///
+/// # Panics
+/// Panics on a name outside [`ALL_PAIRS`] — a typo'd pair must fail loudly
+/// here rather than silently benchmark in `Unsafe` mode.
 pub fn recommended_mode(name: &str) -> ExecMode {
+    assert!(ALL_PAIRS.contains(&name), "unknown benchmark pair: {name}");
     match name {
         // sort's irregular pattern is only RngInd — the paper uses the
         // checked iterator there because its check is ~free.
@@ -200,14 +226,19 @@ mod tests {
 
     #[test]
     fn every_pair_runs_at_tiny_scale() {
-        let tiny =
-            Scale { text_len: 4000, seq_len: 20_000, graph_n: 800, points_n: 300 };
+        use std::time::Duration;
+        let tiny = Scale {
+            text_len: 4000,
+            seq_len: 20_000,
+            graph_n: 800,
+            points_n: 300,
+        };
         let w = Workloads::build(tiny);
         for name in ALL_PAIRS {
-            let d = run_case(name, &w, recommended_mode(name), 2, 1);
-            assert!(d > Duration::ZERO, "{name}");
-            let d = run_seq_case(name, &w, 1);
-            assert!(d > Duration::ZERO, "{name} seq");
+            let ts = run_case(name, &w, recommended_mode(name), 2, 1);
+            assert!(ts.best > Duration::ZERO, "{name}");
+            let ts = run_seq_case(name, &w, 1);
+            assert!(ts.best > Duration::ZERO, "{name} seq");
         }
     }
 
@@ -219,5 +250,38 @@ mod tests {
         for p in FIG5B_PAIRS {
             assert!(ALL_PAIRS.contains(&p));
         }
+    }
+
+    #[test]
+    fn recommended_modes_match_the_documented_policy() {
+        // Sec. 7.3: checked only where the check is ~free (sort's RngInd),
+        // Sync where the algorithm is inherently synchronized (MultiQueue
+        // bfs/sssp), Unsafe everywhere else.
+        for name in ALL_PAIRS {
+            let want = if name == "sort" {
+                ExecMode::Checked
+            } else if name.starts_with("bfs") || name.starts_with("sssp") {
+                ExecMode::Sync
+            } else {
+                ExecMode::Unsafe
+            };
+            assert_eq!(recommended_mode(name), want, "{name}");
+        }
+        // Exactly 1 Checked and 4 Sync pairs among the 20.
+        let checked = ALL_PAIRS
+            .iter()
+            .filter(|n| recommended_mode(n) == ExecMode::Checked)
+            .count();
+        let sync = ALL_PAIRS
+            .iter()
+            .filter(|n| recommended_mode(n) == ExecMode::Sync)
+            .count();
+        assert_eq!((checked, sync), (1, 4));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown benchmark pair")]
+    fn recommended_mode_rejects_unknown_names() {
+        recommended_mode("sort-typo");
     }
 }

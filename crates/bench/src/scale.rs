@@ -17,17 +17,32 @@ pub struct Scale {
 impl Scale {
     /// Smoke-test scale (sub-second totals; used by criterion benches).
     pub fn small() -> Scale {
-        Scale { text_len: 50_000, seq_len: 200_000, graph_n: 10_000, points_n: 2_000 }
+        Scale {
+            text_len: 50_000,
+            seq_len: 200_000,
+            graph_n: 10_000,
+            points_n: 2_000,
+        }
     }
 
     /// Default harness scale.
     pub fn medium() -> Scale {
-        Scale { text_len: 400_000, seq_len: 2_000_000, graph_n: 60_000, points_n: 20_000 }
+        Scale {
+            text_len: 400_000,
+            seq_len: 2_000_000,
+            graph_n: 60_000,
+            points_n: 20_000,
+        }
     }
 
     /// Patience-required scale.
     pub fn large() -> Scale {
-        Scale { text_len: 2_000_000, seq_len: 10_000_000, graph_n: 250_000, points_n: 80_000 }
+        Scale {
+            text_len: 2_000_000,
+            seq_len: 10_000_000,
+            graph_n: 250_000,
+            points_n: 80_000,
+        }
     }
 
     /// Parses `small|medium|large`.

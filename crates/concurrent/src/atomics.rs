@@ -94,8 +94,10 @@ mod tests {
         (0..10_000u64).into_par_iter().for_each(|i| {
             write_min_u64(&cell, rpb_parlay::random::hash64(i) % 1_000_000);
         });
-        let want =
-            (0..10_000u64).map(|i| rpb_parlay::random::hash64(i) % 1_000_000).min().unwrap();
+        let want = (0..10_000u64)
+            .map(|i| rpb_parlay::random::hash64(i) % 1_000_000)
+            .min()
+            .unwrap();
         assert_eq!(cell.load(Ordering::Relaxed), want);
     }
 
@@ -105,8 +107,10 @@ mod tests {
         (0..10_000u64).into_par_iter().for_each(|i| {
             write_max_u64(&cell, rpb_parlay::random::hash64(i) % 1_000_000);
         });
-        let want =
-            (0..10_000u64).map(|i| rpb_parlay::random::hash64(i) % 1_000_000).max().unwrap();
+        let want = (0..10_000u64)
+            .map(|i| rpb_parlay::random::hash64(i) % 1_000_000)
+            .max()
+            .unwrap();
         assert_eq!(cell.load(Ordering::Relaxed), want);
     }
 

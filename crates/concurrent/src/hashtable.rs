@@ -34,7 +34,10 @@ impl ConcurrentHashSet {
         assert!(capacity > 0, "capacity must be positive");
         let slots = (capacity * 2).next_power_of_two();
         let table = (0..slots).map(|_| AtomicU64::new(EMPTY)).collect();
-        ConcurrentHashSet { table, mask: slots - 1 }
+        ConcurrentHashSet {
+            table,
+            mask: slots - 1,
+        }
     }
 
     /// Number of slots (≥ 2 × capacity).
@@ -111,7 +114,10 @@ impl ConcurrentHashSet {
     /// Number of resident keys (phase boundary applies).
     pub fn len(&self) -> usize {
         use rayon::prelude::*;
-        self.table.par_iter().filter(|s| s.load(Ordering::Relaxed) != EMPTY).count()
+        self.table
+            .par_iter()
+            .filter(|s| s.load(Ordering::Relaxed) != EMPTY)
+            .count()
     }
 
     /// True if no keys are resident.

@@ -26,7 +26,9 @@ pub struct ReservationStation {
 impl ReservationStation {
     /// `n` initially free cells.
     pub fn new(n: usize) -> Self {
-        ReservationStation { cells: (0..n).map(|_| AtomicUsize::new(FREE)).collect() }
+        ReservationStation {
+            cells: (0..n).map(|_| AtomicUsize::new(FREE)).collect(),
+        }
     }
 
     /// Number of cells.
@@ -152,7 +154,10 @@ mod tests {
         let pairs: Vec<(usize, usize)> = (0..n_iters)
             .map(|i| {
                 let h = rpb_parlay::random::hash64(i as u64);
-                ((h % cells as u64) as usize, ((h >> 17) % cells as u64) as usize)
+                (
+                    (h % cells as u64) as usize,
+                    ((h >> 17) % cells as u64) as usize,
+                )
             })
             .collect();
         // Parallel with reservations.
@@ -206,7 +211,10 @@ mod tests {
         let mut won = vec![false; n_iters];
         for i in 0..n_iters {
             let h = rpb_parlay::random::hash64(i as u64);
-            let (a, b) = ((h % cells as u64) as usize, ((h >> 17) % cells as u64) as usize);
+            let (a, b) = (
+                (h % cells as u64) as usize,
+                ((h >> 17) % cells as u64) as usize,
+            );
             if !claimed[a] && !claimed[b] {
                 claimed[a] = true;
                 claimed[b] = true;

@@ -19,7 +19,9 @@ pub struct ConcurrentUnionFind {
 impl ConcurrentUnionFind {
     /// `n` singleton sets.
     pub fn new(n: usize) -> Self {
-        ConcurrentUnionFind { parent: (0..n).map(AtomicUsize::new).collect() }
+        ConcurrentUnionFind {
+            parent: (0..n).map(AtomicUsize::new).collect(),
+        }
     }
 
     /// Number of elements.
@@ -45,12 +47,8 @@ impl ConcurrentUnionFind {
             }
             // Path halving; racing stores are benign (any value on the
             // root path is valid).
-            let _ = self.parent[x].compare_exchange_weak(
-                p,
-                gp,
-                Ordering::Relaxed,
-                Ordering::Relaxed,
-            );
+            let _ =
+                self.parent[x].compare_exchange_weak(p, gp, Ordering::Relaxed, Ordering::Relaxed);
             x = gp;
         }
     }
@@ -99,7 +97,9 @@ impl ConcurrentUnionFind {
 
     /// Number of distinct sets (sequential phase).
     pub fn count_sets(&self) -> usize {
-        (0..self.parent.len()).filter(|&x| self.parent[x].load(Ordering::Relaxed) == x).count()
+        (0..self.parent.len())
+            .filter(|&x| self.parent[x].load(Ordering::Relaxed) == x)
+            .count()
     }
 }
 

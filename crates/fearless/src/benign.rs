@@ -29,7 +29,10 @@ pub fn mark_present(data: &[u8]) -> [bool; 256] {
 /// ascending (the way the suffix-array alphabet compaction uses it).
 pub fn alphabet(data: &[u8]) -> Vec<u8> {
     let present = mark_present(data);
-    (0u16..256).filter(|&c| present[c as usize]).map(|c| c as u8).collect()
+    (0u16..256)
+        .filter(|&c| present[c as usize])
+        .map(|c| c as u8)
+        .collect()
 }
 
 /// Dense re-coding of `data` onto its occurring alphabet: returns

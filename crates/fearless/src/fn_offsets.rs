@@ -45,12 +45,7 @@ where
 ///
 /// # Errors
 /// Returns the first injectivity/bounds violation of `f`.
-pub fn ind_write_fn<T, F, V>(
-    out: &mut [T],
-    n: usize,
-    f: F,
-    value: V,
-) -> Result<(), IndOffsetsError>
+pub fn ind_write_fn<T, F, V>(out: &mut [T], n: usize, f: F, value: V) -> Result<(), IndOffsetsError>
 where
     T: Send,
     F: Fn(usize) -> usize + Send + Sync,
@@ -119,7 +114,9 @@ mod tests {
     #[test]
     fn transpose_is_involutive() {
         let n = 64;
-        let m: Vec<u64> = (0..n * n).map(|i| rpb_parlay::random::hash64(i as u64)).collect();
+        let m: Vec<u64> = (0..n * n)
+            .map(|i| rpb_parlay::random::hash64(i as u64))
+            .collect();
         let t = transpose(&m, n, n).expect("valid");
         let tt = transpose(&t, n, n).expect("valid");
         assert_eq!(tt, m);
@@ -130,8 +127,13 @@ mod tests {
         let bits = 10;
         let n = 1usize << bits;
         let mut out = vec![0usize; n];
-        ind_write_fn(&mut out, n, |i| i.reverse_bits() >> (usize::BITS - bits), |i| i)
-            .expect("bit reversal is a permutation");
+        ind_write_fn(
+            &mut out,
+            n,
+            |i| i.reverse_bits() >> (usize::BITS - bits),
+            |i| i,
+        )
+        .expect("bit reversal is a permutation");
         for (i, &x) in out.iter().enumerate() {
             assert_eq!(x.reverse_bits() >> (usize::BITS - bits), i);
         }
@@ -148,7 +150,10 @@ mod tests {
     fn out_of_range_function_rejected() {
         let mut out = vec![0u8; 10];
         let err = ind_write_fn(&mut out, 100, |i| i, |_| 1).unwrap_err();
-        assert!(matches!(err, IndOffsetsError::OutOfBounds { .. }), "{err:?}");
+        assert!(
+            matches!(err, IndOffsetsError::OutOfBounds { .. }),
+            "{err:?}"
+        );
     }
 
     #[test]

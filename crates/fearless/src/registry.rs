@@ -68,12 +68,19 @@ impl PatternCensus {
     /// The §7.2 headline: fraction of accesses that are irregular
     /// (`SngInd` + `RngInd` + `AW`).
     pub fn irregular_share(&self) -> f64 {
-        ALL_PATTERNS.iter().filter(|p| p.is_irregular()).map(|&p| self.share(p)).sum()
+        ALL_PATTERNS
+            .iter()
+            .filter(|p| p.is_irregular())
+            .map(|&p| self.share(p))
+            .sum()
     }
 
     /// (pattern, count, share) rows in Table 3 order — the Fig. 3 data.
     pub fn rows(&self) -> Vec<(Pattern, usize, f64)> {
-        ALL_PATTERNS.iter().map(|&p| (p, self.count(p), self.share(p))).collect()
+        ALL_PATTERNS
+            .iter()
+            .map(|&p| (p, self.count(p), self.share(p)))
+            .collect()
     }
 }
 
@@ -85,12 +92,24 @@ mod tests {
     fn aggregates_and_shares() {
         let mut census = PatternCensus::new();
         census.add(&[
-            PatternCount { pattern: Pattern::RO, count: 2 },
-            PatternCount { pattern: Pattern::Stride, count: 6 },
+            PatternCount {
+                pattern: Pattern::RO,
+                count: 2,
+            },
+            PatternCount {
+                pattern: Pattern::Stride,
+                count: 6,
+            },
         ]);
         census.add(&[
-            PatternCount { pattern: Pattern::Stride, count: 4 },
-            PatternCount { pattern: Pattern::AW, count: 8 },
+            PatternCount {
+                pattern: Pattern::Stride,
+                count: 4,
+            },
+            PatternCount {
+                pattern: Pattern::AW,
+                count: 8,
+            },
         ]);
         assert_eq!(census.total(), 20);
         assert_eq!(census.count(Pattern::Stride), 10);

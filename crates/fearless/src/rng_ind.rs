@@ -19,14 +19,21 @@ pub enum IndChunksError {
     /// `offsets[index] < offsets[index-1]`.
     NotMonotone { index: usize },
     /// `offsets[index] > len`.
-    OutOfBounds { index: usize, offset: usize, len: usize },
+    OutOfBounds {
+        index: usize,
+        offset: usize,
+        len: usize,
+    },
 }
 
 impl std::fmt::Display for IndChunksError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match *self {
             IndChunksError::NotMonotone { index } => {
-                write!(f, "offsets[{index}] decreases; chunk boundaries must be monotone")
+                write!(
+                    f,
+                    "offsets[{index}] decreases; chunk boundaries must be monotone"
+                )
             }
             IndChunksError::OutOfBounds { index, offset, len } => {
                 write!(f, "offsets[{index}] = {offset} exceeds slice length {len}")
@@ -65,13 +72,31 @@ pub trait ParIndChunksMutExt<T: Send> {
 }
 
 /// Validates boundaries: monotone and bounded.
+///
+/// Telemetry (feature `obs`): records the check's wall time, boundary
+/// count, and failures — evidence that this check really is the ~free one
+/// the paper claims.
 pub fn validate_chunk_offsets(offsets: &[usize], len: usize) -> Result<(), IndChunksError> {
+    use rpb_obs::metrics as obs;
+    rpb_obs::span!(obs::RNGIND_CHECK_NS);
+    obs::RNGIND_CHECKS.add(1);
+    obs::RNGIND_BOUNDARIES_VALIDATED.add(offsets.len() as u64);
+    let result = validate_chunk_offsets_inner(offsets, len);
+    if result.is_err() {
+        obs::RNGIND_CHECK_FAILURES.add(1);
+    }
+    result
+}
+
+fn validate_chunk_offsets_inner(offsets: &[usize], len: usize) -> Result<(), IndChunksError> {
     use rayon::prelude::*;
     // Windows check parallelizes trivially; k is small so either way is fine.
-    if let Some((index, &off)) =
-        offsets.par_iter().enumerate().find_any(|(_, &o)| o > len)
-    {
-        return Err(IndChunksError::OutOfBounds { index, offset: off, len });
+    if let Some((index, &off)) = offsets.par_iter().enumerate().find_any(|(_, &o)| o > len) {
+        return Err(IndChunksError::OutOfBounds {
+            index,
+            offset: off,
+            len,
+        });
     }
     if let Some(w) = offsets.par_windows(2).position_any(|w| w[0] > w[1]) {
         return Err(IndChunksError::NotMonotone { index: w + 1 });
@@ -92,7 +117,10 @@ impl<T: Send> ParIndChunksMutExt<T> for [T] {
         offsets: &'a [usize],
     ) -> Result<ParIndChunksMut<'a, T>, IndChunksError> {
         validate_chunk_offsets(offsets, self.len())?;
-        Ok(ParIndChunksMut { data: SharedMutSlice::new(self), offsets })
+        Ok(ParIndChunksMut {
+            data: SharedMutSlice::new(self),
+            offsets,
+        })
     }
 }
 
@@ -121,7 +149,10 @@ impl<'a, T: Send + 'a> IndexedParallelIterator for ParIndChunksMut<'a, T> {
     }
 
     fn with_producer<CB: ProducerCallback<Self::Item>>(self, callback: CB) -> CB::Output {
-        callback.callback(ChunkProducer { data: self.data, offsets: self.offsets })
+        callback.callback(ChunkProducer {
+            data: self.data,
+            offsets: self.offsets,
+        })
     }
 }
 
@@ -135,7 +166,13 @@ impl<'a, T: Send + 'a> Producer for ChunkProducer<'a, T> {
     type IntoIter = ChunkIter<'a, T>;
 
     fn into_iter(self) -> Self::IntoIter {
-        ChunkIter { data: self.data, offsets: self.offsets }
+        // A leaf task starts consuming: attribute its chunks to the
+        // executing thread (task-imbalance telemetry).
+        rpb_obs::metrics::RNGIND_CHUNKS.add(self.offsets.len().saturating_sub(1) as u64);
+        ChunkIter {
+            data: self.data,
+            offsets: self.offsets,
+        }
     }
 
     fn split_at(self, index: usize) -> (Self, Self) {
@@ -148,8 +185,14 @@ impl<'a, T: Send + 'a> Producer for ChunkProducer<'a, T> {
         let l = &self.offsets[..=index];
         let r = &self.offsets[index..];
         (
-            ChunkProducer { data: self.data, offsets: l },
-            ChunkProducer { data: self.data, offsets: r },
+            ChunkProducer {
+                data: self.data,
+                offsets: l,
+            },
+            ChunkProducer {
+                data: self.data,
+                offsets: r,
+            },
         )
     }
 }
@@ -257,7 +300,14 @@ mod tests {
         let mut v = vec![0u8; 10];
         let offsets = vec![0, 11];
         let err = v.try_par_ind_chunks_mut(&offsets).err();
-        assert_eq!(err, Some(IndChunksError::OutOfBounds { index: 1, offset: 11, len: 10 }));
+        assert_eq!(
+            err,
+            Some(IndChunksError::OutOfBounds {
+                index: 1,
+                offset: 11,
+                len: 10
+            })
+        );
     }
 
     #[test]

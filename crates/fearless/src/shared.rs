@@ -36,7 +36,11 @@ impl<T> Copy for SharedMutSlice<'_, T> {}
 impl<'a, T> SharedMutSlice<'a, T> {
     /// Wraps an exclusive slice borrow.
     pub fn new(slice: &'a mut [T]) -> Self {
-        SharedMutSlice { ptr: slice.as_mut_ptr(), len: slice.len(), _marker: PhantomData }
+        SharedMutSlice {
+            ptr: slice.as_mut_ptr(),
+            len: slice.len(),
+            _marker: PhantomData,
+        }
     }
 
     /// Slice length.
@@ -63,7 +67,11 @@ impl<'a, T> SharedMutSlice<'a, T> {
     #[inline]
     #[allow(clippy::mut_from_ref)]
     pub unsafe fn get_mut(&self, i: usize) -> &'a mut T {
-        debug_assert!(i < self.len, "SharedMutSlice index {i} out of bounds {}", self.len);
+        debug_assert!(
+            i < self.len,
+            "SharedMutSlice index {i} out of bounds {}",
+            self.len
+        );
         unsafe { &mut *self.ptr.add(i) }
     }
 

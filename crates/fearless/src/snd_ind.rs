@@ -30,17 +30,27 @@ pub enum IndOffsetsError {
     /// `offsets[index]` appears more than once.
     Duplicate { index: usize, offset: usize },
     /// `offsets[index]` is `>= len`.
-    OutOfBounds { index: usize, offset: usize, len: usize },
+    OutOfBounds {
+        index: usize,
+        offset: usize,
+        len: usize,
+    },
 }
 
 impl std::fmt::Display for IndOffsetsError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match *self {
             IndOffsetsError::Duplicate { index, offset } => {
-                write!(f, "offsets[{index}] = {offset} duplicates an earlier offset")
+                write!(
+                    f,
+                    "offsets[{index}] = {offset} duplicates an earlier offset"
+                )
             }
             IndOffsetsError::OutOfBounds { index, offset, len } => {
-                write!(f, "offsets[{index}] = {offset} out of bounds for slice of length {len}")
+                write!(
+                    f,
+                    "offsets[{index}] = {offset} out of bounds for slice of length {len}"
+                )
             }
         }
     }
@@ -59,19 +69,41 @@ pub enum UniquenessCheck {
 }
 
 /// Validates that every offset is in-bounds for `len` and unique.
+///
+/// Telemetry (feature `obs`): records the check's wall time, strategy,
+/// offset count, mark-table allocation, and failures — the raw material of
+/// Fig. 5(a)'s check-overhead attribution.
 pub fn validate_offsets(
     offsets: &[usize],
     len: usize,
     strategy: UniquenessCheck,
 ) -> Result<(), IndOffsetsError> {
+    use rpb_obs::metrics as obs;
+    rpb_obs::span!(obs::SNGIND_CHECK_NS);
+    obs::SNGIND_OFFSETS_VALIDATED.add(offsets.len() as u64);
+    match strategy {
+        UniquenessCheck::MarkTable => obs::SNGIND_CHECKS_MARK.add(1),
+        UniquenessCheck::Sort => obs::SNGIND_CHECKS_SORT.add(1),
+    }
+    let result = validate_offsets_inner(offsets, len, strategy);
+    if result.is_err() {
+        obs::SNGIND_CHECK_FAILURES.add(1);
+    }
+    result
+}
+
+fn validate_offsets_inner(
+    offsets: &[usize],
+    len: usize,
+    strategy: UniquenessCheck,
+) -> Result<(), IndOffsetsError> {
     // Bounds first (both strategies need it; cheap parallel scan).
-    if let Some((index, &offset)) =
-        offsets.par_iter().enumerate().find_any(|(_, &o)| o >= len)
-    {
+    if let Some((index, &offset)) = offsets.par_iter().enumerate().find_any(|(_, &o)| o >= len) {
         return Err(IndOffsetsError::OutOfBounds { index, offset, len });
     }
     match strategy {
         UniquenessCheck::MarkTable => {
+            rpb_obs::metrics::SNGIND_MARK_TABLE_BYTES.add(len as u64);
             let marks: Vec<AtomicU8> = (0..len).map(|_| AtomicU8::new(0)).collect();
             let dup = offsets
                 .par_iter()
@@ -83,8 +115,12 @@ pub fn validate_offsets(
             Ok(())
         }
         UniquenessCheck::Sort => {
-            let mut sorted: Vec<(usize, usize)> =
-                offsets.par_iter().copied().enumerate().map(|(i, o)| (o, i)).collect();
+            let mut sorted: Vec<(usize, usize)> = offsets
+                .par_iter()
+                .copied()
+                .enumerate()
+                .map(|(i, o)| (o, i))
+                .collect();
             let bits = usize::BITS - len.leading_zeros().max(1);
             rpb_parlay::radix_sort_by_key(&mut sorted, bits, |p| p.0 as u64);
             let dup = sorted
@@ -159,7 +195,10 @@ impl<T: Send> ParIndIterMutExt<T> for [T] {
         &'a mut self,
         offsets: &'a [usize],
     ) -> ParIndIterMut<'a, T> {
-        ParIndIterMut { data: SharedMutSlice::new(self), offsets }
+        ParIndIterMut {
+            data: SharedMutSlice::new(self),
+            offsets,
+        }
     }
 }
 
@@ -188,7 +227,10 @@ impl<'a, T: Send + 'a> IndexedParallelIterator for ParIndIterMut<'a, T> {
     }
 
     fn with_producer<CB: ProducerCallback<Self::Item>>(self, callback: CB) -> CB::Output {
-        callback.callback(IndProducer { data: self.data, offsets: self.offsets })
+        callback.callback(IndProducer {
+            data: self.data,
+            offsets: self.offsets,
+        })
     }
 }
 
@@ -202,14 +244,26 @@ impl<'a, T: Send + 'a> Producer for IndProducer<'a, T> {
     type IntoIter = IndIter<'a, T>;
 
     fn into_iter(self) -> Self::IntoIter {
-        IndIter { data: self.data, offsets: self.offsets.iter() }
+        // One leaf task starts consuming here: attribute its share of the
+        // scatter to the executing thread (task-imbalance telemetry).
+        rpb_obs::metrics::SNGIND_ITEMS.add(self.offsets.len() as u64);
+        IndIter {
+            data: self.data,
+            offsets: self.offsets.iter(),
+        }
     }
 
     fn split_at(self, index: usize) -> (Self, Self) {
         let (l, r) = self.offsets.split_at(index);
         (
-            IndProducer { data: self.data, offsets: l },
-            IndProducer { data: self.data, offsets: r },
+            IndProducer {
+                data: self.data,
+                offsets: l,
+            },
+            IndProducer {
+                data: self.data,
+                offsets: r,
+            },
         )
     }
 }
@@ -259,7 +313,9 @@ where
     T: Send,
     F: Fn(usize) -> T + Send + Sync,
 {
-    out.par_ind_iter_mut(offsets).enumerate().for_each(|(i, slot)| *slot = value(i));
+    out.par_ind_iter_mut(offsets)
+        .enumerate()
+        .for_each(|(i, slot)| *slot = value(i));
 }
 
 /// Unchecked form of [`ind_write_checked`] — the C++-equivalent *scary* tier.
@@ -288,7 +344,9 @@ mod tests {
         let offsets = random_permutation(n, 42);
         let input: Vec<u64> = (0..n as u64).collect();
         let mut out = vec![0u64; n];
-        out.par_ind_iter_mut(&offsets).enumerate().for_each(|(i, o)| *o = input[i]);
+        out.par_ind_iter_mut(&offsets)
+            .enumerate()
+            .for_each(|(i, o)| *o = input[i]);
         let mut want = vec![0u64; n];
         for i in 0..n {
             want[offsets[i]] = input[i];
@@ -312,24 +370,43 @@ mod tests {
     fn duplicate_offsets_error_mark() {
         let mut out = vec![0u8; 10];
         let offsets = vec![1, 2, 3, 2];
-        let err = out.try_par_ind_iter_mut(&offsets, UniquenessCheck::MarkTable).err();
-        assert!(matches!(err, Some(IndOffsetsError::Duplicate { offset: 2, .. })), "{err:?}");
+        let err = out
+            .try_par_ind_iter_mut(&offsets, UniquenessCheck::MarkTable)
+            .err();
+        assert!(
+            matches!(err, Some(IndOffsetsError::Duplicate { offset: 2, .. })),
+            "{err:?}"
+        );
     }
 
     #[test]
     fn duplicate_offsets_error_sort() {
         let mut out = vec![0u8; 10];
         let offsets = vec![5, 9, 5];
-        let err = out.try_par_ind_iter_mut(&offsets, UniquenessCheck::Sort).err();
-        assert!(matches!(err, Some(IndOffsetsError::Duplicate { offset: 5, .. })), "{err:?}");
+        let err = out
+            .try_par_ind_iter_mut(&offsets, UniquenessCheck::Sort)
+            .err();
+        assert!(
+            matches!(err, Some(IndOffsetsError::Duplicate { offset: 5, .. })),
+            "{err:?}"
+        );
     }
 
     #[test]
     fn out_of_bounds_error() {
         let mut out = vec![0u8; 4];
         let offsets = vec![0, 4];
-        let err = out.try_par_ind_iter_mut(&offsets, UniquenessCheck::MarkTable).err();
-        assert_eq!(err, Some(IndOffsetsError::OutOfBounds { index: 1, offset: 4, len: 4 }));
+        let err = out
+            .try_par_ind_iter_mut(&offsets, UniquenessCheck::MarkTable)
+            .err();
+        assert_eq!(
+            err,
+            Some(IndOffsetsError::OutOfBounds {
+                index: 1,
+                offset: 4,
+                len: 4
+            })
+        );
     }
 
     #[test]
@@ -348,7 +425,10 @@ mod tests {
         let mut out = vec![0u8; n];
         for strat in [UniquenessCheck::MarkTable, UniquenessCheck::Sort] {
             let err = out.try_par_ind_iter_mut(&offsets, strat).err();
-            assert!(matches!(err, Some(IndOffsetsError::Duplicate { .. })), "{strat:?}: {err:?}");
+            assert!(
+                matches!(err, Some(IndOffsetsError::Duplicate { .. })),
+                "{strat:?}: {err:?}"
+            );
         }
     }
 

@@ -164,12 +164,8 @@ impl Pattern {
     pub fn support_bucket(self) -> &'static str {
         match self {
             Pattern::RO => "safe Rust",
-            Pattern::Stride | Pattern::Block | Pattern::DandC => {
-                "interior-unsafe + static checks"
-            }
-            Pattern::SngInd | Pattern::RngInd | Pattern::AW => {
-                "not supported or dynamic checks"
-            }
+            Pattern::Stride | Pattern::Block | Pattern::DandC => "interior-unsafe + static checks",
+            Pattern::SngInd | Pattern::RngInd | Pattern::AW => "not supported or dynamic checks",
         }
     }
 
@@ -227,9 +223,15 @@ mod tests {
 
     #[test]
     fn irregular_set_matches_section_7_2() {
-        let irregular: Vec<Pattern> =
-            ALL_PATTERNS.iter().copied().filter(|p| p.is_irregular()).collect();
-        assert_eq!(irregular, vec![Pattern::SngInd, Pattern::RngInd, Pattern::AW]);
+        let irregular: Vec<Pattern> = ALL_PATTERNS
+            .iter()
+            .copied()
+            .filter(|p| p.is_irregular())
+            .collect();
+        assert_eq!(
+            irregular,
+            vec![Pattern::SngInd, Pattern::RngInd, Pattern::AW]
+        );
     }
 
     #[test]

@@ -22,8 +22,12 @@ pub fn delaunay(points: &[Point]) -> Triangulation {
 
 /// Indices of `points` sorted along a Z-order curve.
 pub fn morton_order(points: &[Point]) -> Vec<usize> {
-    let (mut min_x, mut min_y, mut max_x, mut max_y) =
-        (f64::INFINITY, f64::INFINITY, f64::NEG_INFINITY, f64::NEG_INFINITY);
+    let (mut min_x, mut min_y, mut max_x, mut max_y) = (
+        f64::INFINITY,
+        f64::INFINITY,
+        f64::NEG_INFINITY,
+        f64::NEG_INFINITY,
+    );
     for p in points {
         min_x = min_x.min(p.x);
         min_y = min_y.min(p.y);

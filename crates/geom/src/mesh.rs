@@ -57,8 +57,12 @@ impl Triangulation {
     /// outside the bounding box of `points` (factor ~1e5 of the extent).
     pub fn with_super_triangle(points: &[Point]) -> Triangulation {
         assert!(!points.is_empty(), "need at least one point");
-        let (mut min_x, mut min_y, mut max_x, mut max_y) =
-            (f64::INFINITY, f64::INFINITY, f64::NEG_INFINITY, f64::NEG_INFINITY);
+        let (mut min_x, mut min_y, mut max_x, mut max_y) = (
+            f64::INFINITY,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            f64::NEG_INFINITY,
+        );
         for p in points {
             min_x = min_x.min(p.x);
             min_y = min_y.min(p.y);
@@ -76,8 +80,17 @@ impl Triangulation {
         pts.push(Point::new(cx + 2.0 * r, cy - r));
         pts.push(Point::new(cx, cy + 2.0 * r));
         let g = n as u32;
-        let tris = vec![Tri { v: [g, g + 1, g + 2], nbr: [NO_TRI; 3], alive: true }];
-        Triangulation { points: pts, tris, n_input: n, ghost0: n }
+        let tris = vec![Tri {
+            v: [g, g + 1, g + 2],
+            nbr: [NO_TRI; 3],
+            alive: true,
+        }];
+        Triangulation {
+            points: pts,
+            tris,
+            n_input: n,
+            ghost0: n,
+        }
     }
 
     /// True if vertex `v` is a super-triangle corner.
@@ -104,7 +117,9 @@ impl Triangulation {
 
     /// Ids of alive triangles.
     pub fn alive_tris(&self) -> Vec<u32> {
-        (0..self.tris.len() as u32).filter(|&t| self.tris[t as usize].alive).collect()
+        (0..self.tris.len() as u32)
+            .filter(|&t| self.tris[t as usize].alive)
+            .collect()
     }
 
     /// Walks from `hint` to an alive triangle containing `p`.
@@ -192,9 +207,14 @@ impl Triangulation {
         let mut guard_rounds = 0usize;
         loop {
             guard_rounds += 1;
-            assert!(guard_rounds <= self.tris.len() + 3, "cavity star-shaping diverged");
-            let tris: Vec<u32> =
-                in_cavity.iter().filter_map(|(&t, &inside)| inside.then_some(t)).collect();
+            assert!(
+                guard_rounds <= self.tris.len() + 3,
+                "cavity star-shaping diverged"
+            );
+            let tris: Vec<u32> = in_cavity
+                .iter()
+                .filter_map(|(&t, &inside)| inside.then_some(t))
+                .collect();
             let mut boundary = Vec::new();
             let mut absorbed = false;
             for &t in &tris {
@@ -226,7 +246,9 @@ impl Triangulation {
                         0
                     } else {
                         let ot = &self.tris[o as usize];
-                        (0..3).find(|&j| ot.nbr[j] == t).expect("asymmetric adjacency") as u8
+                        (0..3)
+                            .find(|&j| ot.nbr[j] == t)
+                            .expect("asymmetric adjacency") as u8
                     };
                     boundary.push((a, b, o, oslot));
                 }
@@ -272,7 +294,11 @@ impl Triangulation {
             // = previous new tri.
             let nxt = base + (i + 1) % k;
             let prv = base + (i + k - 1) % k;
-            self.tris.push(Tri { v: [p_idx, a, b], nbr: [o, nxt, prv], alive: true });
+            self.tris.push(Tri {
+                v: [p_idx, a, b],
+                nbr: [o, nxt, prv],
+                alive: true,
+            });
             if o != NO_TRI {
                 self.tris[o as usize].nbr[oslot as usize] = t_id;
             }

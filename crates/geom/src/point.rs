@@ -83,7 +83,10 @@ mod tests {
     #[test]
     fn kuzmin_is_centrally_concentrated() {
         let pts = kuzmin_points(10_000, 2);
-        let near = pts.iter().filter(|p| p.dist2(&Point::default()) < 1.0).count();
+        let near = pts
+            .iter()
+            .filter(|p| p.dist2(&Point::default()) < 1.0)
+            .count();
         // F(1) = 1 - 1/2 = 0.5: about half the mass inside radius 1.
         assert!((4000..6000).contains(&near), "near-origin count {near}");
     }

@@ -33,8 +33,7 @@ pub fn incircle(a: &Point, b: &Point, c: &Point, d: &Point) -> f64 {
     let ad2 = adx * adx + ady * ady;
     let bd2 = bdx * bdx + bdy * bdy;
     let cd2 = cdx * cdx + cdy * cdy;
-    adx * (bdy * cd2 - bd2 * cdy) - ady * (bdx * cd2 - bd2 * cdx)
-        + ad2 * (bdx * cdy - bdy * cdx)
+    adx * (bdy * cd2 - bd2 * cdy) - ady * (bdx * cd2 - bd2 * cdx) + ad2 * (bdx * cdy - bdy * cdx)
 }
 
 /// True if `d` is strictly inside the circumcircle of CCW `(a, b, c)`,
@@ -118,7 +117,10 @@ mod tests {
         let c = Point::new(-1.0, 0.0);
         assert!(in_circumcircle(&a, &b, &c, &Point::new(0.0, 0.0)));
         assert!(!in_circumcircle(&a, &b, &c, &Point::new(2.0, 0.0)));
-        assert!(!in_circumcircle(&a, &b, &c, &Point::new(0.0, -1.0)), "on-circle is outside");
+        assert!(
+            !in_circumcircle(&a, &b, &c, &Point::new(0.0, -1.0)),
+            "on-circle is outside"
+        );
     }
 
     #[test]

@@ -60,8 +60,12 @@ impl RefineParams {
     /// most on the order of `budget_per_point × n` triangles fit the
     /// input's bounding box, and the Steiner cap set to match.
     pub fn for_points(points: &[Point], budget_per_point: usize) -> RefineParams {
-        let (mut min_x, mut min_y, mut max_x, mut max_y) =
-            (f64::INFINITY, f64::INFINITY, f64::NEG_INFINITY, f64::NEG_INFINITY);
+        let (mut min_x, mut min_y, mut max_x, mut max_y) = (
+            f64::INFINITY,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            f64::NEG_INFINITY,
+        );
         for p in points {
             min_x = min_x.min(p.x);
             min_y = min_y.min(p.y);
@@ -136,10 +140,20 @@ fn make_plan(mesh: &Triangulation, t: u32) -> Option<Plan> {
         return None;
     }
     let mut affected: Vec<u32> = cavity.tris.clone();
-    affected.extend(cavity.boundary.iter().filter(|&&(_, _, o, _)| o != NO_TRI).map(|&(_, _, o, _)| o));
+    affected.extend(
+        cavity
+            .boundary
+            .iter()
+            .filter(|&&(_, _, o, _)| o != NO_TRI)
+            .map(|&(_, _, o, _)| o),
+    );
     affected.sort_unstable();
     affected.dedup();
-    Some(Plan { center, cavity, affected })
+    Some(Plan {
+        center,
+        cavity,
+        affected,
+    })
 }
 
 /// Parallel Delaunay refinement. Returns statistics; the mesh is refined
@@ -211,7 +225,14 @@ pub fn refine(mesh: &mut Triangulation, params: RefineParams) -> RefineStats {
             acc += plan.cavity.boundary.len();
         }
         // 5. Apply in parallel through raw views.
-        mesh.tris.resize(acc, Tri { v: [0; 3], nbr: [NO_TRI; 3], alive: false });
+        mesh.tris.resize(
+            acc,
+            Tri {
+                v: [0; 3],
+                nbr: [NO_TRI; 3],
+                alive: false,
+            },
+        );
         mesh.points
             .resize(point_base + winners.len(), Point::default());
         {
@@ -255,8 +276,11 @@ fn apply_cavity_raw(tris: &SharedMutSlice<'_, Tri>, plan: &Plan, p_idx: u32, bas
         let prv = base + (i + k - 1) % k;
         // SAFETY: t_id is in this winner's fresh range.
         unsafe {
-            *tris.get_mut(t_id as usize) =
-                Tri { v: [p_idx, a, b], nbr: [o, nxt, prv], alive: true };
+            *tris.get_mut(t_id as usize) = Tri {
+                v: [p_idx, a, b],
+                nbr: [o, nxt, prv],
+                alive: true,
+            };
         }
         if o != NO_TRI {
             // SAFETY: o is in the reserved affected set.
@@ -388,11 +412,19 @@ mod tests {
     fn steiner_cap_is_respected() {
         let pts = kuzmin_points(300, 5);
         let mut mesh = delaunay(&pts);
-        let params = RefineParams { max_ratio: 1.0, max_steiner: 10, min_edge: 0.0 };
+        let params = RefineParams {
+            max_ratio: 1.0,
+            max_steiner: 10,
+            min_edge: 0.0,
+        };
         let stats = refine(&mut mesh, params);
         // One round's winners may overshoot the cap slightly; never by
         // more than the final round's batch.
-        assert!(stats.inserted <= 10 + 512, "cap grossly exceeded: {}", stats.inserted);
+        assert!(
+            stats.inserted <= 10 + 512,
+            "cap grossly exceeded: {}",
+            stats.inserted
+        );
         mesh.check_valid();
     }
 
@@ -413,10 +445,18 @@ mod tests {
         // A coarse floor must terminate quickly even at an aggressive
         // quality bound.
         let pts = kuzmin_points(100, 7);
-        let params = RefineParams { max_ratio: 1.0, max_steiner: 100_000, min_edge: 0.5 };
+        let params = RefineParams {
+            max_ratio: 1.0,
+            max_steiner: 100_000,
+            min_edge: 0.5,
+        };
         let mut mesh = delaunay(&pts);
         let stats = refine(&mut mesh, params);
-        assert!(stats.inserted < 20_000, "floor failed to bound work: {}", stats.inserted);
+        assert!(
+            stats.inserted < 20_000,
+            "floor failed to bound work: {}",
+            stats.inserted
+        );
         mesh.check_valid();
     }
 }

@@ -65,10 +65,7 @@ impl Graph {
             use std::sync::atomic::{AtomicUsize, Ordering};
             let acounts: &[AtomicUsize] = unsafe {
                 // SAFETY: exclusive borrow reinterpreted as atomics.
-                std::slice::from_raw_parts(
-                    counts.as_ptr() as *const AtomicUsize,
-                    counts.len(),
-                )
+                std::slice::from_raw_parts(counts.as_ptr() as *const AtomicUsize, counts.len())
             };
             edges.par_iter().for_each(|&(u, _)| {
                 acounts[u as usize].fetch_add(1, Ordering::Relaxed);
@@ -117,9 +114,7 @@ impl Graph {
     pub fn to_edges(&self) -> Vec<(u32, u32)> {
         (0..self.num_vertices())
             .into_par_iter()
-            .flat_map_iter(|u| {
-                self.neighbors(u).iter().map(move |&v| (u as u32, v))
-            })
+            .flat_map_iter(|u| self.neighbors(u).iter().map(move |&v| (u as u32, v)))
             .collect()
     }
 }
@@ -178,7 +173,10 @@ impl WeightedGraph {
     /// `(neighbor, weight)` pairs of `v`.
     pub fn neighbors(&self, v: usize) -> impl Iterator<Item = (u32, u32)> + '_ {
         let r = self.graph.offsets[v]..self.graph.offsets[v + 1];
-        self.graph.adj[r.clone()].iter().copied().zip(self.weights[r].iter().copied())
+        self.graph.adj[r.clone()]
+            .iter()
+            .copied()
+            .zip(self.weights[r].iter().copied())
     }
 
     /// Builds from weighted edges `(u, v, w)`, directed.
@@ -204,7 +202,10 @@ impl WeightedGraph {
             }
         }
         topo.adj = adj;
-        WeightedGraph { graph: topo, weights }
+        WeightedGraph {
+            graph: topo,
+            weights,
+        }
     }
 
     /// Undirected weighted build: each `(u, v, w)` becomes two arcs with
@@ -282,10 +283,7 @@ mod tests {
 
     #[test]
     fn weighted_neighbors_align() {
-        let wg = WeightedGraph::undirected_from_edges(
-            3,
-            &[(0, 1, 10), (1, 2, 20), (0, 2, 30)],
-        );
+        let wg = WeightedGraph::undirected_from_edges(3, &[(0, 1, 10), (1, 2, 20), (0, 2, 30)]);
         let n0: Vec<(u32, u32)> = wg.neighbors(0).collect();
         assert_eq!(n0, vec![(1, 10), (2, 30)]);
         let n2: Vec<(u32, u32)> = wg.neighbors(2).collect();

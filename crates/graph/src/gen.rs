@@ -140,7 +140,11 @@ pub fn add_weights(g: Graph, max_w: u32, seed: u64) -> WeightedGraph {
         .flat_map_iter(|u| {
             let r = r;
             g.neighbors(u).iter().map(move |&v| {
-                let (a, b) = if (u as u32) < v { (u as u32, v) } else { (v, u as u32) };
+                let (a, b) = if (u as u32) < v {
+                    (u as u32, v)
+                } else {
+                    (v, u as u32)
+                };
                 (r.ith_rand(((a as u64) << 32) | b as u64) % max_w as u64) as u32 + 1
             })
         })
@@ -164,14 +168,20 @@ mod tests {
         let g = rmat(4096, 40_000, 2);
         let max_deg = (0..g.num_vertices()).map(|v| g.degree(v)).max().unwrap();
         let avg = g.avg_degree();
-        assert!(max_deg as f64 > 8.0 * avg, "not skewed: max {max_deg}, avg {avg}");
+        assert!(
+            max_deg as f64 > 8.0 * avg,
+            "not skewed: max {max_deg}, avg {avg}"
+        );
     }
 
     #[test]
     fn road_has_low_degree_and_high_diameter_proxy() {
         let g = grid_road(10_000, 3);
         let avg = g.avg_degree();
-        assert!(avg > 1.5 && avg < 3.5, "road avg degree {avg} out of family range");
+        assert!(
+            avg > 1.5 && avg < 3.5,
+            "road avg degree {avg} out of family range"
+        );
         let max_deg = (0..g.num_vertices()).map(|v| g.degree(v)).max().unwrap();
         assert!(max_deg <= 10, "road max degree {max_deg} too high");
     }
@@ -179,9 +189,18 @@ mod tests {
     #[test]
     fn road_is_connected_with_large_diameter() {
         let g = grid_road(10_000, 3);
-        assert_eq!(crate::seq::num_components(&g), 1, "road graph must be connected");
+        assert_eq!(
+            crate::seq::num_components(&g),
+            1,
+            "road graph must be connected"
+        );
         let dist = crate::seq::bfs(&g, 0);
-        let ecc = dist.iter().filter(|&&d| d != crate::seq::INF).max().copied().unwrap();
+        let ecc = dist
+            .iter()
+            .filter(|&&d| d != crate::seq::INF)
+            .max()
+            .copied()
+            .unwrap();
         // Grid diameter is Θ(√n) = Θ(100) here.
         assert!(ecc >= 50, "eccentricity {ecc} too small for a road graph");
     }

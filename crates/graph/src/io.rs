@@ -113,7 +113,9 @@ pub fn from_dimacs_string(s: &str) -> Result<WeightedGraph, String> {
         }
     }
     let n = n.ok_or("missing p line")?;
-    if let Some(&(u, v, _)) = edges.iter().find(|&&(u, v, _)| u as usize >= n || v as usize >= n)
+    if let Some(&(u, v, _)) = edges
+        .iter()
+        .find(|&&(u, v, _)| u as usize >= n || v as usize >= n)
     {
         return Err(format!("edge ({u},{v}) out of range for {n} vertices"));
     }

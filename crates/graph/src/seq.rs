@@ -176,17 +176,23 @@ mod tests {
     #[test]
     fn mis_is_independent_and_maximal() {
         let g = uniform_random(200, 600, 3);
-        let pri: Vec<u64> =
-            (0..g.num_vertices() as u64).map(rpb_parlay::random::hash64).collect();
+        let pri: Vec<u64> = (0..g.num_vertices() as u64)
+            .map(rpb_parlay::random::hash64)
+            .collect();
         let mis = greedy_mis(&g, &pri);
         for u in 0..g.num_vertices() {
             if mis[u] {
                 for &v in g.neighbors(u) {
-                    assert!(!(u != v as usize && mis[v as usize]), "adjacent pair in MIS");
+                    assert!(
+                        !(u != v as usize && mis[v as usize]),
+                        "adjacent pair in MIS"
+                    );
                 }
             } else {
-                let has_neighbor_in =
-                    g.neighbors(u).iter().any(|&v| mis[v as usize] && v as usize != u);
+                let has_neighbor_in = g
+                    .neighbors(u)
+                    .iter()
+                    .any(|&v| mis[v as usize] && v as usize != u);
                 // Isolated self-loop-only vertices can only be excluded by
                 // a neighbour; otherwise maximality is violated.
                 assert!(has_neighbor_in, "vertex {u} could join the MIS");

@@ -42,7 +42,12 @@ impl<T: Send> Handle<'_, T> {
 ///
 /// `task(pri, item, handle)` may push new work through the handle. The
 /// call returns when every pushed task has finished executing.
-pub fn execute<T, F>(n_threads: usize, n_queues: usize, initial: Vec<(u64, T)>, task: F) -> ExecutorStats
+pub fn execute<T, F>(
+    n_threads: usize,
+    n_queues: usize,
+    initial: Vec<(u64, T)>,
+    task: F,
+) -> ExecutorStats
 where
     T: Send,
     F: Fn(u64, T, &Handle<'_, T>) + Send + Sync,
@@ -58,7 +63,10 @@ where
     std::thread::scope(|s| {
         for _ in 0..n_threads {
             s.spawn(|| {
-                let handle = Handle { mq: &mq, pending: &pending };
+                let handle = Handle {
+                    mq: &mq,
+                    pending: &pending,
+                };
                 let mut tasks = 0usize;
                 let mut idle = 0usize;
                 loop {
@@ -82,10 +90,13 @@ where
             });
         }
     });
-    ExecutorStats {
+    let stats = ExecutorStats {
         tasks: total_tasks.load(Ordering::Relaxed),
         idle_spins: total_idle.load(Ordering::Relaxed),
-    }
+    };
+    rpb_obs::metrics::EXEC_TASKS.add(stats.tasks as u64);
+    rpb_obs::metrics::EXEC_IDLE_SPINS.add(stats.idle_spins as u64);
+    stats
 }
 
 #[cfg(test)]

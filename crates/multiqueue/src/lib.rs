@@ -25,3 +25,6 @@ pub mod stats;
 pub use executor::{execute, ExecutorStats, Handle};
 pub use mq::MultiQueue;
 pub use stats::{measure_rank_error, rank_error_sweep, RankErrorStats};
+
+#[cfg(feature = "obs")]
+pub use stats::{disable_online_sampler, enable_online_sampler};

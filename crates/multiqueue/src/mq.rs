@@ -60,7 +60,9 @@ impl<T: Send> MultiQueue<T> {
     pub fn new(n_queues: usize) -> Self {
         assert!(n_queues > 0, "MultiQueue needs at least one internal queue");
         MultiQueue {
-            queues: (0..n_queues).map(|_| Mutex::new(BinaryHeap::new())).collect(),
+            queues: (0..n_queues)
+                .map(|_| Mutex::new(BinaryHeap::new()))
+                .collect(),
             seq: AtomicU64::new(0),
             len: AtomicUsize::new(0),
             rng: AtomicU64::new(0x5EED),
@@ -84,6 +86,10 @@ impl<T: Send> MultiQueue<T> {
     /// another random queue rather than waiting (the SPAA'15 "wait-free
     /// locking discipline" for pushes).
     pub fn push(&self, pri: u64, item: T) {
+        // Mirror the element before it becomes poppable so the online
+        // rank-error sampler never sees a pop of an unknown priority.
+        #[cfg(feature = "obs")]
+        crate::stats::online_on_push(pri);
         let tag = self.seq.fetch_add(1, Ordering::Relaxed);
         let entry = Entry { pri, tag, item };
         loop {
@@ -92,10 +98,12 @@ impl<T: Send> MultiQueue<T> {
                 Some(mut heap) => {
                     heap.push(entry);
                     self.len.fetch_add(1, Ordering::Relaxed);
+                    rpb_obs::metrics::MQ_PUSHES.add(1);
                     return;
                 }
                 None => {
                     // Contended: retry on another random queue.
+                    rpb_obs::metrics::MQ_PUSH_RETRIES.add(1);
                     std::hint::spin_loop();
                 }
             }
@@ -128,19 +136,27 @@ impl<T: Send> MultiQueue<T> {
             if let Some(mut heap) = self.queues[q].try_lock() {
                 if let Some(Entry { pri, item, .. }) = heap.pop() {
                     self.len.fetch_sub(1, Ordering::Relaxed);
+                    rpb_obs::metrics::MQ_POPS.add(1);
+                    #[cfg(feature = "obs")]
+                    crate::stats::online_on_pop(pri);
                     return Some((pri, item));
                 }
             }
         }
         // Sweep: lock each queue in turn; guarantees progress when items
         // remain anywhere.
+        rpb_obs::metrics::MQ_POP_SWEEPS.add(1);
         for q in 0..self.queues.len() {
             let mut heap = self.queues[q].lock();
             if let Some(Entry { pri, item, .. }) = heap.pop() {
                 self.len.fetch_sub(1, Ordering::Relaxed);
+                rpb_obs::metrics::MQ_POPS.add(1);
+                #[cfg(feature = "obs")]
+                crate::stats::online_on_pop(pri);
                 return Some((pri, item));
             }
         }
+        rpb_obs::metrics::MQ_EMPTY_POPS.add(1);
         None
     }
 

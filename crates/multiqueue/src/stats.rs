@@ -44,7 +44,7 @@ pub fn measure_rank_error(items: &[u64], n_queues: usize) -> RankErrorStats {
     let mut stats = RankErrorStats::default();
     let mut total = 0usize;
     let mut exact = 0usize;
-    while let Some((p, ()))= mq.pop() {
+    while let Some((p, ())) = mq.pop() {
         let rank: usize = resident.range(..p).map(|(_, &c)| c).sum();
         total += rank;
         if rank == 0 {
@@ -69,7 +69,101 @@ pub fn measure_rank_error(items: &[u64], n_queues: usize) -> RankErrorStats {
 /// Sweeps queue counts and returns `(n_queues, stats)` rows — the data
 /// behind a rank-quality-vs-relaxation plot.
 pub fn rank_error_sweep(items: &[u64], queue_counts: &[usize]) -> Vec<(usize, RankErrorStats)> {
-    queue_counts.iter().map(|&q| (q, measure_rank_error(items, q))).collect()
+    queue_counts
+        .iter()
+        .map(|&q| (q, measure_rank_error(items, q)))
+        .collect()
+}
+
+/// Online rank-error sampling (feature `obs` only).
+///
+/// [`measure_rank_error`] above is offline: it owns the queue and drains it
+/// single-threadedly. The bench harness also wants rank quality *during* a
+/// real concurrent `bfs`/`sssp` run. When enabled, every `push`/`pop` of
+/// every [`MultiQueue`] updates a global mirror multiset, and every
+/// `sample_every`-th pop computes its rank error against the mirror,
+/// feeding `rpb_obs::metrics::{MQ_RANK_SAMPLES, MQ_RANK_ERROR_SUM,
+/// MQ_RANK_ERROR_MAX}` (mean = sum / samples).
+///
+/// Under concurrency the mirror is only approximately synchronized with
+/// the queues (a pop may race a not-yet-mirrored removal), so the sampled
+/// rank is an estimate — which is fine: rank error is itself a
+/// probabilistic quantity. The mirror mutex serializes queue operations
+/// while active, so the sampler is for *observability* runs, never for
+/// the timed zero-cost configuration; it costs one relaxed atomic load
+/// per operation while compiled in but disabled, and nothing at all
+/// without the `obs` feature.
+#[cfg(feature = "obs")]
+mod online {
+    use std::collections::BTreeMap;
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+    use std::sync::Mutex;
+
+    pub(super) static ACTIVE: AtomicBool = AtomicBool::new(false);
+    pub(super) static PERIOD: AtomicU64 = AtomicU64::new(16);
+    pub(super) static OPS: AtomicU64 = AtomicU64::new(0);
+    /// Priority -> multiplicity of elements believed resident.
+    pub(super) static MIRROR: Mutex<BTreeMap<u64, usize>> = Mutex::new(BTreeMap::new());
+}
+
+/// Enables the global online rank-error sampler; every `sample_every`-th
+/// pop is measured. Clears any previous mirror state and the sampled
+/// metrics are accumulated into `rpb_obs::metrics` from here on.
+#[cfg(feature = "obs")]
+pub fn enable_online_sampler(sample_every: u64) {
+    use std::sync::atomic::Ordering;
+    let mut mirror = online::MIRROR.lock().expect("sampler mirror");
+    mirror.clear();
+    online::PERIOD.store(sample_every.max(1), Ordering::Relaxed);
+    online::OPS.store(0, Ordering::Relaxed);
+    online::ACTIVE.store(true, Ordering::Release);
+}
+
+/// Disables the sampler and drops the mirror. The accumulated
+/// `mq_rank_samples` / `mq_rank_error_sum` / `mq_rank_error_max` metrics
+/// are left in place for the harness to snapshot.
+#[cfg(feature = "obs")]
+pub fn disable_online_sampler() {
+    use std::sync::atomic::Ordering;
+    online::ACTIVE.store(false, Ordering::Release);
+    online::MIRROR.lock().expect("sampler mirror").clear();
+}
+
+/// Hook called by [`MultiQueue::push`] before the element becomes poppable.
+#[cfg(feature = "obs")]
+pub(crate) fn online_on_push(pri: u64) {
+    use std::sync::atomic::Ordering;
+    if !online::ACTIVE.load(Ordering::Acquire) {
+        return;
+    }
+    let mut mirror = online::MIRROR.lock().expect("sampler mirror");
+    *mirror.entry(pri).or_insert(0) += 1;
+}
+
+/// Hook called by [`MultiQueue::pop`] after a successful pop.
+#[cfg(feature = "obs")]
+pub(crate) fn online_on_pop(pri: u64) {
+    use std::sync::atomic::Ordering;
+    if !online::ACTIVE.load(Ordering::Acquire) {
+        return;
+    }
+    let mut mirror = online::MIRROR.lock().expect("sampler mirror");
+    let period = online::PERIOD.load(Ordering::Relaxed);
+    if online::OPS.fetch_add(1, Ordering::Relaxed) % period == 0 {
+        let rank: usize = mirror.range(..pri).map(|(_, &c)| c).sum();
+        rpb_obs::metrics::MQ_RANK_SAMPLES.add(1);
+        rpb_obs::metrics::MQ_RANK_ERROR_SUM.add(rank as u64);
+        rpb_obs::metrics::MQ_RANK_ERROR_MAX.record(rank as u64);
+    }
+    // Tolerate pops the mirror never saw (e.g. `drain`, or pushes that
+    // raced the sampler being enabled).
+    match mirror.get_mut(&pri) {
+        Some(c) if *c > 1 => *c -= 1,
+        Some(_) => {
+            mirror.remove(&pri);
+        }
+        None => {}
+    }
 }
 
 #[cfg(test)]
@@ -121,5 +215,29 @@ mod tests {
     fn empty_input() {
         let stats = measure_rank_error(&[], 4);
         assert_eq!(stats.pops, 0);
+    }
+
+    #[cfg(feature = "obs")]
+    #[test]
+    fn online_sampler_records_rank_metrics() {
+        use rpb_obs::metrics as obs;
+        obs::MQ_RANK_SAMPLES.reset();
+        obs::MQ_RANK_ERROR_SUM.reset();
+        enable_online_sampler(1); // sample every pop
+        let mq: MultiQueue<()> = MultiQueue::new(4);
+        for p in (0..2000u64).rev() {
+            mq.push(p, ());
+        }
+        while mq.pop().is_some() {}
+        disable_online_sampler();
+        let samples = obs::MQ_RANK_SAMPLES.get();
+        // ≥ rather than ==: other tests' queues may pop concurrently while
+        // the global sampler is active, adding their own samples.
+        assert!(
+            samples >= 2000,
+            "every one of our pops sampled, got {samples}"
+        );
+        // The counters must be internally consistent (max ≥ mean).
+        assert!(obs::MQ_RANK_ERROR_MAX.get() >= obs::MQ_RANK_ERROR_SUM.get() / samples);
     }
 }

@@ -1,0 +1,264 @@
+//! Relaxed-atomic event counters, sharded to keep concurrent increments off
+//! a single contended cache line. All types are zero-sized no-ops when the
+//! `obs` feature is off.
+
+#[cfg(feature = "obs")]
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// Number of shards for [`Counter`]; increments hash the calling thread to
+/// a shard, reads sum all of them.
+#[cfg(feature = "obs")]
+const COUNTER_SHARDS: usize = 16;
+
+/// Number of thread slots for [`PerThreadCounter`]. Threads beyond this
+/// many alias slots (the imbalance picture degrades gracefully).
+pub const THREAD_SLOTS: usize = 64;
+
+/// A cache-line-padded atomic cell.
+#[cfg(feature = "obs")]
+#[repr(align(64))]
+struct PaddedU64(AtomicU64);
+
+#[cfg(feature = "obs")]
+impl PaddedU64 {
+    const fn new() -> Self {
+        PaddedU64(AtomicU64::new(0))
+    }
+}
+
+/// A small dense id for the calling thread, assigned on first use.
+#[cfg(feature = "obs")]
+pub(crate) fn thread_slot() -> usize {
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    thread_local! {
+        static SLOT: usize = NEXT.fetch_add(1, Ordering::Relaxed);
+    }
+    SLOT.with(|s| *s)
+}
+
+/// A monotonically increasing event counter.
+///
+/// `add` is a relaxed `fetch_add` on a thread-sharded cell; `get` sums the
+/// shards (exact once writers are quiescent, which is when the harness
+/// snapshots). Zero-sized no-op without the `obs` feature.
+pub struct Counter {
+    #[cfg(feature = "obs")]
+    shards: [PaddedU64; COUNTER_SHARDS],
+}
+
+impl Counter {
+    /// Creates a zeroed counter (usable in `static`s).
+    pub const fn new() -> Self {
+        Counter {
+            #[cfg(feature = "obs")]
+            shards: [const { PaddedU64::new() }; COUNTER_SHARDS],
+        }
+    }
+
+    /// Adds `n` events.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        #[cfg(feature = "obs")]
+        {
+            let slot = thread_slot() % COUNTER_SHARDS;
+            self.shards[slot].0.fetch_add(n, Ordering::Relaxed);
+        }
+        #[cfg(not(feature = "obs"))]
+        let _ = n;
+    }
+
+    /// Current total (sums shards; exact when writers are quiescent).
+    pub fn get(&self) -> u64 {
+        #[cfg(feature = "obs")]
+        {
+            self.shards
+                .iter()
+                .map(|s| s.0.load(Ordering::Relaxed))
+                .sum()
+        }
+        #[cfg(not(feature = "obs"))]
+        {
+            0
+        }
+    }
+
+    /// Zeroes the counter.
+    pub fn reset(&self) {
+        #[cfg(feature = "obs")]
+        for s in &self.shards {
+            s.0.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+impl Default for Counter {
+    fn default() -> Self {
+        Counter::new()
+    }
+}
+
+/// A running maximum over observed values.
+pub struct MaxCounter {
+    #[cfg(feature = "obs")]
+    max: AtomicU64,
+}
+
+impl MaxCounter {
+    /// Creates a zeroed max-counter.
+    pub const fn new() -> Self {
+        MaxCounter {
+            #[cfg(feature = "obs")]
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records `v`, keeping the maximum seen so far.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        #[cfg(feature = "obs")]
+        self.max.fetch_max(v, Ordering::Relaxed);
+        #[cfg(not(feature = "obs"))]
+        let _ = v;
+    }
+
+    /// Largest value recorded since the last reset (0 if none).
+    pub fn get(&self) -> u64 {
+        #[cfg(feature = "obs")]
+        {
+            self.max.load(Ordering::Relaxed)
+        }
+        #[cfg(not(feature = "obs"))]
+        {
+            0
+        }
+    }
+
+    /// Zeroes the maximum.
+    pub fn reset(&self) {
+        #[cfg(feature = "obs")]
+        self.max.store(0, Ordering::Relaxed);
+    }
+}
+
+impl Default for MaxCounter {
+    fn default() -> Self {
+        MaxCounter::new()
+    }
+}
+
+/// Per-thread-slot counters: each thread adds to its own slot, so a
+/// snapshot exposes work imbalance across the pool (min/max/active slots).
+pub struct PerThreadCounter {
+    #[cfg(feature = "obs")]
+    slots: [PaddedU64; THREAD_SLOTS],
+}
+
+impl PerThreadCounter {
+    /// Creates a zeroed per-thread counter.
+    pub const fn new() -> Self {
+        PerThreadCounter {
+            #[cfg(feature = "obs")]
+            slots: [const { PaddedU64::new() }; THREAD_SLOTS],
+        }
+    }
+
+    /// Adds `n` to the calling thread's slot.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        #[cfg(feature = "obs")]
+        {
+            let slot = thread_slot() % THREAD_SLOTS;
+            self.slots[slot].0.fetch_add(n, Ordering::Relaxed);
+        }
+        #[cfg(not(feature = "obs"))]
+        let _ = n;
+    }
+
+    /// Total across all slots.
+    pub fn total(&self) -> u64 {
+        #[cfg(feature = "obs")]
+        {
+            self.slots.iter().map(|s| s.0.load(Ordering::Relaxed)).sum()
+        }
+        #[cfg(not(feature = "obs"))]
+        {
+            0
+        }
+    }
+
+    /// Non-zero slot values (one per active thread, order arbitrary).
+    pub fn snapshot(&self) -> Vec<u64> {
+        #[cfg(feature = "obs")]
+        {
+            self.slots
+                .iter()
+                .map(|s| s.0.load(Ordering::Relaxed))
+                .filter(|&v| v != 0)
+                .collect()
+        }
+        #[cfg(not(feature = "obs"))]
+        {
+            Vec::new()
+        }
+    }
+
+    /// Zeroes every slot.
+    pub fn reset(&self) {
+        #[cfg(feature = "obs")]
+        for s in &self.slots {
+            s.0.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+impl Default for PerThreadCounter {
+    fn default() -> Self {
+        PerThreadCounter::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates_and_resets() {
+        let c = Counter::new();
+        c.add(5);
+        c.add(7);
+        if crate::enabled() {
+            assert_eq!(c.get(), 12);
+        }
+        c.reset();
+        assert_eq!(c.get(), 0);
+    }
+
+    #[test]
+    fn max_counter_keeps_max() {
+        let m = MaxCounter::new();
+        m.record(3);
+        m.record(9);
+        m.record(4);
+        if crate::enabled() {
+            assert_eq!(m.get(), 9);
+        } else {
+            assert_eq!(m.get(), 0);
+        }
+        m.reset();
+        assert_eq!(m.get(), 0);
+    }
+
+    #[test]
+    fn per_thread_counter_totals() {
+        let p = PerThreadCounter::new();
+        p.add(10);
+        p.add(1);
+        if crate::enabled() {
+            assert_eq!(p.total(), 11);
+            assert_eq!(p.snapshot().iter().sum::<u64>(), 11);
+        } else {
+            assert_eq!(p.total(), 0);
+            assert!(p.snapshot().is_empty());
+        }
+    }
+}

@@ -1,0 +1,198 @@
+//! Power-of-two-bucket duration histograms.
+//!
+//! Bucket `b` holds durations `d` with `floor(log2(d_ns)) + 1 == b`
+//! (bucket 0 is exactly 0 ns), i.e. bucket boundaries double — 1 ns, 2 ns,
+//! 4 ns, … — covering the full `u64` nanosecond range in 64 buckets plus
+//! the zero bucket. Recording is one relaxed `fetch_add` plus two more for
+//! the sum/count, so a histogram write is ~3 uncontended atomic adds; the
+//! whole type is a zero-sized no-op without the `obs` feature.
+
+use std::time::Duration;
+
+#[cfg(feature = "obs")]
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::snapshot::HistoSnapshot;
+
+/// Number of buckets: zero bucket + one per bit of a `u64` nanosecond count.
+pub const BUCKETS: usize = 65;
+
+/// A concurrent duration histogram with power-of-two buckets.
+pub struct DurationHisto {
+    #[cfg(feature = "obs")]
+    buckets: [AtomicU64; BUCKETS],
+    #[cfg(feature = "obs")]
+    count: AtomicU64,
+    #[cfg(feature = "obs")]
+    sum_ns: AtomicU64,
+    #[cfg(feature = "obs")]
+    max_ns: AtomicU64,
+}
+
+/// Bucket index for a nanosecond value: 0 for 0 ns, else `floor(log2)+1`.
+pub fn bucket_index(ns: u64) -> usize {
+    if ns == 0 {
+        0
+    } else {
+        (64 - ns.leading_zeros()) as usize
+    }
+}
+
+/// Inclusive upper bound of a bucket in nanoseconds (`u64::MAX` for the
+/// last bucket).
+pub fn bucket_upper_ns(bucket: usize) -> u64 {
+    if bucket == 0 {
+        0
+    } else if bucket >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << bucket) - 1
+    }
+}
+
+impl DurationHisto {
+    /// Creates an empty histogram (usable in `static`s).
+    pub const fn new() -> Self {
+        DurationHisto {
+            #[cfg(feature = "obs")]
+            buckets: [const { AtomicU64::new(0) }; BUCKETS],
+            #[cfg(feature = "obs")]
+            count: AtomicU64::new(0),
+            #[cfg(feature = "obs")]
+            sum_ns: AtomicU64::new(0),
+            #[cfg(feature = "obs")]
+            max_ns: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one duration.
+    #[inline]
+    pub fn record(&self, d: Duration) {
+        #[cfg(feature = "obs")]
+        {
+            let ns = d.as_nanos().min(u64::MAX as u128) as u64;
+            self.buckets[bucket_index(ns)].fetch_add(1, Ordering::Relaxed);
+            self.count.fetch_add(1, Ordering::Relaxed);
+            self.sum_ns.fetch_add(ns, Ordering::Relaxed);
+            self.max_ns.fetch_max(ns, Ordering::Relaxed);
+        }
+        #[cfg(not(feature = "obs"))]
+        let _ = d;
+    }
+
+    /// Number of recorded durations.
+    pub fn count(&self) -> u64 {
+        #[cfg(feature = "obs")]
+        {
+            self.count.load(Ordering::Relaxed)
+        }
+        #[cfg(not(feature = "obs"))]
+        {
+            0
+        }
+    }
+
+    /// Sum of recorded durations in nanoseconds.
+    pub fn sum_ns(&self) -> u64 {
+        #[cfg(feature = "obs")]
+        {
+            self.sum_ns.load(Ordering::Relaxed)
+        }
+        #[cfg(not(feature = "obs"))]
+        {
+            0
+        }
+    }
+
+    /// Copies out counts, sum, max, and the non-empty buckets.
+    pub fn snapshot(&self) -> HistoSnapshot {
+        #[cfg(feature = "obs")]
+        {
+            HistoSnapshot {
+                count: self.count.load(Ordering::Relaxed),
+                sum_ns: self.sum_ns.load(Ordering::Relaxed),
+                max_ns: self.max_ns.load(Ordering::Relaxed),
+                buckets: self
+                    .buckets
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, b)| {
+                        let v = b.load(Ordering::Relaxed);
+                        (v != 0).then_some((i as u32, v))
+                    })
+                    .collect(),
+            }
+        }
+        #[cfg(not(feature = "obs"))]
+        {
+            HistoSnapshot::default()
+        }
+    }
+
+    /// Zeroes the histogram.
+    pub fn reset(&self) {
+        #[cfg(feature = "obs")]
+        {
+            for b in &self.buckets {
+                b.store(0, Ordering::Relaxed);
+            }
+            self.count.store(0, Ordering::Relaxed);
+            self.sum_ns.store(0, Ordering::Relaxed);
+            self.max_ns.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+impl Default for DurationHisto {
+    fn default() -> Self {
+        DurationHisto::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_doubles() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(1023), 10);
+        assert_eq!(bucket_index(1024), 11);
+        assert_eq!(bucket_index(u64::MAX), 64);
+    }
+
+    #[test]
+    fn bucket_bounds_are_consistent() {
+        for b in 0..BUCKETS - 1 {
+            assert_eq!(
+                bucket_index(bucket_upper_ns(b)),
+                b,
+                "upper bound of bucket {b}"
+            );
+            assert_eq!(bucket_index(bucket_upper_ns(b) + 1), b + 1);
+        }
+    }
+
+    #[test]
+    fn record_accumulates() {
+        let h = DurationHisto::new();
+        h.record(Duration::from_nanos(3));
+        h.record(Duration::from_nanos(1000));
+        let s = h.snapshot();
+        if crate::enabled() {
+            assert_eq!(s.count, 2);
+            assert_eq!(s.sum_ns, 1003);
+            assert_eq!(s.max_ns, 1000);
+            assert_eq!(s.buckets, vec![(2, 1), (10, 1)]);
+        } else {
+            assert_eq!(s.count, 0);
+            assert!(s.buckets.is_empty());
+        }
+        h.reset();
+        assert_eq!(h.count(), 0);
+    }
+}

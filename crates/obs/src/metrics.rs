@@ -1,0 +1,159 @@
+//! The suite-wide metric registry.
+//!
+//! Every instrumented crate (`rpb-fearless`, `rpb-multiqueue`, `rpb-bench`)
+//! records into these statics; the bench harness calls [`reset`] before a
+//! timed run and [`snapshot`] after it, attaching the result to the run's
+//! JSON record. Central definition keeps the report schema fixed and makes
+//! snapshot/reset trivial — no dynamic registration machinery on the hot
+//! path.
+//!
+//! Naming: the `&'static str` JSON keys are the lowercase of the static
+//! names; `*_ns` metrics are histograms of durations, everything else is an
+//! event count.
+
+use crate::counter::{Counter, MaxCounter, PerThreadCounter};
+use crate::histo::DurationHisto;
+use crate::snapshot::Snapshot;
+
+macro_rules! define_metrics {
+    (
+        counters { $($cid:ident => $cname:literal: $cdoc:literal),* $(,)? }
+        maxes { $($mid:ident => $mname:literal: $mdoc:literal),* $(,)? }
+        histos { $($hid:ident => $hname:literal: $hdoc:literal),* $(,)? }
+        per_thread { $($pid:ident => $pname:literal: $pdoc:literal),* $(,)? }
+    ) => {
+        $(
+            #[doc = $cdoc]
+            pub static $cid: Counter = Counter::new();
+        )*
+        $(
+            #[doc = $mdoc]
+            pub static $mid: MaxCounter = MaxCounter::new();
+        )*
+        $(
+            #[doc = $hdoc]
+            pub static $hid: DurationHisto = DurationHisto::new();
+        )*
+        $(
+            #[doc = $pdoc]
+            pub static $pid: PerThreadCounter = PerThreadCounter::new();
+        )*
+
+        /// Copies every metric out into a [`Snapshot`].
+        pub fn snapshot() -> Snapshot {
+            Snapshot {
+                counters: vec![
+                    $(($cname, $cid.get()),)*
+                    $(($mname, $mid.get()),)*
+                ],
+                histos: vec![$(($hname, $hid.snapshot()),)*],
+                per_thread: vec![$(($pname, $pid.snapshot()),)*],
+            }
+        }
+
+        /// Zeroes every metric (call between timed runs).
+        pub fn reset() {
+            $($cid.reset();)*
+            $($mid.reset();)*
+            $($hid.reset();)*
+            $($pid.reset();)*
+        }
+    };
+}
+
+define_metrics! {
+    counters {
+        // rpb-fearless: SngInd uniqueness checking (Fig. 5a attribution).
+        SNGIND_CHECKS_MARK => "sngind_checks_mark":
+            "`validate_offsets` runs using the mark-table strategy.",
+        SNGIND_CHECKS_SORT => "sngind_checks_sort":
+            "`validate_offsets` runs using the sort strategy.",
+        SNGIND_OFFSETS_VALIDATED => "sngind_offsets_validated":
+            "Total offsets passed through SngInd uniqueness validation.",
+        SNGIND_MARK_TABLE_BYTES => "sngind_mark_table_bytes":
+            "Bytes of transient mark-table allocated by mark-table checks.",
+        SNGIND_CHECK_FAILURES => "sngind_check_failures":
+            "SngInd validations that rejected their offsets.",
+        // rpb-fearless: RngInd boundary checking (the ~free check).
+        RNGIND_CHECKS => "rngind_checks":
+            "`validate_chunk_offsets` runs (monotonicity checks).",
+        RNGIND_BOUNDARIES_VALIDATED => "rngind_boundaries_validated":
+            "Total chunk boundaries passed through RngInd validation.",
+        RNGIND_CHECK_FAILURES => "rngind_check_failures":
+            "RngInd validations that rejected their boundaries.",
+        // rpb-multiqueue: scheduler traffic and contention.
+        MQ_PUSHES => "mq_pushes": "Successful MultiQueue pushes.",
+        MQ_POPS => "mq_pops": "Successful MultiQueue pops.",
+        MQ_EMPTY_POPS => "mq_empty_pops":
+            "Pops that found every internal queue empty (returned None).",
+        MQ_PUSH_RETRIES => "mq_push_retries":
+            "Push attempts that found their random queue's lock contended.",
+        MQ_POP_SWEEPS => "mq_pop_sweeps":
+            "Pops that fell back to the deterministic full-queue sweep.",
+        MQ_RANK_SAMPLES => "mq_rank_samples":
+            "Pops whose rank error was sampled by the online sampler.",
+        MQ_RANK_ERROR_SUM => "mq_rank_error_sum":
+            "Sum of sampled rank errors (mean = sum / samples).",
+        // rpb-multiqueue executor: per-run totals.
+        EXEC_TASKS => "exec_tasks": "Tasks executed by MultiQueue workers.",
+        EXEC_IDLE_SPINS => "exec_idle_spins":
+            "Times a MultiQueue worker found no work and yielded.",
+        // rpb-bench: Rayon pool lifecycle.
+        POOL_THREADS_STARTED => "pool_threads_started":
+            "Rayon worker threads started by instrumented pools.",
+    }
+    maxes {
+        MQ_RANK_ERROR_MAX => "mq_rank_error_max":
+            "Largest sampled MultiQueue rank error.",
+    }
+    histos {
+        SNGIND_CHECK_NS => "sngind_check_ns":
+            "Wall time of each SngInd uniqueness validation.",
+        RNGIND_CHECK_NS => "rngind_check_ns":
+            "Wall time of each RngInd monotonicity validation.",
+        POOL_THREAD_LIFETIME_NS => "pool_thread_lifetime_ns":
+            "Lifetime of each instrumented Rayon worker thread.",
+    }
+    per_thread {
+        SNGIND_ITEMS => "sngind_items":
+            "SngInd elements written, attributed to the executing thread \
+             (task-imbalance proxy).",
+        RNGIND_CHUNKS => "rngind_chunks":
+            "RngInd chunks written, attributed to the executing thread.",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_schema_is_stable() {
+        let snap = snapshot();
+        for name in [
+            "sngind_checks_mark",
+            "sngind_offsets_validated",
+            "mq_pushes",
+            "mq_empty_pops",
+            "mq_rank_error_max",
+            "exec_tasks",
+            "pool_threads_started",
+        ] {
+            assert!(
+                snap.counters.iter().any(|(n, _)| *n == name),
+                "missing counter {name}"
+            );
+        }
+        assert!(snap.histo("sngind_check_ns").is_some());
+        assert!(snap.histo("pool_thread_lifetime_ns").is_some());
+    }
+
+    #[test]
+    fn reset_zeroes_everything() {
+        MQ_PUSHES.add(5);
+        SNGIND_CHECK_NS.record(std::time::Duration::from_nanos(100));
+        reset();
+        let snap = snapshot();
+        assert!(snap.is_empty());
+    }
+}

@@ -1,0 +1,114 @@
+//! RAII scope timers recording into a [`DurationHisto`].
+//!
+//! Without the `obs` feature the timer is a zero-sized struct whose
+//! constructor and `Drop` are empty — crucially, **no `Instant::now()`
+//! clock read happens**, so timing call sites really are free when
+//! telemetry is off.
+
+use crate::histo::DurationHisto;
+
+#[cfg(feature = "obs")]
+use std::time::Instant;
+
+/// Records the time from construction to drop into a histogram.
+pub struct ScopedTimer<'a> {
+    #[cfg(feature = "obs")]
+    histo: &'a DurationHisto,
+    #[cfg(feature = "obs")]
+    start: Instant,
+    #[cfg(not(feature = "obs"))]
+    _histo: std::marker::PhantomData<&'a DurationHisto>,
+}
+
+impl<'a> ScopedTimer<'a> {
+    /// Starts timing into `histo`.
+    #[inline]
+    pub fn new(histo: &'a DurationHisto) -> Self {
+        #[cfg(feature = "obs")]
+        {
+            ScopedTimer {
+                histo,
+                start: Instant::now(),
+            }
+        }
+        #[cfg(not(feature = "obs"))]
+        {
+            let _ = histo;
+            ScopedTimer {
+                _histo: std::marker::PhantomData,
+            }
+        }
+    }
+}
+
+impl Drop for ScopedTimer<'_> {
+    #[inline]
+    fn drop(&mut self) {
+        #[cfg(feature = "obs")]
+        self.histo.record(self.start.elapsed());
+    }
+}
+
+/// Times a closure into `histo` and returns its result.
+#[inline]
+pub fn time<R>(histo: &DurationHisto, f: impl FnOnce() -> R) -> R {
+    let _t = ScopedTimer::new(histo);
+    f()
+}
+
+/// Records the duration of the enclosing scope (from this statement to the
+/// end of the block) into the given [`DurationHisto`].
+///
+/// ```
+/// use rpb_obs::{metrics, span};
+/// {
+///     span!(metrics::SNGIND_CHECK_NS);
+///     // ... work being attributed to the check ...
+/// }
+/// ```
+#[macro_export]
+macro_rules! span {
+    ($histo:expr) => {
+        let _rpb_obs_span_guard = $crate::timer::ScopedTimer::new(&$histo);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn scoped_timer_records_once() {
+        let h = DurationHisto::new();
+        {
+            let _t = ScopedTimer::new(&h);
+            std::hint::black_box((0..100u64).sum::<u64>());
+        }
+        if crate::enabled() {
+            assert_eq!(h.count(), 1);
+        } else {
+            assert_eq!(h.count(), 0);
+        }
+    }
+
+    #[test]
+    fn time_passes_through_result() {
+        let h = DurationHisto::new();
+        let v = time(&h, || 41 + 1);
+        assert_eq!(v, 42);
+    }
+
+    #[test]
+    fn span_macro_compiles_and_scopes() {
+        let h = DurationHisto::new();
+        {
+            span!(h);
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        if crate::enabled() {
+            assert_eq!(h.count(), 1);
+            assert!(h.sum_ns() >= 1_000_000);
+        }
+    }
+}

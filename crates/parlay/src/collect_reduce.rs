@@ -22,12 +22,7 @@ use crate::sort::radix_sort_by_key;
 ///
 /// # Panics
 /// Panics if any key is `>= buckets`.
-pub fn collect_reduce_dense<V, F>(
-    pairs: &[(usize, V)],
-    buckets: usize,
-    id: V,
-    op: F,
-) -> Vec<V>
+pub fn collect_reduce_dense<V, F>(pairs: &[(usize, V)], buckets: usize, id: V, op: F) -> Vec<V>
 where
     V: Copy + Send + Sync,
     F: Fn(V, V) -> V + Send + Sync,
@@ -100,8 +95,9 @@ mod tests {
 
     #[test]
     fn dense_sum_matches_reference() {
-        let pairs: Vec<(usize, u64)> =
-            (0..100_000).map(|i| ((i * 7) % 64, (i % 11) as u64)).collect();
+        let pairs: Vec<(usize, u64)> = (0..100_000)
+            .map(|i| ((i * 7) % 64, (i % 11) as u64))
+            .collect();
         let got = collect_reduce_dense(&pairs, 64, 0u64, |a, b| a + b);
         let mut want = vec![0u64; 64];
         for &(k, v) in &pairs {

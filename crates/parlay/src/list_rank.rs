@@ -71,7 +71,10 @@ pub fn list_order(next: &[usize], head: usize) -> Vec<usize> {
                 assert!(nodes.len() <= n, "list_order: cycle detected in next[]");
                 cur = next[cur];
             }
-            Segment { nodes, next_splitter: cur }
+            Segment {
+                nodes,
+                next_splitter: cur,
+            }
         })
         .collect();
     // Map node id -> segment index for stitching.
@@ -88,7 +91,11 @@ pub fn list_order(next: &[usize], head: usize) -> Vec<usize> {
         visited += seg.nodes.len();
         assert!(visited <= n, "list_order: cycle detected among splitters");
         ordered.push(seg);
-        cur = if seg.next_splitter == NIL { NIL } else { seg_of[seg.next_splitter] };
+        cur = if seg.next_splitter == NIL {
+            NIL
+        } else {
+            seg_of[seg.next_splitter]
+        };
     }
     // Phase 3: flatten in parallel.
     let seqs: Vec<Vec<usize>> = ordered.into_iter().map(|s| s.nodes.clone()).collect();

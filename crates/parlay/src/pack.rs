@@ -34,7 +34,13 @@ where
     T: Copy + Send + Sync,
     P: Fn(&T) -> bool + Send + Sync,
 {
-    filter_map_indexed(data.len(), |i| if pred(&data[i]) { Some(data[i]) } else { None })
+    filter_map_indexed(data.len(), |i| {
+        if pred(&data[i]) {
+            Some(data[i])
+        } else {
+            None
+        }
+    })
 }
 
 /// Indices `i` in `0..flags.len()` where `flags[i]` is true
@@ -105,19 +111,20 @@ pub fn flatten<T: Copy + Send + Sync>(seqs: &[Vec<T>]) -> Vec<T> {
     let mut out: Vec<T> = Vec::with_capacity(total);
     {
         let out_ptr = SendPtr::new(out.as_mut_ptr());
-        seqs.par_iter().zip(offsets.par_iter()).for_each(|(seq, &off)| {
-            for (k, &v) in seq.iter().enumerate() {
-                // SAFETY: block `b` writes [offsets[b], offsets[b]+len_b), a
-                // disjoint range per the exclusive scan of the lengths.
-                unsafe { out_ptr.write(off + k, v) };
-            }
-        });
+        seqs.par_iter()
+            .zip(offsets.par_iter())
+            .for_each(|(seq, &off)| {
+                for (k, &v) in seq.iter().enumerate() {
+                    // SAFETY: block `b` writes [offsets[b], offsets[b]+len_b), a
+                    // disjoint range per the exclusive scan of the lengths.
+                    unsafe { out_ptr.write(off + k, v) };
+                }
+            });
         // SAFETY: all `total` slots written exactly once.
         unsafe { out.set_len(total) };
     }
     out
 }
-
 
 #[cfg(test)]
 mod tests {
@@ -167,8 +174,9 @@ mod tests {
 
     #[test]
     fn flatten_large() {
-        let seqs: Vec<Vec<u64>> =
-            (0..500).map(|i| (0..(i % 37)).map(|j| i * 1000 + j).collect()).collect();
+        let seqs: Vec<Vec<u64>> = (0..500)
+            .map(|i| (0..(i % 37)).map(|j| i * 1000 + j).collect())
+            .collect();
         let want: Vec<u64> = seqs.iter().flatten().copied().collect();
         assert_eq!(flatten(&seqs), want);
     }

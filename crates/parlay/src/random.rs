@@ -67,7 +67,9 @@ impl Random {
     /// Derives an independent stream, PBBS `fork`.
     #[inline]
     pub fn fork(&self, i: u64) -> Random {
-        Random { seed: hash64(self.seed.wrapping_add(i)) }
+        Random {
+            seed: hash64(self.seed.wrapping_add(i)),
+        }
     }
 
     /// A value in `[0, bound)`. `bound` must be non-zero.
@@ -101,7 +103,9 @@ pub struct SeqRng {
 impl SeqRng {
     /// Creates the generator from a seed.
     pub fn new(seed: u64) -> Self {
-        SeqRng { state: hash64(seed ^ 0x9E37_79B9_7F4A_7C15) }
+        SeqRng {
+            state: hash64(seed ^ 0x9E37_79B9_7F4A_7C15),
+        }
     }
 
     /// Next 64-bit value.

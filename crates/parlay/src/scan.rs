@@ -61,7 +61,10 @@ where
         }
     });
     // Pass 2: exclusive scan of block totals.
-    let mut offsets: Vec<T> = out.chunks(block).map(|c| *c.last().expect("non-empty chunk")).collect();
+    let mut offsets: Vec<T> = out
+        .chunks(block)
+        .map(|c| *c.last().expect("non-empty chunk"))
+        .collect();
     let mut acc = id;
     for o in offsets.iter_mut() {
         let next = op(acc, *o);
@@ -69,11 +72,13 @@ where
         acc = next;
     }
     // Pass 3: add each block's offset.
-    out.par_chunks_mut(block).zip(offsets.par_iter()).for_each(|(chunk, &off)| {
-        for x in chunk.iter_mut() {
-            *x = op(off, *x);
-        }
-    });
+    out.par_chunks_mut(block)
+        .zip(offsets.par_iter())
+        .for_each(|(chunk, &off)| {
+            for x in chunk.iter_mut() {
+                *x = op(off, *x);
+            }
+        });
     out
 }
 
@@ -117,14 +122,16 @@ where
     }
     let total = acc;
     // Pass 3: per-block exclusive scan seeded with the block offset.
-    data.par_chunks_mut(block).zip(offsets.par_iter()).for_each(|(chunk, &off)| {
-        let mut acc = off;
-        for x in chunk.iter_mut() {
-            let next = op(acc, *x);
-            *x = acc;
-            acc = next;
-        }
-    });
+    data.par_chunks_mut(block)
+        .zip(offsets.par_iter())
+        .for_each(|(chunk, &off)| {
+            let mut acc = off;
+            for x in chunk.iter_mut() {
+                let next = op(acc, *x);
+                *x = acc;
+                acc = next;
+            }
+        });
     total
 }
 

@@ -13,7 +13,10 @@ use crate::random::Random;
 /// `n` uniform values in `[0, range)`.
 pub fn uniform_u64(n: usize, range: u64, seed: u64) -> Vec<u64> {
     let r = Random::new(seed);
-    (0..n).into_par_iter().map(|i| r.ith_rand_bounded(i as u64, range.max(1))).collect()
+    (0..n)
+        .into_par_iter()
+        .map(|i| r.ith_rand_bounded(i as u64, range.max(1)))
+        .collect()
 }
 
 /// `n` values with an exponential distribution over `[0, range)` —
@@ -55,7 +58,11 @@ pub fn zipf_u64(n: usize, range: u64, theta: f64, seed: u64) -> Vec<u64> {
 /// `n` pairs `(key, i)` with exponentially distributed keys; used by the
 /// paper's `hist` benchmark with "large structs".
 pub fn exponential_pairs(n: usize, range: u64, seed: u64) -> Vec<(u64, u64)> {
-    exponential_u64(n, range, seed).into_par_iter().enumerate().map(|(i, k)| (k, i as u64)).collect()
+    exponential_u64(n, range, seed)
+        .into_par_iter()
+        .enumerate()
+        .map(|(i, k)| (k, i as u64))
+        .collect()
 }
 
 /// A random permutation of `0..n` (Durstenfeld shuffle, sequential but

@@ -63,8 +63,9 @@ mod tests {
     fn block_ranges_cover() {
         let n = 10;
         let bs = block_size_for(n, 3);
-        let covered: Vec<usize> =
-            (0..super::super::num_blocks(n, bs)).flat_map(|b| block_range(n, bs, b)).collect();
+        let covered: Vec<usize> = (0..super::super::num_blocks(n, bs))
+            .flat_map(|b| block_range(n, bs, b))
+            .collect();
         assert_eq!(covered, (0..n).collect::<Vec<_>>());
     }
 

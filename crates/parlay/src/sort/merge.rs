@@ -97,9 +97,7 @@ where
 {
     let (mut i, mut j) = (0, 0);
     for slot in out.iter_mut() {
-        if i < a.len()
-            && (j >= b.len() || cmp(&a[i], &b[j]) != std::cmp::Ordering::Greater)
-        {
+        if i < a.len() && (j >= b.len() || cmp(&a[i], &b[j]) != std::cmp::Ordering::Greater) {
             *slot = a[i];
             i += 1;
         } else {

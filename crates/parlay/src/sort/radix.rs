@@ -129,7 +129,6 @@ pub fn radix_sort_u32(data: &mut [u32]) {
     radix_sort_by_key(data, 32, |&x| x as u64);
 }
 
-
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -88,8 +88,10 @@ where
     let mut buf: Vec<T> = Vec::with_capacity(n);
     {
         let buf_ptr = SendPtr::new(buf.as_mut_ptr());
-        data.par_chunks(block).zip(ids.par_chunks(block)).enumerate().for_each(
-            |(b, (chunk, id_chunk))| {
+        data.par_chunks(block)
+            .zip(ids.par_chunks(block))
+            .enumerate()
+            .for_each(|(b, (chunk, id_chunk))| {
                 let mut offs = counts[b * nbuckets..(b + 1) * nbuckets].to_vec();
                 for (&x, &d) in chunk.iter().zip(id_chunk) {
                     // SAFETY: offs[d] walks the disjoint range owned by
@@ -97,8 +99,7 @@ where
                     unsafe { buf_ptr.write(offs[d as usize], x) };
                     offs[d as usize] += 1;
                 }
-            },
-        );
+            });
     }
     // SAFETY: the scatter wrote all n slots exactly once.
     unsafe { buf.set_len(n) };
@@ -117,10 +118,11 @@ where
             prev = end;
         }
     }
-    slices.into_par_iter().for_each(|s| s.sort_unstable_by(&cmp));
+    slices
+        .into_par_iter()
+        .for_each(|s| s.sort_unstable_by(&cmp));
     data.copy_from_slice(&buf);
 }
-
 
 #[cfg(test)]
 mod tests {
@@ -168,8 +170,9 @@ mod tests {
 
     #[test]
     fn sorts_floats_by_total_order() {
-        let mut v: Vec<f64> =
-            (0..60_000).map(|i| (hash64(i) % 1000) as f64 - 500.0).collect();
+        let mut v: Vec<f64> = (0..60_000)
+            .map(|i| (hash64(i) % 1000) as f64 - 500.0)
+            .collect();
         sample_sort(&mut v, |a, b| a.partial_cmp(b).expect("no NaN"));
         assert!(v.windows(2).all(|w| w[0] <= w[1]));
     }

@@ -61,8 +61,7 @@ pub fn jacobi_step_seq(input: &[f64], output: &mut [f64], rows: usize, cols: usi
     for r in 1..rows - 1 {
         for c in 1..cols - 1 {
             let i = r * cols + c;
-            output[i] =
-                0.25 * (input[i - 1] + input[i + 1] + input[i - cols] + input[i + cols]);
+            output[i] = 0.25 * (input[i - 1] + input[i + 1] + input[i - cols] + input[i + cols]);
         }
     }
 }

@@ -26,19 +26,24 @@ pub fn run_par(g: &Graph, src: usize, threads: usize, _mode: ExecMode) -> Vec<u6
     let n = g.num_vertices();
     let dist: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(INF)).collect();
     dist[src].store(0, Ordering::Relaxed);
-    execute(threads, 2 * threads.max(1), vec![(0u64, src as u32)], |d, v, h| {
-        let v = v as usize;
-        // Stale task: a better distance already settled.
-        if d > dist[v].load(Ordering::Relaxed) {
-            return;
-        }
-        for &w in g.neighbors(v) {
-            let nd = d + 1;
-            if write_min_u64(&dist[w as usize], nd) {
-                h.push(nd, w);
+    execute(
+        threads,
+        2 * threads.max(1),
+        vec![(0u64, src as u32)],
+        |d, v, h| {
+            let v = v as usize;
+            // Stale task: a better distance already settled.
+            if d > dist[v].load(Ordering::Relaxed) {
+                return;
             }
-        }
-    });
+            for &w in g.neighbors(v) {
+                let nd = d + 1;
+                if write_min_u64(&dist[w as usize], nd) {
+                    h.push(nd, w);
+                }
+            }
+        },
+    );
     dist.into_iter().map(|d| d.into_inner()).collect()
 }
 

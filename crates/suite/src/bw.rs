@@ -19,9 +19,15 @@ pub fn run_par(bwt: &[u8], mode: ExecMode) -> Vec<u8> {
         return Vec::new();
     }
     let lf = lf_mapping(bwt);
-    let p0 = bwt.iter().position(|&c| c == SENTINEL).expect("bw: sentinel missing");
+    let p0 = bwt
+        .iter()
+        .position(|&c| c == SENTINEL)
+        .expect("bw: sentinel missing");
     let mut next = lf;
-    let back = next.par_iter().position_any(|&t| t == p0).expect("bw: malformed LF chain");
+    let back = next
+        .par_iter()
+        .position_any(|&t| t == p0)
+        .expect("bw: malformed LF chain");
     next[back] = NIL;
     // order[k] = the row visited at step k; text index m-1-k.
     let order = list_order(&next, p0);
@@ -38,19 +44,18 @@ pub fn run_par(bwt: &[u8], mode: ExecMode) -> Vec<u8> {
                 unsafe { view.write(m - 1 - k, bwt[order[k]]) };
             });
         }
-        ExecMode::Checked => {
-            match out.try_par_ind_iter_mut(&offsets, UniquenessCheck::MarkTable) {
-                Ok(it) => it.enumerate().for_each(|(j, slot)| *slot = bwt[order[j + 1]]),
-                Err(e) => panic!("bw scatter: {e}"),
-            }
-        }
+        ExecMode::Checked => match out.try_par_ind_iter_mut(&offsets, UniquenessCheck::MarkTable) {
+            Ok(it) => it
+                .enumerate()
+                .for_each(|(j, slot)| *slot = bwt[order[j + 1]]),
+            Err(e) => panic!("bw scatter: {e}"),
+        },
         ExecMode::Sync => {
             use std::sync::atomic::{AtomicU8, Ordering};
             // SAFETY: exclusive borrow as atomics; relaxed stores placate
             // rustc (the paper's Listing 6(e)).
-            let atomic: &[AtomicU8] = unsafe {
-                std::slice::from_raw_parts(out.as_ptr() as *const AtomicU8, out.len())
-            };
+            let atomic: &[AtomicU8] =
+                unsafe { std::slice::from_raw_parts(out.as_ptr() as *const AtomicU8, out.len()) };
             (1..m).into_par_iter().for_each(|k| {
                 atomic[m - 1 - k].store(bwt[order[k]], Ordering::Relaxed);
             });

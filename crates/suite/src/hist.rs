@@ -93,7 +93,13 @@ pub struct LargeBin {
 
 impl Default for LargeBin {
     fn default() -> Self {
-        LargeBin { count: 0, sum: 0, min: u64::MAX, max: 0, sum_sq: 0 }
+        LargeBin {
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+            sum_sq: 0,
+        }
     }
 }
 
@@ -143,8 +149,9 @@ pub fn run_large(data: &[u64], nbuckets: usize, range: u64, mode: ExecMode) -> V
                 },
             ),
         ExecMode::Sync => {
-            let bins: Vec<Mutex<LargeBin>> =
-                (0..nbuckets).map(|_| Mutex::new(LargeBin::default())).collect();
+            let bins: Vec<Mutex<LargeBin>> = (0..nbuckets)
+                .map(|_| Mutex::new(LargeBin::default()))
+                .collect();
             data.par_iter().for_each(|&x| {
                 bins[bucket_of(x)].lock().add(x);
             });

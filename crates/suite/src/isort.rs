@@ -76,15 +76,16 @@ fn destinations(src: &[u64], shift: u32) -> Vec<usize> {
         }
     }
     let mut dest = vec![0usize; n];
-    dest.par_chunks_mut(block).zip(src.par_chunks(block)).enumerate().for_each(
-        |(b, (dchunk, schunk))| {
+    dest.par_chunks_mut(block)
+        .zip(src.par_chunks(block))
+        .enumerate()
+        .for_each(|(b, (dchunk, schunk))| {
             let mut offs = counts[b * BUCKETS..(b + 1) * BUCKETS].to_vec();
             for (slot, &x) in dchunk.iter_mut().zip(schunk) {
                 *slot = offs[digit(x)];
                 offs[digit(x)] += 1;
             }
-        },
-    );
+        });
     dest
 }
 
@@ -98,8 +99,7 @@ fn scatter(src: &[u64], dst: &mut [u64], dest: &[usize], mode: ExecMode) {
                 unsafe { view.write(d, x) };
             });
         }
-        ExecMode::Checked => match dst.try_par_ind_iter_mut(dest, UniquenessCheck::MarkTable)
-        {
+        ExecMode::Checked => match dst.try_par_ind_iter_mut(dest, UniquenessCheck::MarkTable) {
             Ok(it) => it.zip(src.par_iter()).for_each(|(slot, &x)| *slot = x),
             Err(e) => panic!("isort scatter: {e}"),
         },
@@ -124,8 +124,11 @@ pub fn run_seq(data: &mut [u64], key_bits: u32) {
     let mut src_is_data = true;
     for pass in 0..passes {
         let shift = pass * RADIX_BITS;
-        let (src, dst): (&[u64], &mut [u64]) =
-            if src_is_data { (&*data, &mut buf) } else { (&buf, data) };
+        let (src, dst): (&[u64], &mut [u64]) = if src_is_data {
+            (&*data, &mut buf)
+        } else {
+            (&buf, data)
+        };
         let digit = |x: u64| ((x >> shift) & (BUCKETS as u64 - 1)) as usize;
         let mut counts = vec![0usize; BUCKETS];
         for &x in src.iter() {
@@ -170,7 +173,9 @@ mod tests {
     #[test]
     fn odd_pass_count_copies_back() {
         // key_bits = 8 → one pass → result ends in buf and must copy back.
-        let mut v: Vec<u64> = (0..20_000).map(|i| (rpb_parlay::random::hash64(i) % 256)).collect();
+        let mut v: Vec<u64> = (0..20_000)
+            .map(|i| (rpb_parlay::random::hash64(i) % 256))
+            .collect();
         let mut want = v.clone();
         want.sort_unstable();
         run_par(&mut v, 8, ExecMode::Checked);

@@ -34,10 +34,16 @@ pub fn run_seq(text: &[u8]) -> Lrs {
 
 fn best_from(sa: &[u32], lcp: &[u32]) -> Lrs {
     match rpb_parlay::max_index(lcp) {
-        Some(j) if lcp[j] > 0 => {
-            Lrs { pos_a: sa[j - 1] as usize, pos_b: sa[j] as usize, len: lcp[j] as usize }
-        }
-        _ => Lrs { pos_a: 0, pos_b: 0, len: 0 },
+        Some(j) if lcp[j] > 0 => Lrs {
+            pos_a: sa[j - 1] as usize,
+            pos_b: sa[j] as usize,
+            len: lcp[j] as usize,
+        },
+        _ => Lrs {
+            pos_a: 0,
+            pos_b: 0,
+            len: 0,
+        },
     }
 }
 
@@ -122,7 +128,11 @@ mod tests {
     #[test]
     fn verify_rejects_wrong_claim() {
         let text = b"aabb";
-        let bogus = Lrs { pos_a: 0, pos_b: 2, len: 2 };
+        let bogus = Lrs {
+            pos_a: 0,
+            pos_b: 2,
+            len: 2,
+        };
         assert!(verify(text, &bogus).is_err());
     }
 }

@@ -190,7 +190,10 @@ mod tests {
 
     #[test]
     fn paper_7_2_seven_benchmarks_have_aw() {
-        let aw = all_benchmarks().iter().filter(|b| b.uses(Pattern::AW)).count();
+        let aw = all_benchmarks()
+            .iter()
+            .filter(|b| b.uses(Pattern::AW))
+            .count();
         assert_eq!(aw, 7);
     }
 
@@ -205,7 +208,10 @@ mod tests {
 
     #[test]
     fn paper_7_2_sort_is_rngind_only_irregular() {
-        let sort = all_benchmarks().iter().find(|b| b.abbrev == "sort").unwrap();
+        let sort = all_benchmarks()
+            .iter()
+            .find(|b| b.abbrev == "sort")
+            .unwrap();
         assert!(sort.uses(Pattern::RngInd));
         assert!(!sort.uses(Pattern::SngInd));
         assert!(!sort.uses(Pattern::AW));
@@ -227,9 +233,15 @@ mod tests {
     fn census_is_near_paper_distribution() {
         let census = suite_census();
         let irr = census.irregular_share();
-        assert!((0.25..0.33).contains(&irr), "irregular share {irr} far from 29%");
+        assert!(
+            (0.25..0.33).contains(&irr),
+            "irregular share {irr} far from 29%"
+        );
         let stride = census.share(Pattern::Stride);
-        assert!((0.45..0.58).contains(&stride), "stride share {stride} far from 52%");
+        assert!(
+            (0.45..0.58).contains(&stride),
+            "stride share {stride} far from 52%"
+        );
         let ro = census.share(Pattern::RO);
         assert!((0.08..0.15).contains(&ro), "RO share {ro} far from 11%");
     }

@@ -70,7 +70,10 @@ pub fn run_par(g: &Graph, _mode: ExecMode) -> Vec<bool> {
             .filter(|&v| status[v as usize].load(Ordering::Relaxed) == UNDECIDED)
             .collect();
     }
-    status.into_par_iter().map(|s| s.into_inner() == IN).collect()
+    status
+        .into_par_iter()
+        .map(|s| s.into_inner() == IN)
+        .collect()
 }
 
 /// Sequential greedy baseline over the same priority order.
@@ -89,7 +92,10 @@ pub fn verify(g: &Graph, mis: &[bool]) -> Result<(), String> {
                 }
             }
         } else {
-            let covered = g.neighbors(u).iter().any(|&v| v as usize != u && mis[v as usize]);
+            let covered = g
+                .neighbors(u)
+                .iter()
+                .any(|&v| v as usize != u && mis[v as usize]);
             if !covered {
                 return Err(format!("vertex {u} could be added (not maximal)"));
             }

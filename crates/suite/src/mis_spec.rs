@@ -25,8 +25,7 @@ const OUT: u8 = 2;
 pub fn run_par(g: &Graph, _mode: ExecMode) -> Vec<bool> {
     let n = g.num_vertices();
     // Process vertices in ascending hash-priority order.
-    let mut order: Vec<(u64, u32)> =
-        (0..n as u32).map(|v| (hash64(v as u64), v)).collect();
+    let mut order: Vec<(u64, u32)> = (0..n as u32).map(|v| (hash64(v as u64), v)).collect();
     rpb_parlay::radix_sort_by_key(&mut order, 64, |p| p.0);
     let order: Vec<u32> = order.into_iter().map(|(_, v)| v).collect();
     let mut rank = vec![0u32; n];

@@ -51,12 +51,14 @@ pub fn run_par(n: usize, edges: &[(u32, u32)], _mode: ExecMode) -> Vec<bool> {
                 station.check_reset(u, i);
                 station.check_reset(v, i);
                 // Done (as a loser) if an endpoint got matched; else retry.
-                matched[u].load(Ordering::Relaxed) == 1
-                    || matched[v].load(Ordering::Relaxed) == 1
+                matched[u].load(Ordering::Relaxed) == 1 || matched[v].load(Ordering::Relaxed) == 1
             }
         },
     );
-    in_matching.into_iter().map(|f| f.into_inner() == 1).collect()
+    in_matching
+        .into_iter()
+        .map(|f| f.into_inner() == 1)
+        .collect()
 }
 
 /// Sequential greedy over the same priority order.

@@ -26,7 +26,10 @@ const NONE: u64 = u64::MAX;
 /// Edge indices in the result are sorted ascending for canonical
 /// comparison.
 pub fn run_par(n: usize, edges: &[(u32, u32, u32)], _mode: ExecMode) -> (Vec<usize>, u64) {
-    assert!(edges.len() < u32::MAX as usize, "too many edges for packed priorities");
+    assert!(
+        edges.len() < u32::MAX as usize,
+        "too many edges for packed priorities"
+    );
     let uf = ConcurrentUnionFind::new(n);
     let best: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(NONE)).collect();
     let mut chosen: Vec<usize> = Vec::new();

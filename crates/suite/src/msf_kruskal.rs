@@ -64,7 +64,9 @@ pub fn run_par(n: usize, edges: &[(u32, u32, u32)], _mode: ExecMode) -> (Vec<usi
             }
         },
     );
-    let mut out: Vec<usize> = (0..m).filter(|&i| chosen[i].load(Ordering::Relaxed) == 1).collect();
+    let mut out: Vec<usize> = (0..m)
+        .filter(|&i| chosen[i].load(Ordering::Relaxed) == 1)
+        .collect();
     out.sort_unstable();
     let total = out.iter().map(|&i| edges[i].2 as u64).sum();
     (out, total)

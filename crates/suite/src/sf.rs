@@ -63,7 +63,10 @@ pub fn verify(n: usize, edges: &[(u32, u32)], forest: &[usize]) -> Result<(), St
     }
     let expected = n - components(n, edges);
     if forest.len() != expected {
-        return Err(format!("forest has {} edges, want {expected}", forest.len()));
+        return Err(format!(
+            "forest has {} edges, want {expected}",
+            forest.len()
+        ));
     }
     Ok(())
 }

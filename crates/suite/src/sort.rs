@@ -24,9 +24,7 @@ use rpb_parlay::sendptr::SendPtr;
 pub fn run_par(data: &mut [u64], mode: ExecMode) {
     match mode {
         ExecMode::Checked => checked_sample_sort(data),
-        ExecMode::Unsafe | ExecMode::Sync => {
-            rpb_parlay::sample_sort(data, |a, b| a.cmp(b))
-        }
+        ExecMode::Unsafe | ExecMode::Sync => rpb_parlay::sample_sort(data, |a, b| a.cmp(b)),
     }
 }
 
@@ -45,8 +43,9 @@ fn checked_sample_sort(data: &mut [u64]) {
     }
     let nbuckets = (((n as f64).sqrt() / 8.0).ceil() as usize).clamp(2, 1024);
     let r = Random::new(0xD1CE);
-    let mut sample: Vec<u64> =
-        (0..nbuckets * 8).map(|i| data[(r.ith_rand(i as u64) % n as u64) as usize]).collect();
+    let mut sample: Vec<u64> = (0..nbuckets * 8)
+        .map(|i| data[(r.ith_rand(i as u64) % n as u64) as usize])
+        .collect();
     sample.sort_unstable();
     let pivots: Vec<u64> = (1..nbuckets).map(|i| sample[i * 8]).collect();
     let bucket_of = |x: u64| pivots.partition_point(|&p| p <= x);
@@ -84,19 +83,21 @@ fn checked_sample_sort(data: &mut [u64]) {
     let mut buf: Vec<u64> = vec![0; n];
     {
         let buf_ptr = SendPtr::new(buf.as_mut_ptr());
-        data.par_chunks(block).zip(ids.par_chunks(block)).enumerate().for_each(
-            |(b, (chunk, id_chunk))| {
+        data.par_chunks(block)
+            .zip(ids.par_chunks(block))
+            .enumerate()
+            .for_each(|(b, (chunk, id_chunk))| {
                 let mut offs = counts[b * nbuckets..(b + 1) * nbuckets].to_vec();
                 for (&x, &d) in chunk.iter().zip(id_chunk) {
                     // SAFETY: (block, bucket) ranges partition 0..n.
                     unsafe { buf_ptr.write(offs[d as usize], x) };
                     offs[d as usize] += 1;
                 }
-            },
-        );
+            });
     }
     // RngInd bucket sort through the paper's checked iterator.
-    buf.par_ind_chunks_mut(&bounds).for_each(|bucket| bucket.sort_unstable());
+    buf.par_ind_chunks_mut(&bounds)
+        .for_each(|bucket| bucket.sort_unstable());
     data.copy_from_slice(&buf);
 }
 

@@ -22,18 +22,23 @@ pub fn run_par(g: &WeightedGraph, src: usize, threads: usize, _mode: ExecMode) -
     let n = g.num_vertices();
     let dist: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(INF)).collect();
     dist[src].store(0, Ordering::Relaxed);
-    execute(threads, 2 * threads.max(1), vec![(0u64, src as u32)], |d, v, h| {
-        let v = v as usize;
-        if d > dist[v].load(Ordering::Relaxed) {
-            return; // stale
-        }
-        for (w, wt) in g.neighbors(v) {
-            let nd = d + wt as u64;
-            if write_min_u64(&dist[w as usize], nd) {
-                h.push(nd, w);
+    execute(
+        threads,
+        2 * threads.max(1),
+        vec![(0u64, src as u32)],
+        |d, v, h| {
+            let v = v as usize;
+            if d > dist[v].load(Ordering::Relaxed) {
+                return; // stale
             }
-        }
-    });
+            for (w, wt) in g.neighbors(v) {
+                let nd = d + wt as u64;
+                if write_min_u64(&dist[w as usize], nd) {
+                    h.push(nd, w);
+                }
+            }
+        },
+    );
     dist.into_iter().map(|d| d.into_inner()).collect()
 }
 

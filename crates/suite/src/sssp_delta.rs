@@ -45,8 +45,7 @@ pub fn run_par(g: &WeightedGraph, src: usize, delta: u64) -> Vec<u64> {
                             return None;
                         }
                         let nd = du + w as u64;
-                        (write_min_u64(&dist[v as usize], nd) && nd < bucket_end)
-                            .then_some(v)
+                        (write_min_u64(&dist[v as usize], nd) && nd < bucket_end).then_some(v)
                     })
                 })
                 .collect();
@@ -126,7 +125,10 @@ mod tests {
     fn huge_delta_degenerates_to_bellman_ford() {
         // One bucket holds everything: still correct.
         let g = inputs::weighted_graph(GraphKind::Rmat, 800);
-        assert_eq!(run_par(&g, 0, u64::MAX / 4), rpb_graph::seq::dijkstra(&g, 0));
+        assert_eq!(
+            run_par(&g, 0, u64::MAX / 4),
+            rpb_graph::seq::dijkstra(&g, 0)
+        );
     }
 
     #[test]

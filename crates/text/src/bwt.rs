@@ -85,15 +85,16 @@ pub fn lf_mapping(bwt: &[u8]) -> Vec<usize> {
         }
     }
     let mut lf = vec![0usize; m];
-    lf.par_chunks_mut(block).zip(bwt.par_chunks(block)).enumerate().for_each(
-        |(b, (lf_chunk, chunk))| {
+    lf.par_chunks_mut(block)
+        .zip(bwt.par_chunks(block))
+        .enumerate()
+        .for_each(|(b, (lf_chunk, chunk))| {
             let mut offs = counts[b * 256..(b + 1) * 256].to_vec();
             for (slot, &c) in lf_chunk.iter_mut().zip(chunk) {
                 *slot = offs[c as usize];
                 offs[c as usize] += 1;
             }
-        },
-    );
+        });
     lf
 }
 
@@ -120,10 +121,16 @@ pub fn bwt_decode(bwt: &[u8]) -> Vec<u8> {
         .expect("bwt_decode: malformed LF chain");
     next[back] = NIL;
     let order = list_order(&next, p0);
-    assert_eq!(order.len(), m, "bwt_decode: LF chain does not cover all rows");
+    assert_eq!(
+        order.len(),
+        m,
+        "bwt_decode: LF chain does not cover all rows"
+    );
     // T[m-1-k] = bwt[order[k]] — emit forward with a Stride write.
-    let mut out: Vec<u8> =
-        (0..m - 1).into_par_iter().map(|k| bwt[order[m - 1 - k]]).collect();
+    let mut out: Vec<u8> = (0..m - 1)
+        .into_par_iter()
+        .map(|k| bwt[order[m - 1 - k]])
+        .collect();
     debug_assert_eq!(bwt[order[0]], SENTINEL);
     out.truncate(m - 1);
     out

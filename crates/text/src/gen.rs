@@ -21,7 +21,9 @@ pub fn wiki_like_text(target_len: usize, seed: u64) -> Vec<u8> {
     let lexicon: Vec<Vec<u8>> = (0..4000)
         .map(|_| {
             let len = 2 + (rng.next_bounded(11)) as usize;
-            (0..len).map(|_| b'a' + rng.next_bounded(26) as u8).collect()
+            (0..len)
+                .map(|_| b'a' + rng.next_bounded(26) as u8)
+                .collect()
         })
         .collect();
     let mut out: Vec<u8> = Vec::with_capacity(target_len + 64);

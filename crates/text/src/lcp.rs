@@ -38,25 +38,27 @@ pub fn plcp(text: &[u8], sa: &[u32]) -> Vec<u32> {
     // Chunked Kasai over text positions.
     let chunk = 1 << 14;
     let mut out = vec![0u32; n];
-    out.par_chunks_mut(chunk).enumerate().for_each(|(c, chunk_out)| {
-        let base = c * chunk;
-        let mut h = 0usize;
-        for (k, slot) in chunk_out.iter_mut().enumerate() {
-            let i = base + k;
-            let j = phi[i];
-            if j == NONE {
-                h = 0;
-                *slot = 0;
-                continue;
+    out.par_chunks_mut(chunk)
+        .enumerate()
+        .for_each(|(c, chunk_out)| {
+            let base = c * chunk;
+            let mut h = 0usize;
+            for (k, slot) in chunk_out.iter_mut().enumerate() {
+                let i = base + k;
+                let j = phi[i];
+                if j == NONE {
+                    h = 0;
+                    *slot = 0;
+                    continue;
+                }
+                let j = j as usize;
+                while i + h < n && j + h < n && text[i + h] == text[j + h] {
+                    h += 1;
+                }
+                *slot = h as u32;
+                h = h.saturating_sub(1);
             }
-            let j = j as usize;
-            while i + h < n && j + h < n && text[i + h] == text[j + h] {
-                h += 1;
-            }
-            *slot = h as u32;
-            h = h.saturating_sub(1);
-        }
-    });
+        });
     out
 }
 
@@ -98,8 +100,9 @@ mod tests {
 
     #[test]
     fn random_text_matches_naive() {
-        let t: Vec<u8> =
-            (0..5000u64).map(|i| (rpb_parlay::random::hash64(i) % 3) as u8 + b'a').collect();
+        let t: Vec<u8> = (0..5000u64)
+            .map(|i| (rpb_parlay::random::hash64(i) % 3) as u8 + b'a')
+            .collect();
         let sa = suffix_array(&t, ExecMode::Checked);
         assert_eq!(lcp_from_sa(&t, &sa), lcp_naive(&t, &sa));
     }

@@ -52,9 +52,7 @@ pub fn suffix_array(text: &[u8], mode: ExecMode) -> Vec<u32> {
         let half_bits = 64 - (n as u64 + 257).leading_zeros();
         radix_sort_by_key(&mut pairs, 32 + half_bits, |p| p.0);
         // New ranks: 1 + inclusive prefix count of key changes up to j.
-        let flag = |j: usize| -> usize {
-            usize::from(j > 0 && pairs[j].0 != pairs[j - 1].0)
-        };
+        let flag = |j: usize| -> usize { usize::from(j > 0 && pairs[j].0 != pairs[j - 1].0) };
         let mut new_rank_by_pos: Vec<usize> = (0..n).into_par_iter().map(flag).collect();
         let changes = scan_inplace_exclusive(&mut new_rank_by_pos, 0, |a, b| a + b);
         let distinct = changes + 1;
@@ -80,10 +78,12 @@ fn scatter_ranks(rank: &mut [u32], sa: &[u32], new_ranks: &[usize], mode: ExecMo
     match mode {
         ExecMode::Unsafe => {
             let view = rpb_fearless::SharedMutSlice::new(rank);
-            sa.par_iter().zip(new_ranks.par_iter()).for_each(|(&pos, &r)| {
-                // SAFETY: `sa` is a permutation of 0..n — unique offsets.
-                unsafe { view.write(pos as usize, r as u32) };
-            });
+            sa.par_iter()
+                .zip(new_ranks.par_iter())
+                .for_each(|(&pos, &r)| {
+                    // SAFETY: `sa` is a permutation of 0..n — unique offsets.
+                    unsafe { view.write(pos as usize, r as u32) };
+                });
         }
         ExecMode::Checked => {
             // par_ind_iter_mut wants usize offsets; build them once.
@@ -102,9 +102,11 @@ fn scatter_ranks(rank: &mut [u32], sa: &[u32], new_ranks: &[usize], mode: ExecMo
             let atomic: &[AtomicU32] = unsafe {
                 std::slice::from_raw_parts(rank.as_ptr() as *const AtomicU32, rank.len())
             };
-            sa.par_iter().zip(new_ranks.par_iter()).for_each(|(&pos, &r)| {
-                atomic[pos as usize].store(r as u32, Ordering::Relaxed);
-            });
+            sa.par_iter()
+                .zip(new_ranks.par_iter())
+                .for_each(|(&pos, &r)| {
+                    atomic[pos as usize].store(r as u32, Ordering::Relaxed);
+                });
         }
     }
 }
@@ -119,9 +121,7 @@ pub fn suffix_array_seq(text: &[u8]) -> Vec<u32> {
     let mut sa: Vec<u32> = (0..n as u32).collect();
     let mut k = 1usize;
     loop {
-        let key = |i: usize| -> (u32, u32) {
-            (rank[i], if i + k < n { rank[i + k] } else { 0 })
-        };
+        let key = |i: usize| -> (u32, u32) { (rank[i], if i + k < n { rank[i + k] } else { 0 }) };
         sa.sort_unstable_by_key(|&i| key(i as usize));
         let mut new_rank = vec![0u32; n];
         let mut r = 1u32;
@@ -191,8 +191,9 @@ mod tests {
 
     #[test]
     fn random_bytes_match_naive() {
-        let t: Vec<u8> =
-            (0..3000u64).map(|i| (rpb_parlay::random::hash64(i) % 4) as u8 + b'a').collect();
+        let t: Vec<u8> = (0..3000u64)
+            .map(|i| (rpb_parlay::random::hash64(i) % 4) as u8 + b'a')
+            .collect();
         let want = suffix_array_naive(&t);
         for mode in MODES {
             assert_eq!(suffix_array(&t, mode), want, "{mode}");

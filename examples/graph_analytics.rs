@@ -11,8 +11,13 @@ use rpb::suite::{bfs, inputs, mis, mm, msf, sf, sssp};
 use rpb::ExecMode;
 
 fn main() {
-    let n: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(20_000);
-    let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(20_000);
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
 
     for kind in [GraphKind::Link, GraphKind::Rmat, GraphKind::Road] {
         let g = inputs::graph(kind, n);
@@ -29,7 +34,11 @@ fn main() {
         let set = mis::run_par(&g, ExecMode::Checked);
         let t = t0.elapsed();
         mis::verify(&g, &set).expect("MIS valid");
-        println!("mis : {:>10.2?}  |MIS| = {}", t, set.iter().filter(|&&b| b).count());
+        println!(
+            "mis : {:>10.2?}  |MIS| = {}",
+            t,
+            set.iter().filter(|&&b| b).count()
+        );
 
         // mm
         let (nv, edges) = inputs::edges(kind, n);
@@ -57,7 +66,12 @@ fn main() {
         let t = t0.elapsed();
         let (_, kruskal_total) = msf::run_seq(nw, &wedges);
         assert_eq!(total, kruskal_total, "MSF weight mismatch vs Kruskal");
-        println!("msf : {:>10.2?}  weight = {} over {} edges", t, total, chosen.len());
+        println!(
+            "msf : {:>10.2?}  weight = {} over {} edges",
+            t,
+            total,
+            chosen.len()
+        );
 
         // bfs (MultiQueue)
         let t0 = Instant::now();
@@ -73,7 +87,12 @@ fn main() {
         let dist = sssp::run_par(&wg, 0, threads, ExecMode::Sync);
         let t = t0.elapsed();
         assert_eq!(dist, sssp::run_seq(&wg, 0), "SSSP distances mismatch");
-        let far = dist.iter().filter(|&&d| d != sssp::INF).max().copied().unwrap_or(0);
+        let far = dist
+            .iter()
+            .filter(|&&d| d != sssp::INF)
+            .max()
+            .copied()
+            .unwrap_or(0);
         println!("sssp: {:>10.2?}  eccentricity bound = {}", t, far);
     }
     println!("\nall parallel results validated against sequential references");

@@ -39,21 +39,37 @@ fn quality_histogram(mesh: &Triangulation) -> [usize; 5] {
 fn print_hist(label: &str, hist: [usize; 5]) {
     let total: usize = hist.iter().sum();
     println!("{label} quality (radius/edge ratio) over {total} triangles:");
-    let names = ["< 0.8 (excellent)", "< 1.0", "< 1.414 (target)", "< 2.5", ">= 2.5 (sliver)"];
+    let names = [
+        "< 0.8 (excellent)",
+        "< 1.0",
+        "< 1.414 (target)",
+        "< 2.5",
+        ">= 2.5 (sliver)",
+    ];
     for (name, count) in names.iter().zip(hist) {
         let pct = 100.0 * count as f64 / total.max(1) as f64;
-        println!("  {name:<18} {count:>7}  {pct:5.1}%  {}", "#".repeat((pct / 2.0) as usize));
+        println!(
+            "  {name:<18} {count:>7}  {pct:5.1}%  {}",
+            "#".repeat((pct / 2.0) as usize)
+        );
     }
 }
 
 fn main() {
-    let n: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(20_000);
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(20_000);
     println!("generating {n} Kuzmin-distributed points...");
     let points = inputs::kuzmin(n);
 
     let t0 = Instant::now();
     let mut mesh = delaunay(&points);
-    println!("delaunay  : {:?} — {} triangles", t0.elapsed(), mesh.num_alive());
+    println!(
+        "delaunay  : {:?} — {} triangles",
+        t0.elapsed(),
+        mesh.num_alive()
+    );
     mesh.check_valid();
     print_hist("before", quality_histogram(&mesh));
 

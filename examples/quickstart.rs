@@ -18,7 +18,10 @@ fn main() {
     let mut squares: Vec<u64> = (0..1_000_000).collect();
     // Stride pattern (paper Listing 4e): par_iter_mut.
     squares.par_iter_mut().for_each(|x| *x *= *x);
-    println!("Stride   : squared 1M elements, squares[1000] = {}", squares[1000]);
+    println!(
+        "Stride   : squared 1M elements, squares[1000] = {}",
+        squares[1000]
+    );
 
     // RO pattern (paper Listing 3c): parallel reduction.
     let sum = parlay::reduce(&squares[..1000], 0u64, |a, b| a + b);

@@ -12,8 +12,13 @@ use rpb::suite::{bfs, bfs_frontier, inputs, sssp, sssp_delta};
 use rpb::ExecMode;
 
 fn main() {
-    let n: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(30_000);
-    let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(30_000);
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
 
     println!("=== MultiQueue rank-error quality (20k random priorities) ===");
     let items: Vec<u64> = (0..20_000u64).map(rpb::parlay::random::hash64).collect();
@@ -40,7 +45,11 @@ fn main() {
             "BFS levels: {} (max frontier {}) — {}",
             profile.len(),
             profile.iter().max().copied().unwrap_or(0),
-            if profile.len() > 100 { "high diameter: frontier starves" } else { "low diameter: frontier saturates" }
+            if profile.len() > 100 {
+                "high diameter: frontier starves"
+            } else {
+                "low diameter: frontier saturates"
+            }
         );
 
         let t0 = Instant::now();

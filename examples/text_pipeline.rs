@@ -14,8 +14,10 @@ use rpb::suite::{bw, lrs, sa};
 use rpb::ExecMode;
 
 fn main() {
-    let len: usize =
-        std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(400_000);
+    let len: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(400_000);
     println!("generating {len} bytes of wiki-like text...");
     let text = rpb::suite::inputs::wiki(len);
 

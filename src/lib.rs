@@ -18,6 +18,7 @@
 //! | [`text`] | `rpb-text` | suffix arrays, LCP, BWT, corpus generator |
 //! | [`geom`] | `rpb-geom` | Delaunay triangulation and refinement |
 //! | [`suite`] | `rpb-suite` | the 14 benchmarks (`bw` … `sssp`) |
+//! | [`obs`] | `rpb-obs` | feature-gated lock-free telemetry (zero-cost when off) |
 //!
 //! ## Quickstart
 //!
@@ -40,6 +41,7 @@ pub use rpb_fearless as fearless;
 pub use rpb_geom as geom;
 pub use rpb_graph as graph;
 pub use rpb_multiqueue as multiqueue;
+pub use rpb_obs as obs;
 pub use rpb_parlay as parlay;
 pub use rpb_suite as suite;
 pub use rpb_text as text;

@@ -32,7 +32,10 @@ fn mis_is_deterministic_across_pool_sizes() {
     let g = inputs::graph(GraphKind::Rmat, 1500);
     let base = with_pool(1, || mis::run_par(&g, ExecMode::Checked));
     for threads in [2, 4] {
-        assert_eq!(with_pool(threads, || mis::run_par(&g, ExecMode::Checked)), base);
+        assert_eq!(
+            with_pool(threads, || mis::run_par(&g, ExecMode::Checked)),
+            base
+        );
     }
 }
 
@@ -41,7 +44,10 @@ fn mm_is_deterministic_across_pool_sizes() {
     let (n, edges) = inputs::edges(GraphKind::Rmat, 1500);
     let base = with_pool(1, || mm::run_par(n, &edges, ExecMode::Checked));
     for threads in [2, 4] {
-        assert_eq!(with_pool(threads, || mm::run_par(n, &edges, ExecMode::Checked)), base);
+        assert_eq!(
+            with_pool(threads, || mm::run_par(n, &edges, ExecMode::Checked)),
+            base
+        );
     }
 }
 
@@ -50,7 +56,10 @@ fn msf_is_deterministic_across_pool_sizes() {
     let (n, edges) = inputs::weighted_edges(GraphKind::Road, 1000);
     let base = with_pool(1, || msf::run_par(n, &edges, ExecMode::Checked));
     for threads in [2, 4] {
-        assert_eq!(with_pool(threads, || msf::run_par(n, &edges, ExecMode::Checked)), base);
+        assert_eq!(
+            with_pool(threads, || msf::run_par(n, &edges, ExecMode::Checked)),
+            base
+        );
     }
 }
 
@@ -71,7 +80,9 @@ fn sort_dedup_hist_are_deterministic() {
         assert_eq!(got, sorted);
         let d = with_pool(threads, || dedup::run_par(&data, ExecMode::Sync));
         assert_eq!(d, dedup::run_seq(&data));
-        let h = with_pool(threads, || hist::run_par(&data, 128, 40_000, ExecMode::Sync));
+        let h = with_pool(threads, || {
+            hist::run_par(&data, 128, 40_000, ExecMode::Sync)
+        });
         assert_eq!(h, hist::run_seq(&data, 128, 40_000));
     }
 }
@@ -83,11 +94,19 @@ fn bfs_sssp_results_schedule_independent() {
     let g = inputs::graph(GraphKind::Road, 1200);
     let want = bfs::run_seq(&g, 0);
     for rep in 0..3 {
-        assert_eq!(bfs::run_par(&g, 0, 4, ExecMode::Sync), want, "repetition {rep}");
+        assert_eq!(
+            bfs::run_par(&g, 0, 4, ExecMode::Sync),
+            want,
+            "repetition {rep}"
+        );
     }
     let wg = inputs::weighted_graph(GraphKind::Road, 1200);
     let want = sssp::run_seq(&wg, 0);
     for rep in 0..3 {
-        assert_eq!(sssp::run_par(&wg, 0, 4, ExecMode::Sync), want, "repetition {rep}");
+        assert_eq!(
+            sssp::run_par(&wg, 0, 4, ExecMode::Sync),
+            want,
+            "repetition {rep}"
+        );
     }
 }

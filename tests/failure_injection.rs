@@ -59,7 +59,10 @@ fn chunk_boundary_past_end_is_rejected() {
     let mut out = vec![0u8; 100];
     let offsets = vec![0usize, 101];
     let err = out.try_par_ind_chunks_mut(&offsets).err();
-    assert!(matches!(err, Some(IndChunksError::OutOfBounds { offset: 101, .. })), "{err:?}");
+    assert!(
+        matches!(err, Some(IndChunksError::OutOfBounds { offset: 101, .. })),
+        "{err:?}"
+    );
 }
 
 #[test]
@@ -68,7 +71,9 @@ fn valid_offsets_pass_both_strategies() {
     let mut out = vec![0u64; n];
     let offsets = rpb::parlay::seqdata::random_permutation(n, 5);
     for strat in [UniquenessCheck::MarkTable, UniquenessCheck::Sort] {
-        let it = out.try_par_ind_iter_mut(&offsets, strat).expect("valid offsets");
+        let it = out
+            .try_par_ind_iter_mut(&offsets, strat)
+            .expect("valid offsets");
         it.enumerate().for_each(|(i, slot)| *slot = i as u64);
     }
     for i in 0..n {

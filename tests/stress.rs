@@ -15,7 +15,11 @@ fn text_pipeline_at_scale() {
     sa::verify(&text, &sa_par).expect("suffix array valid");
     let repeat = lrs::run_par(&text, ExecMode::Unsafe);
     lrs::verify(&text, &repeat).expect("lrs valid");
-    assert!(repeat.len >= 256, "planted repeats should exceed 256 bytes, got {}", repeat.len);
+    assert!(
+        repeat.len >= 256,
+        "planted repeats should exceed 256 bytes, got {}",
+        repeat.len
+    );
     let bwt = rpb::text::bwt_encode(&text, ExecMode::Unsafe);
     assert_eq!(bw::run_par(&bwt, ExecMode::Unsafe), text);
 }

@@ -156,7 +156,11 @@ fn bfs_all_inputs() {
         let g = inputs::graph(kind, 1500);
         let want = bfs::run_seq(&g, 0);
         for threads in [1, 3] {
-            assert_eq!(bfs::run_par(&g, 0, threads, ExecMode::Sync), want, "{kind:?}");
+            assert_eq!(
+                bfs::run_par(&g, 0, threads, ExecMode::Sync),
+                want,
+                "{kind:?}"
+            );
         }
     }
 }
@@ -167,7 +171,11 @@ fn sssp_all_inputs() {
         let g = inputs::weighted_graph(kind, 1200);
         let want = sssp::run_seq(&g, 0);
         for threads in [1, 3] {
-            assert_eq!(sssp::run_par(&g, 0, threads, ExecMode::Sync), want, "{kind:?}");
+            assert_eq!(
+                sssp::run_par(&g, 0, threads, ExecMode::Sync),
+                want,
+                "{kind:?}"
+            );
         }
     }
 }
