@@ -64,6 +64,23 @@ fn timed_par(
     threads: usize,
     reps: usize,
 ) -> TimingStats {
+    timed_par_tagged(recs, figure, name, w, mode, threads, reps, None)
+}
+
+/// [`timed_par`] with an optional validation-cost tag (`"fresh"` /
+/// `"amortized"`) attached to the record — used by Fig. 5(a)'s check
+/// bracketing.
+#[allow(clippy::too_many_arguments)]
+fn timed_par_tagged(
+    recs: &mut Vec<RunRecord>,
+    figure: &'static str,
+    name: &str,
+    w: &Workloads,
+    mode: ExecMode,
+    threads: usize,
+    reps: usize,
+    check: Option<&'static str>,
+) -> TimingStats {
     rpb_obs::metrics::reset();
     #[cfg(feature = "obs")]
     let sample_ranks =
@@ -77,7 +94,7 @@ fn timed_par(
     if sample_ranks {
         rpb_multiqueue::disable_online_sampler();
     }
-    recs.push(RunRecord::new(
+    let mut rec = RunRecord::new(
         figure,
         name,
         "par",
@@ -85,7 +102,11 @@ fn timed_par(
         threads,
         ts,
         rpb_obs::metrics::snapshot(),
-    ));
+    );
+    if let Some(check) = check {
+        rec = rec.with_check(check);
+    }
+    recs.push(rec);
     ts
 }
 
@@ -297,8 +318,14 @@ pub fn fig4(w: &Workloads, threads: usize, reps: usize, recs: &mut Vec<RunRecord
     out
 }
 
-/// Fig. 5(a): overhead of the checked `par_ind_iter_mut` vs unsafe.
+/// Fig. 5(a): overhead of the checked `par_ind_iter_mut` vs unsafe,
+/// bracketed into *fresh* (mark-table pool disabled — every validation
+/// allocates, the pre-pool baseline) and *amortized* (pooled epoch tables
+/// + validation proofs, the steady-state fast path) checked runs so the
+/// reproduction shows how close "comfortable" gets to zero-cost.
 pub fn fig5a(w: &Workloads, threads: usize, reps: usize, recs: &mut Vec<RunRecord>) -> String {
+    use rpb_fearless::pool;
+
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -306,22 +333,54 @@ pub fn fig5a(w: &Workloads, threads: usize, reps: usize, recs: &mut Vec<RunRecor
     );
     let _ = writeln!(
         out,
-        "{:<10} {:>12} {:>12} {:>9}",
-        "pair", "unsafe", "checked", "overhead"
+        "{:<10} {:>12} {:>12} {:>12} {:>8} {:>8}",
+        "pair", "unsafe", "chk-fresh", "chk-amort", "fresh", "amort"
     );
     for name in FIG5A_PAIRS {
         let t_u = timed_par(recs, "fig5a", name, w, ExecMode::Unsafe, threads, reps);
-        let t_c = timed_par(recs, "fig5a", name, w, ExecMode::Checked, threads, reps);
+        // Fresh: disable (and drain) the pool so every validation pays the
+        // allocate-and-zero cost. Strategy selection is deliberately
+        // unaffected, so fresh vs amortized varies only storage reuse.
+        pool::set_enabled(false);
+        pool::clear();
+        let t_f = timed_par_tagged(
+            recs,
+            "fig5a",
+            name,
+            w,
+            ExecMode::Checked,
+            threads,
+            reps,
+            Some("fresh"),
+        );
+        // Amortized: the pooled fast path; run_case's warmup execution
+        // warms the pool, so the measured reps are all pool hits.
+        pool::set_enabled(true);
+        let t_a = timed_par_tagged(
+            recs,
+            "fig5a",
+            name,
+            w,
+            ExecMode::Checked,
+            threads,
+            reps,
+            Some("amortized"),
+        );
         let _ = writeln!(
             out,
-            "{:<10} {:>12.2?} {:>12.2?} {:>8.2}x",
+            "{:<10} {:>12.2?} {:>12.2?} {:>12.2?} {:>7.2}x {:>7.2}x",
             name,
             t_u.best,
-            t_c.best,
-            secs(t_c.best) / secs(t_u.best)
+            t_f.best,
+            t_a.best,
+            secs(t_f.best) / secs(t_u.best),
+            secs(t_a.best) / secs(t_u.best)
         );
     }
-    let _ = writeln!(out, "(paper: negligible for bw; up to ~2.8x for lrs/sa)");
+    let _ = writeln!(
+        out,
+        "(paper: negligible for bw; up to ~2.8x for lrs/sa — amortized should close the gap)"
+    );
     out
 }
 
@@ -466,10 +525,19 @@ mod tests {
         let mut recs = Vec::new();
         let f5a = fig5a(&w, 2, 1, &mut recs);
         assert!(f5a.contains("lrs"));
-        // One unsafe + one checked record per Fig. 5(a) pair.
-        assert_eq!(recs.len(), 2 * FIG5A_PAIRS.len());
+        // One unsafe + two checked (fresh/amortized) records per pair.
+        assert_eq!(recs.len(), 3 * FIG5A_PAIRS.len());
         assert!(recs.iter().all(|r| r.figure == "fig5a" && r.kind == "par"));
-        assert!(recs.iter().any(|r| r.mode == "checked"));
+        for name in FIG5A_PAIRS {
+            for check in ["fresh", "amortized"] {
+                assert!(
+                    recs.iter()
+                        .any(|r| r.name == *name && r.mode == "checked" && r.check == Some(check)),
+                    "missing {check} record for {name}"
+                );
+            }
+        }
+        assert!(recs.iter().all(|r| r.mode != "unsafe" || r.check.is_none()));
         let f6 = fig6_report(50_000, 1);
         assert!(f6.contains("par_rayon"));
     }

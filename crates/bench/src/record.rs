@@ -82,6 +82,11 @@ pub struct RunRecord {
     pub best_ns: u128,
     /// Mean measured wall time, nanoseconds.
     pub mean_ns: u128,
+    /// Validation-cost regime for checked-mode runs that vary it:
+    /// `"fresh"` (mark-table pool disabled — every check allocates, the
+    /// pre-pool baseline) or `"amortized"` (pooled epoch tables and
+    /// validation proofs). `None` for runs that don't bracket the check.
+    pub check: Option<&'static str>,
     /// Telemetry accumulated over warmup + all repetitions (all zeros
     /// unless built with `--features obs`).
     pub telemetry: Snapshot,
@@ -107,17 +112,32 @@ impl RunRecord {
             reps: timing.reps,
             best_ns: timing.best_ns(),
             mean_ns: timing.mean_ns(),
+            check: None,
             telemetry,
         }
     }
 
+    /// Tags the record with a validation-cost regime (`"fresh"` /
+    /// `"amortized"`); see the `check` field.
+    pub fn with_check(mut self, check: &'static str) -> RunRecord {
+        self.check = Some(check);
+        self
+    }
+
     /// Renders the record, embedding the shared scale and environment.
+    /// The `check` key is only present on runs that bracket the
+    /// validation cost, so records from other figures are unchanged.
     pub fn to_json(&self, scale: Scale, env: &EnvInfo) -> Json {
-        Json::Obj(vec![
+        let mut fields = vec![
             ("figure".into(), Json::Str(self.figure.into())),
             ("name".into(), Json::Str(self.name.clone())),
             ("kind".into(), Json::Str(self.kind.into())),
             ("mode".into(), Json::Str(self.mode.clone())),
+        ];
+        if let Some(check) = self.check {
+            fields.push(("check".into(), Json::Str(check.into())));
+        }
+        fields.extend([
             ("threads".into(), Json::from_u64(self.threads as u64)),
             ("scale".into(), scale_to_json(scale)),
             ("reps".into(), Json::from_u64(self.reps as u64)),
@@ -125,7 +145,8 @@ impl RunRecord {
             ("mean_ns".into(), Json::from_u128(self.mean_ns)),
             ("telemetry".into(), self.telemetry.to_json()),
             ("env".into(), env.to_json()),
-        ])
+        ]);
+        Json::Obj(fields)
     }
 }
 
@@ -206,12 +227,23 @@ pub fn render_report(doc: &Json) -> Result<String, String> {
 
     // Check-overhead attribution: for each checked run, how much of the
     // measured time went into the dynamic checks? Telemetry accumulates
-    // over warmup + reps, so normalize per execution.
+    // over warmup + reps, so normalize per execution. Fig. 5(a) runs are
+    // tagged "fresh" (pool disabled, allocate-per-call) or "amortized"
+    // (pooled epoch tables + validation proofs); the pool hit/miss and
+    // proof-reuse counters show the fast path at work.
     let _ = writeln!(out, "\nCheck-overhead attribution (checked-mode runs):");
     let _ = writeln!(
         out,
-        "{:<12} {:<6} {:>12} {:>14} {:>14} {:>9}",
-        "pair", "figure", "best_ns", "sngind_chk/run", "rngind_chk/run", "share"
+        "{:<12} {:<6} {:<10} {:>12} {:>13} {:>13} {:>11} {:>7} {:>7}",
+        "pair",
+        "figure",
+        "check",
+        "best_ns",
+        "sngind_chk/r",
+        "rngind_chk/r",
+        "pool h/m",
+        "proofs",
+        "share"
     );
     let mut any_checked = false;
     for r in records {
@@ -219,10 +251,16 @@ pub fn render_report(doc: &Json) -> Result<String, String> {
             continue;
         }
         any_checked = true;
+        let check = r.get("check").and_then(Json::as_str).unwrap_or("-");
         let best = field(r, "best_ns")?;
         let execs = field(r, "reps")? + 1; // + warmup
         let snd = histo_sum_ns(r, "sngind_check_ns") / execs;
         let rng = histo_sum_ns(r, "rngind_check_ns") / execs;
+        let pool = format!(
+            "{}/{}",
+            counter(r, "sngind_pool_hits"),
+            counter(r, "sngind_pool_misses")
+        );
         let share = if best > 0 {
             (snd + rng) as f64 / best as f64
         } else {
@@ -230,17 +268,54 @@ pub fn render_report(doc: &Json) -> Result<String, String> {
         };
         let _ = writeln!(
             out,
-            "{:<12} {:<6} {:>12} {:>14} {:>14} {:>8.1}%",
+            "{:<12} {:<6} {:<10} {:>12} {:>13} {:>13} {:>11} {:>7} {:>6.1}%",
             text(r, "name")?,
             text(r, "figure")?,
+            check,
             best,
             snd,
             rng,
+            pool,
+            counter(r, "sngind_proof_reuses"),
             share * 100.0
         );
     }
     if !any_checked {
         let _ = writeln!(out, "  (no checked-mode records; run with --features obs)");
+    }
+
+    // Fresh-vs-amortized roll-up: pair up tagged fig5a runs so the
+    // amortization win is one number per pair.
+    let mut any_pairing = false;
+    for r in records {
+        if r.get("check").and_then(Json::as_str) != Some("fresh") {
+            continue;
+        }
+        let name = text(r, "name")?;
+        let partner = records.iter().find(|a| {
+            a.get("check").and_then(Json::as_str) == Some("amortized")
+                && a.get("name").and_then(Json::as_str) == Some(name.as_str())
+        });
+        let Some(partner) = partner else { continue };
+        if !any_pairing {
+            let _ = writeln!(
+                out,
+                "\nAmortized-check speedup (fresh / amortized, best_ns):"
+            );
+            any_pairing = true;
+        }
+        let fresh = field(r, "best_ns")?;
+        let amort = field(partner, "best_ns")?;
+        let ratio = if amort > 0 {
+            fresh as f64 / amort as f64
+        } else {
+            0.0
+        };
+        let _ = writeln!(
+            out,
+            "  {:<12} {:>12} / {:>12} = {:.2}x",
+            name, fresh, amort, ratio
+        );
     }
 
     // MultiQueue behaviour for the Sync/MQ pairs.
@@ -353,6 +428,37 @@ mod tests {
         let rendered = render_report(&parsed).expect("render");
         assert!(rendered.contains("Check-overhead attribution"));
         assert!(rendered.contains("bw"));
+    }
+
+    #[test]
+    fn check_field_is_emitted_only_when_tagged() {
+        let env = EnvInfo {
+            git_sha: "abc123".into(),
+            cpu_count: 4,
+            rustc: "rustc x".into(),
+        };
+        let plain = dummy_record("checked").to_json(Scale::small(), &env);
+        assert!(plain.get("check").is_none());
+        let tagged = dummy_record("checked")
+            .with_check("amortized")
+            .to_json(Scale::small(), &env);
+        assert_eq!(tagged.get("check").unwrap().as_str(), Some("amortized"));
+    }
+
+    #[test]
+    fn render_attributes_fresh_and_amortized_separately() {
+        let env = EnvInfo::collect();
+        let recs = vec![
+            dummy_record("unsafe"),
+            dummy_record("checked").with_check("fresh"),
+            dummy_record("checked").with_check("amortized"),
+        ];
+        let doc = report_to_json(&recs, Scale::small(), &env);
+        let parsed = Json::parse(&doc.to_string()).expect("round trip");
+        let rendered = render_report(&parsed).expect("render");
+        assert!(rendered.contains("fresh"));
+        assert!(rendered.contains("amortized"));
+        assert!(rendered.contains("Amortized-check speedup"));
     }
 
     #[test]

@@ -23,7 +23,11 @@ fn json_report_round_trips_through_a_file() {
     let mut recs: Vec<RunRecord> = Vec::new();
     let rendered = figures::fig5a(&w, 2, 1, &mut recs);
     assert!(rendered.contains("bw"));
-    assert_eq!(recs.len(), 6, "2 modes x 3 Fig. 5(a) pairs");
+    assert_eq!(
+        recs.len(),
+        9,
+        "3 runs (unsafe, checked-fresh, checked-amortized) x 3 Fig. 5(a) pairs"
+    );
 
     let env = EnvInfo::collect();
     let dir = std::env::temp_dir();
@@ -41,7 +45,7 @@ fn json_report_round_trips_through_a_file() {
         .get("records")
         .and_then(Json::as_arr)
         .expect("records array");
-    assert_eq!(records.len(), 6);
+    assert_eq!(records.len(), 9);
 
     for r in records {
         // Every documented field is present and well-typed.
@@ -71,21 +75,59 @@ fn json_report_round_trips_through_a_file() {
         let telemetry = r.get("telemetry").expect("telemetry object");
         assert!(telemetry.get("counters").is_some());
         assert!(telemetry.get("histos").is_some());
+
+        // The `check` tag round-trips exactly where it was emitted:
+        // checked runs are bracketed fresh/amortized, unsafe runs carry
+        // no tag (and no key at all — the field is optional).
+        let mode = r.get("mode").unwrap().as_str().unwrap();
+        let check = r.get("check").and_then(Json::as_str);
+        match mode {
+            "checked" => assert!(
+                check == Some("fresh") || check == Some("amortized"),
+                "checked record missing check tag: {check:?}"
+            ),
+            _ => assert!(check.is_none(), "unsafe record must not carry a check tag"),
+        }
     }
 
-    // The modes alternate unsafe/checked per pair.
+    // The runs cycle unsafe / checked-fresh / checked-amortized per pair.
     let modes: Vec<&str> = records
         .iter()
         .map(|r| r.get("mode").unwrap().as_str().unwrap())
         .collect();
     assert_eq!(
         modes,
-        ["unsafe", "checked", "unsafe", "checked", "unsafe", "checked"]
+        [
+            "unsafe", "checked", "checked", "unsafe", "checked", "checked", "unsafe", "checked",
+            "checked"
+        ]
+    );
+    let checks: Vec<Option<&str>> = records
+        .iter()
+        .map(|r| r.get("check").and_then(Json::as_str))
+        .collect();
+    assert_eq!(
+        checks,
+        [
+            None,
+            Some("fresh"),
+            Some("amortized"),
+            None,
+            Some("fresh"),
+            Some("amortized"),
+            None,
+            Some("fresh"),
+            Some("amortized"),
+        ]
     );
 
-    // And the summary renderer accepts the parsed document.
+    // And the summary renderer accepts the parsed document and attributes
+    // the fresh/amortized brackets separately.
     let summary = record::render_report(&doc).expect("render summary");
     assert!(summary.contains("Check-overhead attribution"));
+    assert!(summary.contains("fresh"));
+    assert!(summary.contains("amortized"));
+    assert!(summary.contains("Amortized-check speedup"));
 }
 
 #[cfg(feature = "obs")]
@@ -103,10 +145,10 @@ fn telemetry_is_populated_when_obs_is_on() {
     figures::fig5a(&w, 2, 1, &mut recs);
 
     // The checked-mode runs must carry SngInd check telemetry: bw/lrs/sa
-    // all exercise par_ind_iter_mut.
+    // all exercise par_ind_iter_mut, bracketed fresh + amortized per pair.
     let checked: Vec<&RunRecord> = recs.iter().filter(|r| r.mode == "checked").collect();
-    assert_eq!(checked.len(), 3);
-    for r in checked {
+    assert_eq!(checked.len(), 6);
+    for r in &checked {
         let checks =
             r.telemetry.counter("sngind_checks_mark") + r.telemetry.counter("sngind_checks_sort");
         assert!(checks > 0, "{}: no SngInd checks recorded", r.name);
@@ -120,6 +162,31 @@ fn telemetry_is_populated_when_obs_is_on() {
             "{}",
             r.name
         );
+    }
+    // Fresh runs disable the pool: every acquisition allocates (misses,
+    // never hits). Amortized runs reuse pooled epoch tables (hits).
+    for r in &checked {
+        match r.check {
+            Some("fresh") => {
+                assert_eq!(
+                    r.telemetry.counter("sngind_pool_hits"),
+                    0,
+                    "{}: fresh bracket must not hit the pool",
+                    r.name
+                );
+                assert!(
+                    r.telemetry.counter("sngind_pool_misses") > 0,
+                    "{}: fresh bracket must allocate per validation",
+                    r.name
+                );
+            }
+            Some("amortized") => assert!(
+                r.telemetry.counter("sngind_pool_hits") > 0,
+                "{}: amortized bracket must reuse pooled tables",
+                r.name
+            ),
+            other => panic!("{}: unexpected check tag {other:?}", r.name),
+        }
     }
     // Unsafe-mode runs skip the checks entirely.
     for r in recs.iter().filter(|r| r.mode == "unsafe") {

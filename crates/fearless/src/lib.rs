@@ -40,6 +40,8 @@ pub mod benign;
 pub mod fn_offsets;
 pub mod listings;
 pub mod mode;
+pub mod pool;
+pub mod proof;
 pub mod registry;
 pub mod rng_ind;
 pub mod shared;
@@ -48,6 +50,11 @@ pub mod taxonomy;
 
 pub use fn_offsets::{ind_write_fn, transpose};
 pub use mode::ExecMode;
+pub use pool::PoolStats;
+pub use proof::{
+    validate_chunk_offsets_cached, validate_offsets_cached, ParIndProvedExt, ValidatedChunks,
+    ValidatedOffsets,
+};
 pub use registry::{PatternCensus, PatternCount};
 pub use rng_ind::{IndChunksError, ParIndChunksMut, ParIndChunksMutExt};
 pub use shared::SharedMutSlice;

@@ -42,6 +42,15 @@ impl ExecMode {
         }
     }
 
+    /// True when this mode runs the `par_ind_*` run-time validations whose
+    /// cost Fig. 5(a) measures — the mode the pooled mark tables
+    /// ([`crate::pool`]) and validation proofs ([`crate::proof`]) speed up.
+    /// `Unsafe` skips checks and `Sync` replaces them with synchronization,
+    /// so fresh-vs-amortized check attribution only applies here.
+    pub fn pays_validation(self) -> bool {
+        matches!(self, ExecMode::Checked)
+    }
+
     /// Short label used by the harness CLI and bench IDs.
     pub fn label(self) -> &'static str {
         match self {
@@ -88,5 +97,12 @@ mod tests {
         assert_eq!(ExecMode::Checked.fearlessness(), Fearlessness::Comfortable);
         assert_eq!(ExecMode::Unsafe.fearlessness(), Fearlessness::Scared);
         assert_eq!(ExecMode::Sync.fearlessness(), Fearlessness::Scared);
+    }
+
+    #[test]
+    fn only_checked_pays_validation() {
+        assert!(ExecMode::Checked.pays_validation());
+        assert!(!ExecMode::Unsafe.pays_validation());
+        assert!(!ExecMode::Sync.pays_validation());
     }
 }

@@ -1,0 +1,410 @@
+//! Pooled, epoch-stamped mark tables for the `SngInd` uniqueness check.
+//!
+//! The naive mark-table check allocates and zeroes a fresh `len`-byte table
+//! on every call — for the hot call sites (isort passes, suffix-array
+//! ranking rounds, bench repetitions) that allocation dominates the check
+//! itself. This module amortizes it away:
+//!
+//! * [`EpochMarks`] — a table of `AtomicU32` *epoch stamps*. A slot is
+//!   "marked" when it holds the table's current epoch; re-acquiring the
+//!   table bumps the epoch instead of re-zeroing, so steady-state
+//!   acquisition is `O(1)` regardless of capacity. Only when the 32-bit
+//!   epoch wraps around (once per ~4 billion acquisitions) is the table
+//!   re-zeroed.
+//! * [`AtomicBitset`] — one bit per slot packed into `AtomicU64` words:
+//!   8× less memory traffic than a byte table, at the cost of a word
+//!   zeroing pass (`len/64` words) per acquisition. The right trade for
+//!   large `len` where a pooled `u32` epoch table would be oversized.
+//! * A global best-fit **pool** for both table kinds, keyed by capacity.
+//!   Steady-state checks pop a table (pool hit: zero allocation) and
+//!   return it on drop. Oversized requests fall back to the classic
+//!   allocate-per-call path and are never retained.
+//!
+//! Pool traffic is counted twice: in always-on local [`PoolStats`] (plain
+//! relaxed atomics, touched once per *validation*, not per element — cheap
+//! enough to keep unconditionally) and in the feature-gated
+//! `rpb_obs::metrics` counters that feed the bench records.
+
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Largest slot count the epoch-table pool will serve. A table of this
+/// capacity is `4 * MAX_POOLED_EPOCH_SLOTS` bytes (64 MiB); larger
+/// requests allocate per call (and [`UniquenessCheck::Adaptive`] prefers
+/// the bitset or sort strategies there instead).
+///
+/// [`UniquenessCheck::Adaptive`]: crate::snd_ind::UniquenessCheck::Adaptive
+pub const MAX_POOLED_EPOCH_SLOTS: usize = 1 << 24;
+
+/// Largest slot count the bitset pool will serve (`1 << 28` bits =
+/// 32 MiB of words). Beyond this, bitsets allocate per call.
+pub const MAX_POOLED_BITSET_SLOTS: usize = 1 << 28;
+
+/// Tables retained per pool. More than this many concurrent validations
+/// of pool-eligible sizes overflow to allocate-per-call.
+const MAX_POOL_TABLES: usize = 4;
+
+/// Always-on pool telemetry (see also the `obs`-gated counters).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Acquisitions served from the pool without allocating.
+    pub hits: u64,
+    /// Acquisitions that allocated fresh storage.
+    pub misses: u64,
+    /// Epoch wraparounds that forced a full re-zero.
+    pub epoch_rollovers: u64,
+}
+
+static POOL_HITS: AtomicU64 = AtomicU64::new(0);
+static POOL_MISSES: AtomicU64 = AtomicU64::new(0);
+static EPOCH_ROLLOVERS: AtomicU64 = AtomicU64::new(0);
+
+/// When false, every acquisition allocates and every release frees —
+/// the pre-pool allocate-per-call behaviour. The bench harness flips this
+/// to measure the *fresh* check cost against the *amortized* one.
+static POOL_ENABLED: AtomicBool = AtomicBool::new(true);
+
+/// Snapshot of the always-on pool statistics.
+pub fn stats() -> PoolStats {
+    PoolStats {
+        hits: POOL_HITS.load(Ordering::Relaxed),
+        misses: POOL_MISSES.load(Ordering::Relaxed),
+        epoch_rollovers: EPOCH_ROLLOVERS.load(Ordering::Relaxed),
+    }
+}
+
+/// Zeroes the always-on pool statistics (tests and bench brackets).
+pub fn reset_stats() {
+    POOL_HITS.store(0, Ordering::Relaxed);
+    POOL_MISSES.store(0, Ordering::Relaxed);
+    EPOCH_ROLLOVERS.store(0, Ordering::Relaxed);
+}
+
+/// Enables or disables pooling globally. Disabled, every check allocates
+/// per call — the baseline the pooled fast path is measured against.
+/// Strategy selection is unaffected (so fresh-vs-amortized comparisons
+/// hold the algorithm fixed and vary only the storage reuse).
+pub fn set_enabled(enabled: bool) {
+    POOL_ENABLED.store(enabled, Ordering::Relaxed);
+}
+
+/// True when acquisitions may be served from (and returned to) the pool.
+pub fn is_enabled() -> bool {
+    POOL_ENABLED.load(Ordering::Relaxed)
+}
+
+/// Drops every pooled table (tests and fresh-cost measurement).
+pub fn clear() {
+    EPOCH_POOL.lock().unwrap_or_else(|e| e.into_inner()).clear();
+    BITSET_POOL
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .clear();
+}
+
+fn note_hit() {
+    POOL_HITS.fetch_add(1, Ordering::Relaxed);
+    rpb_obs::metrics::SNGIND_POOL_HITS.add(1);
+}
+
+fn note_miss(bytes: u64) {
+    POOL_MISSES.fetch_add(1, Ordering::Relaxed);
+    rpb_obs::metrics::SNGIND_POOL_MISSES.add(1);
+    rpb_obs::metrics::SNGIND_MARK_TABLE_BYTES.add(bytes);
+}
+
+/// An epoch-stamped mark table. A slot counts as marked iff it stores the
+/// table's current epoch; anything else (older epochs, zero) is unmarked.
+pub struct EpochMarks {
+    stamps: Box<[AtomicU32]>,
+    /// The epoch of the current acquisition. Plain data: the holder has
+    /// exclusive ownership of the table between acquire and release, and
+    /// marking threads only read it.
+    epoch: u32,
+}
+
+impl EpochMarks {
+    fn with_capacity(cap: usize) -> EpochMarks {
+        EpochMarks {
+            stamps: (0..cap).map(|_| AtomicU32::new(0)).collect(),
+            epoch: 0,
+        }
+    }
+
+    /// Slots this table can mark.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.stamps.len()
+    }
+
+    /// Advances to a fresh epoch, re-zeroing only on wraparound.
+    fn next_epoch(&mut self) {
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            // Wrapped: stale stamps from ~4B acquisitions ago would alias
+            // the new epoch. Re-zero once and restart at epoch 1.
+            for s in self.stamps.iter() {
+                s.store(0, Ordering::Relaxed);
+            }
+            self.epoch = 1;
+            EPOCH_ROLLOVERS.fetch_add(1, Ordering::Relaxed);
+            rpb_obs::metrics::SNGIND_EPOCH_ROLLOVERS.add(1);
+        }
+    }
+
+    /// Marks slot `i`, returning `true` iff it was already marked this
+    /// epoch (i.e. `i` is a duplicate offset).
+    ///
+    /// `i` must be `< capacity()`; the caller (the fused validation sweep)
+    /// bounds-checks offsets before marking.
+    #[inline]
+    pub fn mark_was_set(&self, i: usize) -> bool {
+        self.stamps[i].swap(self.epoch, Ordering::Relaxed) == self.epoch
+    }
+}
+
+/// A one-bit-per-slot mark table over `AtomicU64` words.
+pub struct AtomicBitset {
+    words: Box<[AtomicU64]>,
+}
+
+impl AtomicBitset {
+    fn with_capacity(cap_bits: usize) -> AtomicBitset {
+        AtomicBitset {
+            words: (0..cap_bits.div_ceil(64))
+                .map(|_| AtomicU64::new(0))
+                .collect(),
+        }
+    }
+
+    /// Bits this set can mark.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.words.len() * 64
+    }
+
+    /// Zeroes the first `len` bits (rounded up to whole words) — the
+    /// per-acquisition cost of the bitset strategy, 8× less traffic than
+    /// zeroing a byte table of the same slot count.
+    fn zero_prefix(&self, len: usize) {
+        for w in &self.words[..len.div_ceil(64).min(self.words.len())] {
+            w.store(0, Ordering::Relaxed);
+        }
+    }
+
+    /// Sets bit `i`, returning `true` iff it was already set.
+    #[inline]
+    pub fn set_was_set(&self, i: usize) -> bool {
+        let mask = 1u64 << (i & 63);
+        self.words[i >> 6].fetch_or(mask, Ordering::Relaxed) & mask != 0
+    }
+}
+
+static EPOCH_POOL: Mutex<Vec<EpochMarks>> = Mutex::new(Vec::new());
+static BITSET_POOL: Mutex<Vec<AtomicBitset>> = Mutex::new(Vec::new());
+
+/// True when a request for `len` slots is small enough for the epoch-table
+/// pool — the signal `UniquenessCheck::Adaptive` uses. Deliberately
+/// independent of [`set_enabled`] so disabling the pool (for fresh-cost
+/// measurement) does not also change the chosen strategy.
+pub fn epoch_pool_serves(len: usize) -> bool {
+    len <= MAX_POOLED_EPOCH_SLOTS
+}
+
+/// True when the epoch pool *currently holds* a table of at least `len`
+/// slots — acquiring one is an epoch bump, no allocation and no zeroing,
+/// which beats every other strategy regardless of offset density.
+/// Content-only (ignores [`set_enabled`]) for the same strategy-stability
+/// reason as [`epoch_pool_serves`].
+pub fn epoch_pool_has(len: usize) -> bool {
+    EPOCH_POOL
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .iter()
+        .any(|t| t.capacity() >= len)
+}
+
+/// An acquired epoch table; returns to the pool on drop.
+pub struct EpochMarksGuard {
+    table: Option<EpochMarks>,
+    pooled: bool,
+}
+
+impl EpochMarksGuard {
+    /// The table itself.
+    #[inline]
+    pub fn marks(&self) -> &EpochMarks {
+        self.table
+            .as_ref()
+            .expect("EpochMarksGuard holds its table until drop")
+    }
+}
+
+impl Drop for EpochMarksGuard {
+    fn drop(&mut self) {
+        if let Some(table) = self.table.take() {
+            if self.pooled && is_enabled() {
+                release(&EPOCH_POOL, table, EpochMarks::capacity);
+            }
+        }
+    }
+}
+
+/// An acquired bitset; returns to the pool on drop.
+pub struct AtomicBitsetGuard {
+    table: Option<AtomicBitset>,
+    pooled: bool,
+}
+
+impl AtomicBitsetGuard {
+    /// The bitset itself.
+    #[inline]
+    pub fn bits(&self) -> &AtomicBitset {
+        self.table
+            .as_ref()
+            .expect("AtomicBitsetGuard holds its table until drop")
+    }
+}
+
+impl Drop for AtomicBitsetGuard {
+    fn drop(&mut self) {
+        if let Some(table) = self.table.take() {
+            if self.pooled && is_enabled() {
+                release(&BITSET_POOL, table, AtomicBitset::capacity);
+            }
+        }
+    }
+}
+
+/// Pops the smallest pooled table with `capacity >= len`, if any.
+fn acquire_from<T>(pool: &Mutex<Vec<T>>, len: usize, cap: impl Fn(&T) -> usize) -> Option<T> {
+    if !is_enabled() {
+        return None;
+    }
+    let mut tables = pool.lock().unwrap_or_else(|e| e.into_inner());
+    let best = tables
+        .iter()
+        .enumerate()
+        .filter(|(_, t)| cap(t) >= len)
+        .min_by_key(|(_, t)| cap(t))
+        .map(|(i, _)| i)?;
+    Some(tables.swap_remove(best))
+}
+
+/// Returns a table to its pool, evicting the smallest table if full.
+fn release<T>(pool: &Mutex<Vec<T>>, table: T, cap: impl Fn(&T) -> usize) {
+    let mut tables = pool.lock().unwrap_or_else(|e| e.into_inner());
+    tables.push(table);
+    if tables.len() > MAX_POOL_TABLES {
+        if let Some(smallest) = tables
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, t)| cap(t))
+            .map(|(i, _)| i)
+        {
+            tables.swap_remove(smallest);
+        }
+    }
+}
+
+/// Acquires an epoch mark table of at least `len` slots: pool hit when
+/// possible, fresh allocation otherwise. The returned guard's table has a
+/// brand-new epoch, so all slots read as unmarked.
+pub fn acquire_epoch_marks(len: usize) -> EpochMarksGuard {
+    let pooled = epoch_pool_serves(len);
+    let mut table = match acquire_from(&EPOCH_POOL, len, EpochMarks::capacity) {
+        Some(t) => {
+            note_hit();
+            t
+        }
+        None => {
+            // Round pooled requests up so a handful of tables serves many
+            // distinct sizes; oversized requests allocate exactly.
+            let cap = if pooled { len.next_power_of_two() } else { len };
+            note_miss(4 * cap as u64);
+            EpochMarks::with_capacity(cap)
+        }
+    };
+    table.next_epoch();
+    EpochMarksGuard {
+        table: Some(table),
+        pooled,
+    }
+}
+
+/// Acquires a bitset of at least `len` bits with the first `len` bits
+/// zeroed: pool hit when possible, fresh allocation otherwise.
+pub fn acquire_bitset(len: usize) -> AtomicBitsetGuard {
+    let pooled = len <= MAX_POOLED_BITSET_SLOTS;
+    let table = match acquire_from(&BITSET_POOL, len, AtomicBitset::capacity) {
+        Some(t) => {
+            note_hit();
+            t.zero_prefix(len);
+            t
+        }
+        None => {
+            let cap = if pooled { len.next_power_of_two() } else { len };
+            note_miss(cap.div_ceil(64) as u64 * 8);
+            // Fresh allocation is already zeroed.
+            AtomicBitset::with_capacity(cap)
+        }
+    };
+    AtomicBitsetGuard {
+        table: Some(table),
+        pooled,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    // Exact hit/miss accounting is pinned in `tests/pool_steady_state.rs`,
+    // which runs in its own process — the global pool and its stats are
+    // shared across this binary's concurrently running tests, so only
+    // per-guard behaviour (which is exclusive by ownership) is safe to
+    // assert here.
+    use super::*;
+
+    #[test]
+    fn epoch_bump_unmarks_previous_acquisitions() {
+        for round in 0..100 {
+            let g = acquire_epoch_marks(64);
+            for i in 0..64 {
+                assert!(
+                    !g.marks().mark_was_set(i),
+                    "round {round}: stale mark leaked into new epoch"
+                );
+                assert!(g.marks().mark_was_set(i), "second mark is a duplicate");
+            }
+        }
+    }
+
+    #[test]
+    fn bitset_marks_and_rezeroes() {
+        for _ in 0..5 {
+            let g = acquire_bitset(130);
+            assert!(g.bits().capacity() >= 130);
+            assert!(!g.bits().set_was_set(0));
+            assert!(!g.bits().set_was_set(129));
+            assert!(g.bits().set_was_set(129));
+        }
+    }
+
+    #[test]
+    fn oversized_epoch_requests_allocate_exactly() {
+        assert!(!epoch_pool_serves(MAX_POOLED_EPOCH_SLOTS + 1));
+        let g = acquire_epoch_marks(MAX_POOLED_EPOCH_SLOTS + 1);
+        assert_eq!(g.marks().capacity(), MAX_POOLED_EPOCH_SLOTS + 1);
+    }
+
+    #[test]
+    fn epoch_rollover_rezeroes() {
+        // A tiny table driven past u32::MAX epochs would take forever;
+        // instead, fabricate the wrap directly.
+        let mut t = EpochMarks::with_capacity(8);
+        t.epoch = u32::MAX;
+        assert!(!t.mark_was_set(3));
+        t.next_epoch(); // wraps: re-zero, epoch = 1
+        assert_eq!(t.epoch, 1);
+        assert!(!t.mark_was_set(3), "rollover must clear stale stamps");
+    }
+}

@@ -75,6 +75,15 @@ impl PatternCensus {
             .sum()
     }
 
+    /// Fraction of accesses whose `Checked`-mode guard does real work:
+    /// `SngInd`'s uniqueness check is the costly one (the target of the
+    /// pooled fast path in `rpb-fearless`), while `RngInd`'s monotonicity
+    /// check is ~free and `AW` synchronizes instead of validating. The
+    /// pooled-table/proof machinery matters in proportion to this share.
+    pub fn costly_check_share(&self) -> f64 {
+        self.share(Pattern::SngInd)
+    }
+
     /// (pattern, count, share) rows in Table 3 order — the Fig. 3 data.
     pub fn rows(&self) -> Vec<(Pattern, usize, f64)> {
         ALL_PATTERNS
@@ -123,6 +132,26 @@ mod tests {
         assert_eq!(census.total(), 0);
         assert_eq!(census.share(Pattern::RO), 0.0);
         assert_eq!(census.irregular_share(), 0.0);
+    }
+
+    #[test]
+    fn costly_check_share_counts_only_sngind() {
+        let mut census = PatternCensus::new();
+        census.add(&[
+            PatternCount {
+                pattern: Pattern::SngInd,
+                count: 3,
+            },
+            PatternCount {
+                pattern: Pattern::RngInd,
+                count: 3,
+            },
+            PatternCount {
+                pattern: Pattern::AW,
+                count: 6,
+            },
+        ]);
+        assert!((census.costly_check_share() - 0.25).abs() < 1e-12);
     }
 
     #[test]

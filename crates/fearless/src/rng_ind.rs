@@ -69,6 +69,17 @@ pub trait ParIndChunksMutExt<T: Send> {
         &'a mut self,
         offsets: &'a [usize],
     ) -> Result<ParIndChunksMut<'a, T>, IndChunksError>;
+
+    /// Unchecked construction — the *scary* tier, and the substrate the
+    /// [`crate::proof::ValidatedChunks`] proof token builds on.
+    ///
+    /// # Safety
+    /// `offsets` must be monotonically non-decreasing with every boundary
+    /// `<= self.len()`.
+    unsafe fn par_ind_chunks_mut_unchecked<'a>(
+        &'a mut self,
+        offsets: &'a [usize],
+    ) -> ParIndChunksMut<'a, T>;
 }
 
 /// Validates boundaries: monotone and bounded.
@@ -90,18 +101,25 @@ pub fn validate_chunk_offsets(offsets: &[usize], len: usize) -> Result<(), IndCh
 
 fn validate_chunk_offsets_inner(offsets: &[usize], len: usize) -> Result<(), IndChunksError> {
     use rayon::prelude::*;
-    // Windows check parallelizes trivially; k is small so either way is fine.
-    if let Some((index, &off)) = offsets.par_iter().enumerate().find_any(|(_, &o)| o > len) {
-        return Err(IndChunksError::OutOfBounds {
-            index,
-            offset: off,
-            len,
+    // Bounds and monotonicity fused into one indexed sweep: boundary `i`
+    // checks itself and its predecessor, so every adjacent pair is covered
+    // without a second `windows` pass.
+    let err = offsets
+        .par_iter()
+        .enumerate()
+        .find_map_any(|(index, &offset)| {
+            if offset > len {
+                Some(IndChunksError::OutOfBounds { index, offset, len })
+            } else if index > 0 && offsets[index - 1] > offset {
+                Some(IndChunksError::NotMonotone { index })
+            } else {
+                None
+            }
         });
+    match err {
+        Some(e) => Err(e),
+        None => Ok(()),
     }
-    if let Some(w) = offsets.par_windows(2).position_any(|w| w[0] > w[1]) {
-        return Err(IndChunksError::NotMonotone { index: w + 1 });
-    }
-    Ok(())
 }
 
 impl<T: Send> ParIndChunksMutExt<T> for [T] {
@@ -117,10 +135,18 @@ impl<T: Send> ParIndChunksMutExt<T> for [T] {
         offsets: &'a [usize],
     ) -> Result<ParIndChunksMut<'a, T>, IndChunksError> {
         validate_chunk_offsets(offsets, self.len())?;
-        Ok(ParIndChunksMut {
+        // SAFETY: boundaries proven monotone and bounded just above.
+        Ok(unsafe { self.par_ind_chunks_mut_unchecked(offsets) })
+    }
+
+    unsafe fn par_ind_chunks_mut_unchecked<'a>(
+        &'a mut self,
+        offsets: &'a [usize],
+    ) -> ParIndChunksMut<'a, T> {
+        ParIndChunksMut {
             data: SharedMutSlice::new(self),
             offsets,
-        })
+        }
     }
 }
 

@@ -9,19 +9,33 @@
 //! programmer from *scared* to *comfortable*: an implementation bug (a
 //! duplicate offset) panics at the call site instead of silently racing.
 //!
-//! Two check strategies are provided, because the check's cost is the
+//! Several check strategies are provided, because the check's cost is the
 //! paper's central trade-off (Fig. 5a):
 //!
-//! * [`UniquenessCheck::MarkTable`] — `O(n)` work, `O(len)` transient space:
-//!   every offset CASes a mark byte; a second mark is a duplicate.
+//! * [`UniquenessCheck::MarkTable`] — `O(n)` work: every offset stamps a
+//!   slot of a **pooled, epoch-stamped table** ([`crate::pool`]); a second
+//!   stamp in the same epoch is a duplicate. Steady state allocates and
+//!   zeroes nothing — acquiring a table bumps its epoch instead.
+//! * [`UniquenessCheck::Bitset`] — `O(n)` work over `AtomicU64` words, one
+//!   bit per slot: 8× less memory traffic than a byte table for large
+//!   `len`, at the cost of a word-zeroing pass per check.
 //! * [`UniquenessCheck::Sort`] — `O(n log n)` work, no per-element marks:
-//!   radix-sort a copy and compare neighbours.
+//!   radix-sort a copy and compare neighbours. Wins when the offsets are
+//!   very sparse in `0..len` (marking would touch a huge cold table).
+//! * [`UniquenessCheck::Adaptive`] (the default) — picks one of the above
+//!   from `offsets.len()`, `len`, and pool availability.
+//!
+//! The bounds check is **fused into the mark sweep** for the marking
+//! strategies: validation is one parallel pass, not two.
+//!
+//! For call sites that reuse one offsets array across rounds, see
+//! [`crate::proof::ValidatedOffsets`] — validate once, iterate many times.
 
 use rayon::iter::plumbing::{bridge, Consumer, Producer, ProducerCallback, UnindexedConsumer};
 use rayon::iter::{IndexedParallelIterator, ParallelIterator};
 use rayon::prelude::*;
-use std::sync::atomic::{AtomicU8, Ordering};
 
+use crate::pool;
 use crate::shared::SharedMutSlice;
 
 /// Validation failure for an offsets array.
@@ -61,11 +75,50 @@ impl std::error::Error for IndOffsetsError {}
 /// Strategy used by the run-time uniqueness check.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub enum UniquenessCheck {
-    /// Parallel mark-table: `O(n)` time, allocates `len` mark bytes.
-    #[default]
+    /// Parallel epoch-stamped mark table: `O(n)` time, zero allocation in
+    /// steady state (tables are pooled and re-epoched, not re-zeroed).
     MarkTable,
+    /// Parallel atomic bitset: `O(n)` time, one bit per slot — 8× less
+    /// memory traffic than a byte/word table for large `len`.
+    Bitset,
     /// Sort-based: `O(n log n)` time, allocates a copy of the offsets.
     Sort,
+    /// Picks [`MarkTable`](Self::MarkTable) / [`Bitset`](Self::Bitset) /
+    /// [`Sort`](Self::Sort) from `offsets.len()`, `len`, and pool
+    /// availability. The recommended default.
+    #[default]
+    Adaptive,
+}
+
+/// Offsets sparser than one per this many slots switch `Adaptive` to the
+/// sort strategy: marking would touch a cold table far larger than the
+/// data being validated.
+const ADAPTIVE_SORT_SPARSITY: usize = 64;
+
+impl UniquenessCheck {
+    /// Resolves `Adaptive` to a concrete strategy for an `offsets.len()`
+    /// of `n` against a target slice of length `len`.
+    pub fn resolve(self, n: usize, len: usize) -> UniquenessCheck {
+        match self {
+            UniquenessCheck::Adaptive => {
+                let dense = n.saturating_mul(ADAPTIVE_SORT_SPARSITY) >= len;
+                if pool::epoch_pool_serves(len) && (dense || pool::epoch_pool_has(len)) {
+                    // An epoch table validates with zero allocation and no
+                    // zeroing pass — unbeatable when one is already pooled
+                    // (any density) or the offsets are dense enough that
+                    // allocating one pays for itself across reuses.
+                    UniquenessCheck::MarkTable
+                } else if !dense {
+                    // Sparse and no table on hand: marking would touch a
+                    // cold table far larger than the data being validated.
+                    UniquenessCheck::Sort
+                } else {
+                    UniquenessCheck::Bitset
+                }
+            }
+            concrete => concrete,
+        }
+    }
 }
 
 /// Validates that every offset is in-bounds for `len` and unique.
@@ -81,9 +134,12 @@ pub fn validate_offsets(
     use rpb_obs::metrics as obs;
     rpb_obs::span!(obs::SNGIND_CHECK_NS);
     obs::SNGIND_OFFSETS_VALIDATED.add(offsets.len() as u64);
+    let strategy = strategy.resolve(offsets.len(), len);
     match strategy {
         UniquenessCheck::MarkTable => obs::SNGIND_CHECKS_MARK.add(1),
+        UniquenessCheck::Bitset => obs::SNGIND_CHECKS_BITSET.add(1),
         UniquenessCheck::Sort => obs::SNGIND_CHECKS_SORT.add(1),
+        UniquenessCheck::Adaptive => unreachable!("resolve() returns a concrete strategy"),
     }
     let result = validate_offsets_inner(offsets, len, strategy);
     if result.is_err() {
@@ -97,31 +153,39 @@ fn validate_offsets_inner(
     len: usize,
     strategy: UniquenessCheck,
 ) -> Result<(), IndOffsetsError> {
-    // Bounds first (both strategies need it; cheap parallel scan).
-    if let Some((index, &offset)) = offsets.par_iter().enumerate().find_any(|(_, &o)| o >= len) {
-        return Err(IndOffsetsError::OutOfBounds { index, offset, len });
+    if offsets.is_empty() {
+        return Ok(());
     }
     match strategy {
+        // Marking strategies fuse the bounds check into the mark sweep:
+        // one parallel pass over `offsets` instead of two.
         UniquenessCheck::MarkTable => {
-            rpb_obs::metrics::SNGIND_MARK_TABLE_BYTES.add(len as u64);
-            let marks: Vec<AtomicU8> = (0..len).map(|_| AtomicU8::new(0)).collect();
-            let dup = offsets
-                .par_iter()
-                .enumerate()
-                .find_any(|(_, &o)| marks[o].fetch_or(1, Ordering::Relaxed) != 0);
-            if let Some((index, &offset)) = dup {
-                return Err(IndOffsetsError::Duplicate { index, offset });
-            }
-            Ok(())
+            let guard = pool::acquire_epoch_marks(len);
+            let marks = guard.marks();
+            fused_mark_sweep(offsets, len, |o| marks.mark_was_set(o))
+        }
+        UniquenessCheck::Bitset => {
+            let guard = pool::acquire_bitset(len);
+            let bits = guard.bits();
+            fused_mark_sweep(offsets, len, |o| bits.set_was_set(o))
         }
         UniquenessCheck::Sort => {
+            // The sort can't detect out-of-bounds, so bounds get their own
+            // (cheap) pass here.
+            if let Some((index, &offset)) =
+                offsets.par_iter().enumerate().find_any(|(_, &o)| o >= len)
+            {
+                return Err(IndOffsetsError::OutOfBounds { index, offset, len });
+            }
             let mut sorted: Vec<(usize, usize)> = offsets
                 .par_iter()
                 .copied()
                 .enumerate()
                 .map(|(i, o)| (o, i))
                 .collect();
-            let bits = usize::BITS - len.leading_zeros().max(1);
+            // All offsets are `< len`, so `ceil(log2(len))` key bits
+            // suffice; at least 1 so the `len <= 1` edge still sorts.
+            let bits = (usize::BITS - len.leading_zeros()).max(1);
             rpb_parlay::radix_sort_by_key(&mut sorted, bits, |p| p.0 as u64);
             let dup = sorted
                 .par_windows(2)
@@ -132,6 +196,34 @@ fn validate_offsets_inner(
             }
             Ok(())
         }
+        UniquenessCheck::Adaptive => {
+            validate_offsets_inner(offsets, len, strategy.resolve(offsets.len(), len))
+        }
+    }
+}
+
+/// The fused bounds + uniqueness sweep shared by the marking strategies:
+/// `mark_was_set(o)` must return whether `o` was already marked.
+fn fused_mark_sweep(
+    offsets: &[usize],
+    len: usize,
+    mark_was_set: impl Fn(usize) -> bool + Sync,
+) -> Result<(), IndOffsetsError> {
+    let err = offsets
+        .par_iter()
+        .enumerate()
+        .find_map_any(|(index, &offset)| {
+            if offset >= len {
+                Some(IndOffsetsError::OutOfBounds { index, offset, len })
+            } else if mark_was_set(offset) {
+                Some(IndOffsetsError::Duplicate { index, offset })
+            } else {
+                None
+            }
+        });
+    match err {
+        Some(e) => Err(e),
+        None => Ok(()),
     }
 }
 
@@ -461,6 +553,112 @@ mod tests {
         let offsets: Vec<usize> = vec![];
         out.par_ind_iter_mut(&offsets).for_each(|o| *o = 0);
         assert_eq!(out, vec![1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn duplicate_offsets_error_bitset() {
+        let mut out = vec![0u8; 10];
+        let offsets = vec![7, 0, 7];
+        let err = out
+            .try_par_ind_iter_mut(&offsets, UniquenessCheck::Bitset)
+            .err();
+        assert!(
+            matches!(err, Some(IndOffsetsError::Duplicate { offset: 7, .. })),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn out_of_bounds_error_bitset() {
+        let mut out = vec![0u8; 4];
+        let offsets = vec![0, 9];
+        let err = out
+            .try_par_ind_iter_mut(&offsets, UniquenessCheck::Bitset)
+            .err();
+        assert_eq!(
+            err,
+            Some(IndOffsetsError::OutOfBounds {
+                index: 1,
+                offset: 9,
+                len: 4
+            })
+        );
+    }
+
+    #[test]
+    fn adaptive_accepts_and_rejects_like_concrete_strategies() {
+        let n = 60_000;
+        let offsets = random_permutation(n, 11);
+        let mut out = vec![0u8; n];
+        assert!(out
+            .try_par_ind_iter_mut(&offsets, UniquenessCheck::Adaptive)
+            .is_ok());
+        let mut dup = offsets.clone();
+        dup[0] = dup[n - 1];
+        let err = out
+            .try_par_ind_iter_mut(&dup, UniquenessCheck::Adaptive)
+            .err();
+        assert!(
+            matches!(err, Some(IndOffsetsError::Duplicate { .. })),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn adaptive_resolves_to_concrete_strategies() {
+        // Pool-servable target: the epoch table wins.
+        assert_eq!(
+            UniquenessCheck::Adaptive.resolve(1000, 1000),
+            UniquenessCheck::MarkTable
+        );
+        // Beyond the epoch pool cap: dense offsets -> bitset.
+        let huge = pool::MAX_POOLED_EPOCH_SLOTS + 1;
+        assert_eq!(
+            UniquenessCheck::Adaptive.resolve(huge, huge),
+            UniquenessCheck::Bitset
+        );
+        // Beyond the cap and very sparse -> sort.
+        assert_eq!(
+            UniquenessCheck::Adaptive.resolve(8, huge),
+            UniquenessCheck::Sort
+        );
+        // Concrete strategies resolve to themselves.
+        assert_eq!(
+            UniquenessCheck::Sort.resolve(1000, 1000),
+            UniquenessCheck::Sort
+        );
+    }
+
+    #[test]
+    fn sort_strategy_tiny_len_regression() {
+        // Regression: the radix bit-width used to be computed as
+        // `usize::BITS - len.leading_zeros().max(1)`, which passed a
+        // garbage bit count for `len <= 1`.
+        for len in [0usize, 1, 2] {
+            let mut out = vec![0u8; len];
+            let offsets: Vec<usize> = (0..len).collect();
+            assert!(
+                out.try_par_ind_iter_mut(&offsets, UniquenessCheck::Sort)
+                    .is_ok(),
+                "len={len}"
+            );
+        }
+        // len = 1 with a duplicate offset must still be rejected.
+        let mut out = vec![0u8; 1];
+        let dup = [0usize, 0];
+        let err = out.try_par_ind_iter_mut(&dup, UniquenessCheck::Sort).err();
+        assert!(matches!(
+            err,
+            Some(IndOffsetsError::Duplicate { offset: 0, .. })
+        ));
+        // len = 2, out-of-bounds offset.
+        let mut out = vec![0u8; 2];
+        let oob = [0usize, 2];
+        let err = out.try_par_ind_iter_mut(&oob, UniquenessCheck::Sort).err();
+        assert!(matches!(
+            err,
+            Some(IndOffsetsError::OutOfBounds { offset: 2, .. })
+        ));
     }
 
     #[test]

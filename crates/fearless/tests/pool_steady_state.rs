@@ -1,0 +1,105 @@
+//! Pins the pooled fast path's steady-state accounting.
+//!
+//! This lives in its own integration-test binary (its own process) so the
+//! global pool and its statistics are not perturbed by the library's unit
+//! tests, which run concurrently within their shared binary. Everything is
+//! one `#[test]` for the same reason: two tests here would share the
+//! globals again.
+
+use rpb_fearless::pool;
+use rpb_fearless::proof::validate_offsets_cached;
+use rpb_fearless::snd_ind::{validate_offsets, UniquenessCheck};
+use rpb_fearless::ParIndProvedExt;
+
+use rayon::prelude::*;
+
+#[test]
+fn steady_state_validation_is_allocation_free() {
+    let n = 10_000;
+    let offsets: Vec<usize> = (0..n).collect();
+
+    pool::clear();
+    pool::set_enabled(true);
+    pool::reset_stats();
+
+    // Cold pool: the first MarkTable validation allocates — exactly once.
+    validate_offsets(&offsets, n, UniquenessCheck::MarkTable).expect("identity is unique");
+    assert_eq!(
+        pool::stats(),
+        pool::PoolStats {
+            hits: 0,
+            misses: 1,
+            epoch_rollovers: 0
+        }
+    );
+
+    // Steady state: every further validation is a pool hit. This is the
+    // acceptance criterion — zero heap allocation per check.
+    for _ in 0..100 {
+        validate_offsets(&offsets, n, UniquenessCheck::MarkTable).expect("still unique");
+    }
+    let s = pool::stats();
+    assert_eq!(
+        s.misses, 1,
+        "steady-state MarkTable checks must not allocate"
+    );
+    assert_eq!(s.hits, 100);
+
+    // Same for the bitset strategy (its own pool).
+    pool::reset_stats();
+    for _ in 0..51 {
+        validate_offsets(&offsets, n, UniquenessCheck::Bitset).expect("still unique");
+    }
+    let s = pool::stats();
+    assert_eq!(s.misses, 1, "steady-state Bitset checks must not allocate");
+    assert_eq!(s.hits, 50);
+
+    // Adaptive resolves to MarkTable at this size and reuses the table
+    // already pooled above: no further allocation at all.
+    pool::reset_stats();
+    for _ in 0..10 {
+        validate_offsets(&offsets, n, UniquenessCheck::Adaptive).expect("still unique");
+    }
+    assert_eq!(
+        pool::stats(),
+        pool::PoolStats {
+            hits: 10,
+            misses: 0,
+            epoch_rollovers: 0
+        }
+    );
+
+    // A proof amortizes even the pool traffic: one acquisition at
+    // validation, none per round.
+    pool::reset_stats();
+    let proof =
+        validate_offsets_cached(&offsets, n, UniquenessCheck::MarkTable).expect("still unique");
+    assert_eq!(pool::stats().hits + pool::stats().misses, 1);
+    let mut out = vec![0u64; n];
+    for round in 0..8u64 {
+        out.par_ind_iter_mut_proved(&proof)
+            .for_each(|slot| *slot = round);
+    }
+    assert_eq!(
+        pool::stats().hits + pool::stats().misses,
+        1,
+        "proof reuse must not touch the pool"
+    );
+
+    // Disabling the pool reproduces the allocate-per-call baseline — the
+    // "fresh" cost the bench harness measures against the amortized one.
+    pool::set_enabled(false);
+    pool::reset_stats();
+    for _ in 0..5 {
+        validate_offsets(&offsets, n, UniquenessCheck::MarkTable).expect("still unique");
+    }
+    assert_eq!(
+        pool::stats(),
+        pool::PoolStats {
+            hits: 0,
+            misses: 5,
+            epoch_rollovers: 0
+        }
+    );
+    pool::set_enabled(true);
+}

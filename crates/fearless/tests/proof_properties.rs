@@ -1,0 +1,137 @@
+//! Property-based tests for the pooled uniqueness check and the
+//! validation-proof tokens.
+
+use proptest::prelude::*;
+use rpb_fearless::proof::{self, validate_offsets_cached, ValidatedOffsets};
+use rpb_fearless::snd_ind::{validate_offsets, IndOffsetsError, UniquenessCheck};
+use rpb_fearless::ParIndProvedExt;
+
+use rayon::prelude::*;
+
+/// Sequential oracle for the uniqueness check.
+fn oracle_accepts(offsets: &[usize], len: usize) -> bool {
+    let mut seen = vec![false; len];
+    offsets.iter().all(|&o| {
+        o < len && {
+            let fresh = !seen[o];
+            if fresh {
+                seen[o] = true;
+            }
+            fresh
+        }
+    })
+}
+
+const ALL_STRATEGIES: [UniquenessCheck; 4] = [
+    UniquenessCheck::MarkTable,
+    UniquenessCheck::Bitset,
+    UniquenessCheck::Sort,
+    UniquenessCheck::Adaptive,
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every strategy agrees with the sequential oracle on accept/reject.
+    /// (The *which* of several coexisting errors is reported is strategy-
+    /// and schedule-dependent; the verdict must not be.)
+    #[test]
+    fn all_strategies_agree_with_oracle(
+        offsets in proptest::collection::vec(0usize..96, 0..96),
+        len in 0usize..96,
+    ) {
+        let want = oracle_accepts(&offsets, len);
+        for strat in ALL_STRATEGIES {
+            let got = validate_offsets(&offsets, len, strat);
+            prop_assert_eq!(
+                got.is_ok(),
+                want,
+                "strategy {:?} disagrees with oracle: {:?}",
+                strat,
+                got
+            );
+        }
+    }
+
+    /// Epoch reuse is sound: after any number of successful validations
+    /// sharing pooled tables, a clean array still passes (stale marks from
+    /// earlier epochs never fake a duplicate) and a duplicated array is
+    /// still rejected (the epoch bump never erases detection).
+    #[test]
+    fn pooled_reuse_never_flips_a_verdict(
+        n in 2usize..300,
+        dup_at in 0usize..300,
+        rounds in 1usize..4,
+    ) {
+        let clean: Vec<usize> = (0..n).collect();
+        let mut dup = clean.clone();
+        dup[dup_at % n] = clean[(dup_at + 1) % n];
+        for _ in 0..rounds {
+            prop_assert!(validate_offsets(&clean, n, UniquenessCheck::MarkTable).is_ok());
+            let err = validate_offsets(&dup, n, UniquenessCheck::MarkTable);
+            prop_assert!(
+                matches!(err, Err(IndOffsetsError::Duplicate { .. })),
+                "{:?}",
+                err
+            );
+        }
+    }
+
+    /// A proof only exists for arrays the plain check accepts, and a
+    /// scatter through the proof lands exactly where a checked scatter
+    /// would.
+    #[test]
+    fn proofs_exist_iff_validation_passes(
+        offsets in proptest::collection::vec(0usize..64, 0..64),
+        len in 0usize..64,
+    ) {
+        let direct = validate_offsets(&offsets, len, UniquenessCheck::Adaptive);
+        let cached = validate_offsets_cached(&offsets, len, UniquenessCheck::Adaptive);
+        prop_assert_eq!(direct.is_ok(), cached.is_ok());
+        if let Ok(proof) = cached {
+            prop_assert_eq!(proof.target_len(), len);
+            prop_assert_eq!(proof.as_ptr(), offsets.as_ptr());
+            let mut out = vec![usize::MAX; len];
+            out.par_ind_iter_mut_proved(&proof)
+                .enumerate()
+                .for_each(|(i, slot)| *slot = i);
+            for (i, &o) in offsets.iter().enumerate() {
+                prop_assert_eq!(out[o], i);
+            }
+        }
+    }
+}
+
+// The mutated-after-validation property (satellite of ISSUE 2): a proof
+// whose offsets changed since validation must never drive an iterator in
+// debug builds. Safe code cannot mutate behind the proof's borrow, so the
+// hidden test constructor stands in for an unsafe/FFI tamperer.
+#[cfg(debug_assertions)]
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn stale_proofs_never_drive_an_iterator(
+        n in 2usize..64,
+        at in 0usize..64,
+        delta in 1usize..64,
+    ) {
+        let mut offsets: Vec<usize> = (0..n).collect();
+        let pristine = proof::fingerprint_for_tests(&offsets, n);
+        // Mutate one entry to a different in-bounds value — injecting a
+        // duplicate the original validation never saw.
+        let at = at % n;
+        offsets[at] = (offsets[at] + delta) % n;
+        prop_assume!(offsets[at] != at);
+        let stale = ValidatedOffsets::from_parts_for_tests(&offsets, n, pristine);
+        // Construction alone must panic (the fingerprint re-check), so the
+        // iterator is never consumed — no aliased writes even if this
+        // property ever regresses.
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut out = vec![0u8; n];
+            let _unreached = out.par_ind_iter_mut_proved(&stale);
+        }))
+        .is_err();
+        prop_assert!(caught, "stale proof accepted a mutated offsets array");
+    }
+}

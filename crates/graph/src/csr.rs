@@ -104,10 +104,14 @@ impl Graph {
     }
 
     /// Sorts every adjacency list (parallel over vertices via `RngInd`).
+    /// CSR boundaries are monotone and bounded by construction, so the
+    /// checked iterator's `O(n)` monotonicity validation is the paper's
+    /// ~free comfort tier.
     pub fn sort_adjacency(&mut self) {
-        let offsets = &self.offsets;
-        use rpb_fearless_shim::par_chunks_by_offsets;
-        par_chunks_by_offsets(&mut self.adj, offsets, |chunk| chunk.sort_unstable());
+        use rpb_fearless::ParIndChunksMutExt;
+        self.adj
+            .par_ind_chunks_mut(&self.offsets)
+            .for_each(|chunk| chunk.sort_unstable());
     }
 
     /// The arc list `(u, v)` of this graph.
@@ -116,35 +120,6 @@ impl Graph {
             .into_par_iter()
             .flat_map_iter(|u| self.neighbors(u).iter().map(move |&v| (u as u32, v)))
             .collect()
-    }
-}
-
-/// Minimal local helper to split a slice by a monotone offsets array and
-/// apply `f` to each chunk in parallel. (The full `par_ind_chunks_mut`
-/// iterator lives in `rpb-fearless`; `rpb-graph` avoids depending on the
-/// core crate to keep the substrate layering clean, so this reimplements
-/// the safe split via `split_at_mut`.)
-mod rpb_fearless_shim {
-    use rayon::prelude::*;
-
-    pub fn par_chunks_by_offsets<T: Send, F>(data: &mut [T], offsets: &[usize], f: F)
-    where
-        F: Fn(&mut [T]) + Send + Sync,
-    {
-        if offsets.len() < 2 {
-            return;
-        }
-        let mut chunks: Vec<&mut [T]> = Vec::with_capacity(offsets.len() - 1);
-        let mut rest = data;
-        let mut prev = offsets[0];
-        debug_assert_eq!(offsets[0], 0, "offsets must start at 0");
-        for &end in &offsets[1..] {
-            let (head, tail) = rest.split_at_mut(end - prev);
-            chunks.push(head);
-            rest = tail;
-            prev = end;
-        }
-        chunks.into_par_iter().for_each(|c| f(c));
     }
 }
 

@@ -70,10 +70,25 @@ define_metrics! {
             "`validate_offsets` runs using the sort strategy.",
         SNGIND_OFFSETS_VALIDATED => "sngind_offsets_validated":
             "Total offsets passed through SngInd uniqueness validation.",
+        SNGIND_CHECKS_BITSET => "sngind_checks_bitset":
+            "`validate_offsets` runs using the atomic-bitset strategy.",
         SNGIND_MARK_TABLE_BYTES => "sngind_mark_table_bytes":
-            "Bytes of transient mark-table allocated by mark-table checks.",
+            "Bytes of mark-table/bitset storage allocated by checks \
+             (pool misses only; pool hits allocate nothing).",
         SNGIND_CHECK_FAILURES => "sngind_check_failures":
             "SngInd validations that rejected their offsets.",
+        // rpb-fearless: pooled mark-table fast path (Fig. 5a amortization).
+        SNGIND_POOL_HITS => "sngind_pool_hits":
+            "Mark-table/bitset acquisitions served from the global pool \
+             (zero allocation).",
+        SNGIND_POOL_MISSES => "sngind_pool_misses":
+            "Mark-table/bitset acquisitions that had to allocate fresh \
+             storage (cold pool, oversized request, or pool disabled).",
+        SNGIND_EPOCH_ROLLOVERS => "sngind_epoch_rollovers":
+            "Epoch-stamp wraparounds that forced a full mark-table re-zero.",
+        SNGIND_PROOF_REUSES => "sngind_proof_reuses":
+            "Indirect iterators constructed from a pre-validated \
+             `ValidatedOffsets`/`ValidatedChunks` proof (validation skipped).",
         // rpb-fearless: RngInd boundary checking (the ~free check).
         RNGIND_CHECKS => "rngind_checks":
             "`validate_chunk_offsets` runs (monotonicity checks).",
@@ -132,6 +147,11 @@ mod tests {
         let snap = snapshot();
         for name in [
             "sngind_checks_mark",
+            "sngind_checks_bitset",
+            "sngind_pool_hits",
+            "sngind_pool_misses",
+            "sngind_epoch_rollovers",
+            "sngind_proof_reuses",
             "sngind_offsets_validated",
             "mq_pushes",
             "mq_empty_pops",

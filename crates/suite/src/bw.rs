@@ -7,7 +7,9 @@
 
 use rayon::prelude::*;
 
-use rpb_fearless::{ExecMode, ParIndIterMutExt, SharedMutSlice, UniquenessCheck};
+use rpb_fearless::{
+    validate_offsets_cached, ExecMode, ParIndProvedExt, SharedMutSlice, UniquenessCheck,
+};
 use rpb_parlay::list_rank::{list_order, NIL};
 use rpb_text::bwt::{lf_mapping, SENTINEL};
 
@@ -44,12 +46,15 @@ pub fn run_par(bwt: &[u8], mode: ExecMode) -> Vec<u8> {
                 unsafe { view.write(m - 1 - k, bwt[order[k]]) };
             });
         }
-        ExecMode::Checked => match out.try_par_ind_iter_mut(&offsets, UniquenessCheck::MarkTable) {
-            Ok(it) => it
-                .enumerate()
-                .for_each(|(j, slot)| *slot = bwt[order[j + 1]]),
-            Err(e) => panic!("bw scatter: {e}"),
-        },
+        ExecMode::Checked => {
+            match validate_offsets_cached(&offsets, out.len(), UniquenessCheck::Adaptive) {
+                Ok(proof) => out
+                    .par_ind_iter_mut_proved(&proof)
+                    .enumerate()
+                    .for_each(|(j, slot)| *slot = bwt[order[j + 1]]),
+                Err(e) => panic!("bw scatter: {e}"),
+            }
+        }
         ExecMode::Sync => {
             use std::sync::atomic::{AtomicU8, Ordering};
             // SAFETY: exclusive borrow as atomics; relaxed stores placate

@@ -13,7 +13,9 @@
 
 use rayon::prelude::*;
 
-use rpb_fearless::{ExecMode, ParIndIterMutExt, SharedMutSlice, UniquenessCheck};
+use rpb_fearless::{
+    validate_offsets_cached, ExecMode, ParIndProvedExt, SharedMutSlice, UniquenessCheck,
+};
 use rpb_parlay::scan::scan_inplace_exclusive;
 
 const RADIX_BITS: u32 = 8;
@@ -99,10 +101,19 @@ fn scatter(src: &[u64], dst: &mut [u64], dest: &[usize], mode: ExecMode) {
                 unsafe { view.write(d, x) };
             });
         }
-        ExecMode::Checked => match dst.try_par_ind_iter_mut(dest, UniquenessCheck::MarkTable) {
-            Ok(it) => it.zip(src.par_iter()).for_each(|(slot, &x)| *slot = x),
-            Err(e) => panic!("isort scatter: {e}"),
-        },
+        // Adaptive strategy + a validation proof: each pass validates its
+        // fresh destination permutation once (served by the pooled epoch
+        // table — no allocation after the first pass) and scatters through
+        // the proof.
+        ExecMode::Checked => {
+            match validate_offsets_cached(dest, dst.len(), UniquenessCheck::Adaptive) {
+                Ok(proof) => dst
+                    .par_ind_iter_mut_proved(&proof)
+                    .zip(src.par_iter())
+                    .for_each(|(slot, &x)| *slot = x),
+                Err(e) => panic!("isort scatter: {e}"),
+            }
+        }
         ExecMode::Sync => {
             use std::sync::atomic::Ordering;
             let atomic = rpb_concurrent::atomics::as_atomic_u64(dst);

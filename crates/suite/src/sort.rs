@@ -15,7 +15,7 @@
 
 use rayon::prelude::*;
 
-use rpb_fearless::{ExecMode, ParIndChunksMutExt};
+use rpb_fearless::{validate_chunk_offsets_cached, ExecMode, ParIndProvedExt};
 use rpb_parlay::random::Random;
 use rpb_parlay::scan::scan_inplace_exclusive;
 use rpb_parlay::sendptr::SendPtr;
@@ -95,8 +95,14 @@ fn checked_sample_sort(data: &mut [u64]) {
                 }
             });
     }
-    // RngInd bucket sort through the paper's checked iterator.
-    buf.par_ind_chunks_mut(&bounds)
+    // RngInd bucket sort through the paper's checked iterator, with the
+    // boundary check hoisted into a proof token (validated once here, and
+    // reusable should the bucket phase ever iterate again).
+    let proof = match validate_chunk_offsets_cached(&bounds, buf.len()) {
+        Ok(proof) => proof,
+        Err(e) => panic!("sort buckets: {e}"),
+    };
+    buf.par_ind_chunks_mut_proved(&proof)
         .for_each(|bucket| bucket.sort_unstable());
     data.copy_from_slice(&buf);
 }

@@ -14,7 +14,7 @@
 
 use rayon::prelude::*;
 
-use rpb_fearless::{ExecMode, ParIndIterMutExt, UniquenessCheck};
+use rpb_fearless::{validate_offsets_cached, ExecMode, ParIndProvedExt, UniquenessCheck};
 use rpb_parlay::radix_sort_by_key;
 use rpb_parlay::scan::scan_inplace_exclusive;
 
@@ -39,6 +39,9 @@ pub fn suffix_array(text: &[u8], mode: ExecMode) -> Vec<u32> {
     // sa as (key, position) pairs, re-sorted each round.
     let mut sa: Vec<u32> = (0..n as u32).collect();
     let mut pairs: Vec<(u64, u32)> = vec![(0, 0); n];
+    // Checked-mode scratch: the usize copy of `sa` that par_ind_iter_mut
+    // validates, hoisted so the doubling rounds reuse one allocation.
+    let mut offsets_buf: Vec<usize> = Vec::new();
     let mut k = 1usize;
     loop {
         // Compose 2k-prefix keys: high 32 bits rank[i], low rank[i+k].
@@ -64,7 +67,7 @@ pub fn suffix_array(text: &[u8], mode: ExecMode) -> Vec<u32> {
         // suffix permutation.
         sa.clear();
         sa.par_extend(pairs.par_iter().map(|&(_, i)| i));
-        scatter_ranks(&mut rank, &sa, &new_rank_by_pos, mode);
+        scatter_ranks(&mut rank, &sa, &new_rank_by_pos, &mut offsets_buf, mode);
         if distinct as usize == n || k >= n {
             break;
         }
@@ -74,7 +77,15 @@ pub fn suffix_array(text: &[u8], mode: ExecMode) -> Vec<u32> {
 }
 
 /// The `SngInd` write `rank[sa[j]] = new_ranks[j]` in the selected mode.
-fn scatter_ranks(rank: &mut [u32], sa: &[u32], new_ranks: &[usize], mode: ExecMode) {
+/// `offsets_buf` is caller-owned scratch reused across doubling rounds
+/// (only touched in `Checked` mode).
+fn scatter_ranks(
+    rank: &mut [u32],
+    sa: &[u32],
+    new_ranks: &[usize],
+    offsets_buf: &mut Vec<usize>,
+    mode: ExecMode,
+) {
     match mode {
         ExecMode::Unsafe => {
             let view = rpb_fearless::SharedMutSlice::new(rank);
@@ -86,10 +97,15 @@ fn scatter_ranks(rank: &mut [u32], sa: &[u32], new_ranks: &[usize], mode: ExecMo
                 });
         }
         ExecMode::Checked => {
-            // par_ind_iter_mut wants usize offsets; build them once.
-            let offsets: Vec<usize> = sa.par_iter().map(|&x| x as usize).collect();
-            match rank.try_par_ind_iter_mut(&offsets, UniquenessCheck::MarkTable) {
-                Ok(it) => it
+            // par_ind_iter_mut wants usize offsets; refill the hoisted
+            // buffer (no allocation after the first round), validate once
+            // with the adaptive strategy (served by the pooled epoch
+            // table), and scatter through the proof.
+            offsets_buf.clear();
+            offsets_buf.par_extend(sa.par_iter().map(|&x| x as usize));
+            match validate_offsets_cached(offsets_buf, rank.len(), UniquenessCheck::Adaptive) {
+                Ok(proof) => rank
+                    .par_ind_iter_mut_proved(&proof)
                     .zip(new_ranks.par_iter())
                     .for_each(|(slot, &r)| *slot = r as u32),
                 Err(e) => panic!("suffix array rank scatter: {e}"),
