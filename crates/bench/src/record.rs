@@ -83,9 +83,13 @@ pub struct RunRecord {
     /// Mean measured wall time, nanoseconds.
     pub mean_ns: u128,
     /// Validation-cost regime for checked-mode runs that vary it:
-    /// `"fresh"` (mark-table pool disabled — every check allocates, the
-    /// pre-pool baseline) or `"amortized"` (pooled epoch tables and
-    /// validation proofs). `None` for runs that don't bracket the check.
+    /// `"fresh"` (mark-table pool disabled — every check allocates an
+    /// exact-size table) or `"amortized"` (pooled epoch tables and
+    /// validation proofs). Both regimes use the same strategies (`u32`
+    /// epoch stamps / bitsets, `Adaptive` selection) — the bracket varies
+    /// storage reuse only, not the algorithm; neither replays the
+    /// historical `u8` mark table. `None` for runs that don't bracket the
+    /// check.
     pub check: Option<&'static str>,
     /// Telemetry accumulated over warmup + all repetitions (all zeros
     /// unless built with `--features obs`).

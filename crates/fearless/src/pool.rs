@@ -20,12 +20,24 @@
 //!   return it on drop. Oversized requests fall back to the classic
 //!   allocate-per-call path and are never retained.
 //!
+//! # Retention bound
+//!
+//! Pooled tables live in process-global statics for the lifetime of the
+//! program (or until [`clear`]). The steady-state footprint is bounded:
+//! each pool retains at most [`MAX_POOL_TABLES`] tables *and* at most a
+//! fixed byte budget ([`MAX_EPOCH_POOL_BYTES`] for epoch tables,
+//! [`MAX_BITSET_POOL_BYTES`] for bitsets — ≤ 192 MiB combined, worst
+//! case). When a release would exceed either bound, the smallest tables
+//! are evicted first: a large table serves every smaller request, so it
+//! has the highest reuse value per retained byte. Call [`clear`] to drop
+//! everything eagerly (e.g. between memory-sensitive phases).
+//!
 //! Pool traffic is counted twice: in always-on local [`PoolStats`] (plain
 //! relaxed atomics, touched once per *validation*, not per element — cheap
 //! enough to keep unconditionally) and in the feature-gated
 //! `rpb_obs::metrics` counters that feed the bench records.
 
-use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 /// Largest slot count the epoch-table pool will serve. A table of this
@@ -42,7 +54,14 @@ pub const MAX_POOLED_BITSET_SLOTS: usize = 1 << 28;
 
 /// Tables retained per pool. More than this many concurrent validations
 /// of pool-eligible sizes overflow to allocate-per-call.
-const MAX_POOL_TABLES: usize = 4;
+pub const MAX_POOL_TABLES: usize = 4;
+
+/// Byte budget for retained epoch tables (two max-capacity tables). A
+/// release that would exceed it evicts the smallest tables first.
+pub const MAX_EPOCH_POOL_BYTES: usize = 2 * 4 * MAX_POOLED_EPOCH_SLOTS;
+
+/// Byte budget for retained bitsets (two max-capacity bitsets).
+pub const MAX_BITSET_POOL_BYTES: usize = 2 * (MAX_POOLED_BITSET_SLOTS / 8);
 
 /// Always-on pool telemetry (see also the `obs`-gated counters).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -96,6 +115,7 @@ pub fn is_enabled() -> bool {
 /// Drops every pooled table (tests and fresh-cost measurement).
 pub fn clear() {
     EPOCH_POOL.lock().unwrap_or_else(|e| e.into_inner()).clear();
+    EPOCH_POOL_MAX_CAP.store(0, Ordering::Relaxed);
     BITSET_POOL
         .lock()
         .unwrap_or_else(|e| e.into_inner())
@@ -203,6 +223,14 @@ impl AtomicBitset {
 static EPOCH_POOL: Mutex<Vec<EpochMarks>> = Mutex::new(Vec::new());
 static BITSET_POOL: Mutex<Vec<AtomicBitset>> = Mutex::new(Vec::new());
 
+/// Lock-free mirror of the largest capacity currently in [`EPOCH_POOL`],
+/// maintained by every mutation made under the pool mutex. Lets
+/// [`epoch_pool_has`] — called on every `Adaptive` strategy resolution —
+/// answer without taking the global lock, so concurrent validations from
+/// independent rayon scopes don't serialize on it (the mutex is only
+/// taken by actual acquire/release/clear traffic).
+static EPOCH_POOL_MAX_CAP: AtomicUsize = AtomicUsize::new(0);
+
 /// True when a request for `len` slots is small enough for the epoch-table
 /// pool — the signal `UniquenessCheck::Adaptive` uses. Deliberately
 /// independent of [`set_enabled`] so disabling the pool (for fresh-cost
@@ -216,12 +244,14 @@ pub fn epoch_pool_serves(len: usize) -> bool {
 /// which beats every other strategy regardless of offset density.
 /// Content-only (ignores [`set_enabled`]) for the same strategy-stability
 /// reason as [`epoch_pool_serves`].
+///
+/// Lock-free: reads a relaxed mirror of the pool's largest capacity, so
+/// concurrent strategy resolutions never contend on the pool mutex. The
+/// answer is a *hint* — a concurrent acquire can take the table between
+/// this probe and the caller's own acquire — which is benign: the loser
+/// falls back to a fresh allocation, never to an incorrect verdict.
 pub fn epoch_pool_has(len: usize) -> bool {
-    EPOCH_POOL
-        .lock()
-        .unwrap_or_else(|e| e.into_inner())
-        .iter()
-        .any(|t| t.capacity() >= len)
+    len <= EPOCH_POOL_MAX_CAP.load(Ordering::Relaxed)
 }
 
 /// An acquired epoch table; returns to the pool on drop.
@@ -244,7 +274,14 @@ impl Drop for EpochMarksGuard {
     fn drop(&mut self) {
         if let Some(table) = self.table.take() {
             if self.pooled && is_enabled() {
-                release(&EPOCH_POOL, table, EpochMarks::capacity);
+                release(
+                    &EPOCH_POOL,
+                    table,
+                    EpochMarks::capacity,
+                    |t| 4 * t.capacity(),
+                    MAX_EPOCH_POOL_BYTES,
+                    Some(&EPOCH_POOL_MAX_CAP),
+                );
             }
         }
     }
@@ -270,14 +307,35 @@ impl Drop for AtomicBitsetGuard {
     fn drop(&mut self) {
         if let Some(table) = self.table.take() {
             if self.pooled && is_enabled() {
-                release(&BITSET_POOL, table, AtomicBitset::capacity);
+                release(
+                    &BITSET_POOL,
+                    table,
+                    AtomicBitset::capacity,
+                    |t| t.capacity() / 8,
+                    MAX_BITSET_POOL_BYTES,
+                    None,
+                );
             }
         }
     }
 }
 
+/// Refreshes `hint` (if any) to the largest capacity in `tables`. Must be
+/// called with the pool mutex held, after every mutation of a pool that
+/// mirrors its max capacity into an atomic.
+fn refresh_hint<T>(hint: Option<&AtomicUsize>, tables: &[T], cap: impl Fn(&T) -> usize) {
+    if let Some(h) = hint {
+        h.store(tables.iter().map(cap).max().unwrap_or(0), Ordering::Relaxed);
+    }
+}
+
 /// Pops the smallest pooled table with `capacity >= len`, if any.
-fn acquire_from<T>(pool: &Mutex<Vec<T>>, len: usize, cap: impl Fn(&T) -> usize) -> Option<T> {
+fn acquire_from<T>(
+    pool: &Mutex<Vec<T>>,
+    len: usize,
+    cap: impl Fn(&T) -> usize,
+    hint: Option<&AtomicUsize>,
+) -> Option<T> {
     if !is_enabled() {
         return None;
     }
@@ -288,14 +346,27 @@ fn acquire_from<T>(pool: &Mutex<Vec<T>>, len: usize, cap: impl Fn(&T) -> usize) 
         .filter(|(_, t)| cap(t) >= len)
         .min_by_key(|(_, t)| cap(t))
         .map(|(i, _)| i)?;
-    Some(tables.swap_remove(best))
+    let table = tables.swap_remove(best);
+    refresh_hint(hint, &tables, &cap);
+    Some(table)
 }
 
-/// Returns a table to its pool, evicting the smallest table if full.
-fn release<T>(pool: &Mutex<Vec<T>>, table: T, cap: impl Fn(&T) -> usize) {
+/// Returns a table to its pool. While the pool exceeds its table count or
+/// `max_bytes` budget, the smallest table is evicted (it has the lowest
+/// reuse value: any larger retained table serves the same requests).
+fn release<T>(
+    pool: &Mutex<Vec<T>>,
+    table: T,
+    cap: impl Fn(&T) -> usize,
+    bytes: impl Fn(&T) -> usize,
+    max_bytes: usize,
+    hint: Option<&AtomicUsize>,
+) {
     let mut tables = pool.lock().unwrap_or_else(|e| e.into_inner());
     tables.push(table);
-    if tables.len() > MAX_POOL_TABLES {
+    while !tables.is_empty()
+        && (tables.len() > MAX_POOL_TABLES || tables.iter().map(&bytes).sum::<usize>() > max_bytes)
+    {
         if let Some(smallest) = tables
             .iter()
             .enumerate()
@@ -305,6 +376,7 @@ fn release<T>(pool: &Mutex<Vec<T>>, table: T, cap: impl Fn(&T) -> usize) {
             tables.swap_remove(smallest);
         }
     }
+    refresh_hint(hint, &tables, &cap);
 }
 
 /// Acquires an epoch mark table of at least `len` slots: pool hit when
@@ -312,15 +384,27 @@ fn release<T>(pool: &Mutex<Vec<T>>, table: T, cap: impl Fn(&T) -> usize) {
 /// brand-new epoch, so all slots read as unmarked.
 pub fn acquire_epoch_marks(len: usize) -> EpochMarksGuard {
     let pooled = epoch_pool_serves(len);
-    let mut table = match acquire_from(&EPOCH_POOL, len, EpochMarks::capacity) {
+    let mut table = match acquire_from(
+        &EPOCH_POOL,
+        len,
+        EpochMarks::capacity,
+        Some(&EPOCH_POOL_MAX_CAP),
+    ) {
         Some(t) => {
             note_hit();
             t
         }
         None => {
-            // Round pooled requests up so a handful of tables serves many
-            // distinct sizes; oversized requests allocate exactly.
-            let cap = if pooled { len.next_power_of_two() } else { len };
+            // Round pool-bound requests up so a handful of tables serves
+            // many distinct sizes. Oversized requests — and *all* requests
+            // while the pool is disabled (the bench's fresh-cost baseline,
+            // where rounding would overstate the allocate-per-call cost by
+            // up to 2×) — allocate exactly.
+            let cap = if pooled && is_enabled() {
+                len.next_power_of_two()
+            } else {
+                len
+            };
             note_miss(4 * cap as u64);
             EpochMarks::with_capacity(cap)
         }
@@ -336,14 +420,21 @@ pub fn acquire_epoch_marks(len: usize) -> EpochMarksGuard {
 /// zeroed: pool hit when possible, fresh allocation otherwise.
 pub fn acquire_bitset(len: usize) -> AtomicBitsetGuard {
     let pooled = len <= MAX_POOLED_BITSET_SLOTS;
-    let table = match acquire_from(&BITSET_POOL, len, AtomicBitset::capacity) {
+    let table = match acquire_from(&BITSET_POOL, len, AtomicBitset::capacity, None) {
         Some(t) => {
             note_hit();
             t.zero_prefix(len);
             t
         }
         None => {
-            let cap = if pooled { len.next_power_of_two() } else { len };
+            // Exact-size when the allocation will not be pooled (oversized,
+            // or pool disabled for fresh-cost measurement) — see
+            // `acquire_epoch_marks`.
+            let cap = if pooled && is_enabled() {
+                len.next_power_of_two()
+            } else {
+                len
+            };
             note_miss(cap.div_ceil(64) as u64 * 8);
             // Fresh allocation is already zeroed.
             AtomicBitset::with_capacity(cap)

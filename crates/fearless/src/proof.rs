@@ -87,9 +87,19 @@ impl<'a> ValidatedOffsets<'a> {
 
     /// Constructs a proof with a caller-supplied fingerprint, skipping
     /// validation. Exists so tests can simulate a stale proof (unsafe
-    /// mutation behind the borrow) without undefined behaviour.
+    /// mutation behind the borrow).
+    ///
+    /// # Safety
+    /// The caller asserts that `offsets` contains unique indices, all
+    /// `< len` — exactly the contract [`validate_offsets_cached`] proves.
+    /// A proof built from unvalidated offsets reaches
+    /// [`ParIndIterMutExt::par_ind_iter_mut_unchecked`] through
+    /// [`ParIndProvedExt::par_ind_iter_mut_proved`]: duplicates alias
+    /// `&mut`, out-of-bounds offsets write past the slice — undefined
+    /// behaviour. The debug-only fingerprint re-check is *insurance*, not
+    /// a guard: release builds skip it entirely.
     #[doc(hidden)]
-    pub fn from_parts_for_tests(
+    pub unsafe fn from_parts_for_tests(
         offsets: &'a [usize],
         len: usize,
         fingerprint: u64,
@@ -332,7 +342,10 @@ mod tests {
         let mut offsets: Vec<usize> = (0..16).collect();
         let pristine = fingerprint_for_tests(&offsets, 16);
         offsets[7] = 3; // duplicate injected "after validation"
-        let proof = ValidatedOffsets::from_parts_for_tests(&offsets, 16, pristine);
+                        // SAFETY: deliberately violated — that is the property under test.
+                        // The fingerprint re-check must panic before the iterator is built,
+                        // so the unchecked scatter is never reached.
+        let proof = unsafe { ValidatedOffsets::from_parts_for_tests(&offsets, 16, pristine) };
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             let mut out = vec![0u8; 16];
             // Construction alone must panic; the iterator is never consumed.

@@ -14,6 +14,12 @@ use rayon::iter::{IndexedParallelIterator, ParallelIterator};
 use crate::shared::SharedMutSlice;
 
 /// Validation failure for a chunk-boundary array.
+///
+/// When an input has several faults, the reported *variant* is
+/// deterministic — [`OutOfBounds`](Self::OutOfBounds) takes priority over
+/// [`NotMonotone`](Self::NotMonotone) — but which of several same-variant
+/// faults is reported may vary between runs (the validation sweep is
+/// parallel).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum IndChunksError {
     /// `offsets[index] < offsets[index-1]`.
@@ -117,8 +123,19 @@ fn validate_chunk_offsets_inner(offsets: &[usize], len: usize) -> Result<(), Ind
             }
         });
     match err {
-        Some(e) => Err(e),
         None => Ok(()),
+        Some(e @ IndChunksError::OutOfBounds { .. }) => Err(e),
+        Some(non_monotone) => {
+            // The parallel sweep reports whichever fault some thread hit
+            // first. When an out-of-bounds boundary coexists with the
+            // non-monotone pair, prefer it deterministically (first by
+            // index), matching the historical bounds-then-monotone order —
+            // error path only, so the rescan is free in the success case.
+            match offsets.iter().enumerate().find(|&(_, &o)| o > len) {
+                Some((index, &offset)) => Err(IndChunksError::OutOfBounds { index, offset, len }),
+                None => Err(non_monotone),
+            }
+        }
     }
 }
 
@@ -334,6 +351,25 @@ mod tests {
                 len: 10
             })
         );
+    }
+
+    #[test]
+    fn multi_fault_boundaries_prefer_out_of_bounds() {
+        let mut v = vec![0u8; 10];
+        // offsets[1] exceeds the slice AND offsets[2] decreases: the
+        // reported variant must deterministically be OutOfBounds.
+        let offsets = vec![0, 11, 4, 10];
+        for _ in 0..8 {
+            let err = v.try_par_ind_chunks_mut(&offsets).err();
+            assert_eq!(
+                err,
+                Some(IndChunksError::OutOfBounds {
+                    index: 1,
+                    offset: 11,
+                    len: 10
+                })
+            );
+        }
     }
 
     #[test]

@@ -39,6 +39,12 @@ use crate::pool;
 use crate::shared::SharedMutSlice;
 
 /// Validation failure for an offsets array.
+///
+/// When an input has several faults, the reported *variant* is
+/// deterministic — [`OutOfBounds`](Self::OutOfBounds) takes priority over
+/// [`Duplicate`](Self::Duplicate) for every strategy — but which of
+/// several same-variant faults is reported may vary between runs (the
+/// validation sweep is parallel).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum IndOffsetsError {
     /// `offsets[index]` appears more than once.
@@ -204,6 +210,12 @@ fn validate_offsets_inner(
 
 /// The fused bounds + uniqueness sweep shared by the marking strategies:
 /// `mark_was_set(o)` must return whether `o` was already marked.
+///
+/// The *verdict* and the error *variant* are deterministic: when an input
+/// has both an out-of-bounds offset and a duplicate, `OutOfBounds` wins
+/// (the historical two-pass contract, restored by a rescan on the cold
+/// error path). Which of several same-variant faults is reported remains
+/// schedule-dependent.
 fn fused_mark_sweep(
     offsets: &[usize],
     len: usize,
@@ -222,8 +234,19 @@ fn fused_mark_sweep(
             }
         });
     match err {
-        Some(e) => Err(e),
         None => Ok(()),
+        Some(e @ IndOffsetsError::OutOfBounds { .. }) => Err(e),
+        Some(dup) => {
+            // `find_map_any` reports whichever fault some thread hit first.
+            // If an out-of-bounds offset coexists with this duplicate,
+            // prefer it deterministically (first by index) — error path
+            // only, so the extra sequential scan costs nothing in the
+            // success case.
+            match offsets.iter().enumerate().find(|&(_, &o)| o >= len) {
+                Some((index, &offset)) => Err(IndOffsetsError::OutOfBounds { index, offset, len }),
+                None => Err(dup),
+            }
+        }
     }
 }
 
@@ -659,6 +682,36 @@ mod tests {
             err,
             Some(IndOffsetsError::OutOfBounds { offset: 2, .. })
         ));
+    }
+
+    #[test]
+    fn multi_fault_input_prefers_out_of_bounds() {
+        // An input with both a duplicate and an out-of-bounds offset must
+        // report OutOfBounds for every strategy, however rayon schedules
+        // the fused sweep.
+        let n = 10_000;
+        let mut offsets = random_permutation(n, 5);
+        offsets[17] = offsets[4_000]; // duplicate
+        offsets[9_000] = n + 7; // out of bounds
+        let mut out = vec![0u8; n];
+        for strat in [
+            UniquenessCheck::MarkTable,
+            UniquenessCheck::Bitset,
+            UniquenessCheck::Sort,
+            UniquenessCheck::Adaptive,
+        ] {
+            for _ in 0..8 {
+                let err = out.try_par_ind_iter_mut(&offsets, strat).err();
+                assert!(
+                    matches!(
+                        err,
+                        Some(IndOffsetsError::OutOfBounds { index: 9_000, offset, .. })
+                            if offset == n + 7
+                    ),
+                    "{strat:?}: {err:?}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -102,4 +102,12 @@ fn steady_state_validation_is_allocation_free() {
         }
     );
     pool::set_enabled(true);
+
+    // The lock-free availability hint consulted by Adaptive's resolve()
+    // mirrors pool content: the epoch table released above is visible
+    // without taking the pool mutex, and clear() retracts it.
+    assert!(pool::epoch_pool_has(n));
+    assert!(!pool::epoch_pool_has(pool::MAX_POOLED_EPOCH_SLOTS + 1));
+    pool::clear();
+    assert!(!pool::epoch_pool_has(1));
 }

@@ -123,7 +123,10 @@ proptest! {
         let at = at % n;
         offsets[at] = (offsets[at] + delta) % n;
         prop_assume!(offsets[at] != at);
-        let stale = ValidatedOffsets::from_parts_for_tests(&offsets, n, pristine);
+        // SAFETY: deliberately violated — that is the property under test.
+        // Construction through the proof must panic on the fingerprint
+        // re-check before any unchecked iterator exists.
+        let stale = unsafe { ValidatedOffsets::from_parts_for_tests(&offsets, n, pristine) };
         // Construction alone must panic (the fingerprint re-check), so the
         // iterator is never consumed — no aliased writes even if this
         // property ever regresses.
