@@ -90,11 +90,12 @@ mod tests {
 
     #[test]
     fn write_min_keeps_minimum() {
+        let n: u64 = if cfg!(miri) { 256 } else { 10_000 };
         let cell = AtomicU64::new(u64::MAX);
-        (0..10_000u64).into_par_iter().for_each(|i| {
+        (0..n).into_par_iter().for_each(|i| {
             write_min_u64(&cell, rpb_parlay::random::hash64(i) % 1_000_000);
         });
-        let want = (0..10_000u64)
+        let want = (0..n)
             .map(|i| rpb_parlay::random::hash64(i) % 1_000_000)
             .min()
             .unwrap();
@@ -103,11 +104,12 @@ mod tests {
 
     #[test]
     fn write_max_keeps_maximum() {
+        let n: u64 = if cfg!(miri) { 256 } else { 10_000 };
         let cell = AtomicU64::new(0);
-        (0..10_000u64).into_par_iter().for_each(|i| {
+        (0..n).into_par_iter().for_each(|i| {
             write_max_u64(&cell, rpb_parlay::random::hash64(i) % 1_000_000);
         });
-        let want = (0..10_000u64)
+        let want = (0..n)
             .map(|i| rpb_parlay::random::hash64(i) % 1_000_000)
             .max()
             .unwrap();

@@ -226,15 +226,17 @@ mod tests {
 
     #[test]
     fn matches_sequential_greedy_small_granularity() {
-        let got = greedy_two_cell(2000, 300, 64);
-        let want = greedy_two_cell_sequential(2000, 300);
+        let (n, cells) = if cfg!(miri) { (200, 30) } else { (2000, 300) };
+        let got = greedy_two_cell(n, cells, 64);
+        let want = greedy_two_cell_sequential(n, cells);
         assert_eq!(got, want);
     }
 
     #[test]
     fn matches_sequential_greedy_large_granularity() {
-        let got = greedy_two_cell(2000, 300, 4096);
-        let want = greedy_two_cell_sequential(2000, 300);
+        let (n, cells) = if cfg!(miri) { (200, 30) } else { (2000, 300) };
+        let got = greedy_two_cell(n, cells, 4096);
+        let want = greedy_two_cell_sequential(n, cells);
         assert_eq!(got, want);
     }
 

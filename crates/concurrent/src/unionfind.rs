@@ -123,7 +123,7 @@ mod tests {
     fn exactly_n_minus_components_unions_succeed() {
         use std::sync::atomic::AtomicUsize as Counter;
         // A cycle over n nodes has n edges; exactly n-1 unites must win.
-        let n = 10_000;
+        let n = if cfg!(miri) { 256 } else { 10_000 };
         let uf = ConcurrentUnionFind::new(n);
         let wins = Counter::new(0);
         (0..n).into_par_iter().for_each(|i| {
@@ -138,8 +138,9 @@ mod tests {
     #[test]
     fn parallel_matches_sequential_dsu() {
         // Random edge set; compare component structure to a sequential DSU.
-        let n = 5000;
-        let edges: Vec<(usize, usize)> = (0..8000u64)
+        let n = if cfg!(miri) { 128 } else { 5000 };
+        let n_edges: u64 = if cfg!(miri) { 200 } else { 8000 };
+        let edges: Vec<(usize, usize)> = (0..n_edges)
             .map(|i| {
                 let h = rpb_parlay::random::hash64(i);
                 ((h % n as u64) as usize, ((h >> 20) % n as u64) as usize)

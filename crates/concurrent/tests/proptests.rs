@@ -1,5 +1,10 @@
 //! Property-based tests for the concurrent substrate.
 
+// Too slow for Miri (hundreds of cases through rayon, plus proptest's
+// failure-persistence file I/O); the library's cfg(miri)-sized unit tests
+// cover the same structures under the interpreter.
+#![cfg(not(miri))]
+
 use proptest::prelude::*;
 use rayon::prelude::*;
 use rpb_concurrent::*;

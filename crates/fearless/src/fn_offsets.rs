@@ -113,7 +113,7 @@ mod tests {
 
     #[test]
     fn transpose_is_involutive() {
-        let n = 64;
+        let n = if cfg!(miri) { 8 } else { 64 };
         let m: Vec<u64> = (0..n * n)
             .map(|i| rpb_parlay::random::hash64(i as u64))
             .collect();
@@ -124,7 +124,7 @@ mod tests {
 
     #[test]
     fn bit_reversal_permutation() {
-        let bits = 10;
+        let bits = if cfg!(miri) { 6 } else { 10 };
         let n = 1usize << bits;
         let mut out = vec![0usize; n];
         ind_write_fn(

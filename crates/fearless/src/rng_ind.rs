@@ -64,7 +64,10 @@ pub trait ParIndChunksMutExt<T: Send> {
     /// non-decreasing and bounded by `self.len()` (an `O(k)` parallel
     /// check), then yields the `offsets.len()-1` disjoint chunks.
     ///
-    /// An empty `offsets` yields zero chunks.
+    /// Edge cases: an empty or single-element `offsets` yields zero
+    /// chunks; an empty slice accepts only all-zero boundaries (yielding
+    /// empty chunks) and rejects anything else as out of bounds. ZST
+    /// elements chunk like any other `T`.
     ///
     /// # Panics
     /// Panics with the offending boundary index if validation fails.
@@ -107,6 +110,19 @@ pub fn validate_chunk_offsets(offsets: &[usize], len: usize) -> Result<(), IndCh
 
 fn validate_chunk_offsets_inner(offsets: &[usize], len: usize) -> Result<(), IndChunksError> {
     use rayon::prelude::*;
+    if len == 0 {
+        // An empty target admits only all-zero boundaries (any number of
+        // empty chunks). Resolve this sequentially so the reported index
+        // is deterministic.
+        return match offsets.iter().position(|&o| o > 0) {
+            None => Ok(()),
+            Some(index) => Err(IndChunksError::OutOfBounds {
+                index,
+                offset: offsets[index],
+                len,
+            }),
+        };
+    }
     // Bounds and monotonicity fused into one indexed sweep: boundary `i`
     // checks itself and its predecessor, so every adjacent pair is covered
     // without a second `windows` pass.
@@ -156,6 +172,8 @@ impl<T: Send> ParIndChunksMutExt<T> for [T] {
         Ok(unsafe { self.par_ind_chunks_mut_unchecked(offsets) })
     }
 
+    // SAFETY: contract documented on the trait declaration — boundaries
+    // must be monotone and bounded by the slice length.
     unsafe fn par_ind_chunks_mut_unchecked<'a>(
         &'a mut self,
         offsets: &'a [usize],
@@ -308,7 +326,7 @@ mod tests {
 
     #[test]
     fn large_parallel_fill_matches_sequential() {
-        let n = 200_000;
+        let n = if cfg!(miri) { 512 } else { 200_000 };
         // Boundaries every variable-length step.
         let mut offsets = vec![0usize];
         let mut x = 0usize;
@@ -395,6 +413,53 @@ mod tests {
         let offsets = vec![1, 1, 1, 3];
         let lens: Vec<usize> = v.par_ind_chunks_mut(&offsets).map(|c| c.len()).collect();
         assert_eq!(lens, vec![0, 0, 2]);
+    }
+
+    #[test]
+    fn empty_target_all_zero_boundaries_ok() {
+        // An empty slice supports any number of empty chunks.
+        let mut v: Vec<u64> = vec![];
+        let offsets = vec![0, 0, 0];
+        let lens: Vec<usize> = v.par_ind_chunks_mut(&offsets).map(|c| c.len()).collect();
+        assert_eq!(lens, vec![0, 0]);
+    }
+
+    #[test]
+    fn empty_target_nonzero_boundary_rejected() {
+        let mut v: Vec<u64> = vec![];
+        let err = v.try_par_ind_chunks_mut(&[0, 1]).err();
+        assert_eq!(
+            err,
+            Some(IndChunksError::OutOfBounds {
+                index: 1,
+                offset: 1,
+                len: 0
+            })
+        );
+        // Deterministic first-by-index reporting on the empty target.
+        let err = v.try_par_ind_chunks_mut(&[0, 2, 1]).err();
+        assert_eq!(
+            err,
+            Some(IndChunksError::OutOfBounds {
+                index: 1,
+                offset: 2,
+                len: 0
+            })
+        );
+    }
+
+    #[test]
+    fn zst_chunks_fill() {
+        let mut v = vec![(); 10];
+        let offsets = vec![0, 4, 4, 10];
+        let lens: Vec<usize> = v.par_ind_chunks_mut(&offsets).map(|c| c.len()).collect();
+        assert_eq!(lens, vec![4, 0, 6]);
+        // Writes through the chunks are fine too.
+        v.par_ind_chunks_mut(&offsets).for_each(|chunk| {
+            for slot in chunk {
+                *slot = ();
+            }
+        });
     }
 
     #[test]

@@ -1,0 +1,164 @@
+//! Panic-injection tests for the interior-unsafe scatter paths.
+//!
+//! The `par_ind_iter_mut` / `par_ind_chunks_mut` iterators hand out
+//! disjoint `&mut` references derived from a shared raw pointer. A user
+//! closure that panics mid-scatter unwinds through Rayon's join machinery
+//! — these tests pin down that such an unwind (a) propagates the original
+//! payload, (b) leaks no aliased `&mut` state (the buffer is immediately
+//! reusable), and (c) skips no drops (every element constructed is
+//! dropped exactly once, checked with instrumented element types).
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use rayon::prelude::*;
+use rpb_fearless::rng_ind::ParIndChunksMutExt;
+use rpb_fearless::snd_ind::{ParIndIterMutExt, UniquenessCheck};
+use rpb_parlay::panics::panic_message;
+use rpb_parlay::seqdata::random_permutation;
+
+#[test]
+fn scatter_closure_panic_unwinds_clean() {
+    static CREATED: AtomicUsize = AtomicUsize::new(0);
+    static DROPPED: AtomicUsize = AtomicUsize::new(0);
+    struct Tracked(u64);
+    impl Tracked {
+        fn new(v: u64) -> Self {
+            CREATED.fetch_add(1, Ordering::SeqCst);
+            Tracked(v)
+        }
+    }
+    impl Drop for Tracked {
+        fn drop(&mut self) {
+            DROPPED.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+
+    let n = if cfg!(miri) { 64 } else { 4096 };
+    let offsets = random_permutation(n, 21);
+    {
+        let mut out: Vec<Tracked> = (0..n as u64).map(Tracked::new).collect();
+        let payload = catch_unwind(AssertUnwindSafe(|| {
+            out.par_ind_iter_mut(&offsets)
+                .enumerate()
+                .for_each(|(i, slot)| {
+                    if i == n / 2 {
+                        panic!("injected scatter panic");
+                    }
+                    // Plain assignment: drops the old element, installs
+                    // the new one. An unwind must not double-run either.
+                    *slot = Tracked::new(i as u64);
+                });
+        }))
+        .expect_err("injected panic must propagate out of the scatter");
+        assert_eq!(panic_message(&*payload), "injected scatter panic");
+
+        // No aliased state leaked: the same buffer revalidates and
+        // scatters again immediately after the unwind.
+        out.par_ind_iter_mut(&offsets)
+            .enumerate()
+            .for_each(|(i, slot)| *slot = Tracked::new(i as u64));
+        for (i, &off) in offsets.iter().enumerate() {
+            assert_eq!(out[off].0, i as u64);
+        }
+    }
+    assert_eq!(
+        CREATED.load(Ordering::SeqCst),
+        DROPPED.load(Ordering::SeqCst),
+        "every constructed element must be dropped exactly once"
+    );
+}
+
+#[test]
+fn chunks_closure_panic_unwinds_clean() {
+    static CREATED: AtomicUsize = AtomicUsize::new(0);
+    static DROPPED: AtomicUsize = AtomicUsize::new(0);
+    struct Tracked(#[allow(dead_code)] u64);
+    impl Tracked {
+        fn new(v: u64) -> Self {
+            CREATED.fetch_add(1, Ordering::SeqCst);
+            Tracked(v)
+        }
+    }
+    impl Drop for Tracked {
+        fn drop(&mut self) {
+            DROPPED.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+
+    let n = if cfg!(miri) { 60 } else { 3000 };
+    let offsets: Vec<usize> = (0..=n / 10).map(|i| i * 10).collect();
+    let panic_chunk = offsets.len() / 2;
+    {
+        let mut out: Vec<Tracked> = (0..n as u64).map(Tracked::new).collect();
+        let payload = catch_unwind(AssertUnwindSafe(|| {
+            out.par_ind_chunks_mut(&offsets)
+                .enumerate()
+                .for_each(|(i, chunk)| {
+                    for slot in chunk.iter_mut() {
+                        *slot = Tracked::new(i as u64);
+                    }
+                    if i == panic_chunk {
+                        panic!("injected chunk panic");
+                    }
+                });
+        }))
+        .expect_err("injected panic must propagate out of the chunk fill");
+        assert_eq!(panic_message(&*payload), "injected chunk panic");
+
+        // Buffer stays usable after the unwind.
+        out.par_ind_chunks_mut(&offsets)
+            .for_each(|chunk| chunk.iter_mut().for_each(|slot| *slot = Tracked::new(7)));
+    }
+    assert_eq!(
+        CREATED.load(Ordering::SeqCst),
+        DROPPED.load(Ordering::SeqCst),
+        "every constructed element must be dropped exactly once"
+    );
+}
+
+#[test]
+fn validation_panic_leaves_pool_usable() {
+    // The checked constructor panics on invalid offsets while holding a
+    // pooled mark table; the guard's Drop must return the table so later
+    // validations still work.
+    let n = if cfg!(miri) { 64 } else { 1024 };
+    let mut out = vec![0u64; n];
+    let mut bad = random_permutation(n, 3);
+    bad[1] = bad[0]; // plant a duplicate
+    for strategy in [
+        UniquenessCheck::MarkTable,
+        UniquenessCheck::Bitset,
+        UniquenessCheck::Sort,
+        UniquenessCheck::Adaptive,
+    ] {
+        let out_ref = &mut out;
+        let bad_ref = &bad;
+        let payload = catch_unwind(AssertUnwindSafe(move || {
+            let _ = out_ref.try_par_ind_iter_mut(bad_ref, strategy).unwrap();
+        }))
+        .expect_err("duplicate offsets must fail validation");
+        assert!(
+            panic_message(&*payload).contains("Duplicate"),
+            "unexpected message: {}",
+            panic_message(&*payload)
+        );
+    }
+    // Pool and validation machinery unharmed: a valid permutation passes
+    // for every strategy and the scatter completes.
+    let good = random_permutation(n, 4);
+    for strategy in [
+        UniquenessCheck::MarkTable,
+        UniquenessCheck::Bitset,
+        UniquenessCheck::Sort,
+        UniquenessCheck::Adaptive,
+    ] {
+        out.try_par_ind_iter_mut(&good, strategy)
+            .unwrap()
+            .enumerate()
+            .for_each(|(i, slot)| *slot = i as u64);
+    }
+    for (i, &off) in good.iter().enumerate() {
+        assert_eq!(out[off], i as u64);
+    }
+}

@@ -1,6 +1,12 @@
 //! Property-based tests for the pooled uniqueness check and the
 //! validation-proof tokens.
 
+// Proptest drives hundreds of cases through rayon and touches the
+// filesystem for failure persistence — far too slow for the interpreter.
+// The Miri profile covers these paths with the deterministic small-N
+// tests in the library and `miri_smoke.rs` instead.
+#![cfg(not(miri))]
+
 use proptest::prelude::*;
 use rpb_fearless::proof::{self, validate_offsets_cached, ValidatedOffsets};
 use rpb_fearless::snd_ind::{validate_offsets, IndOffsetsError, UniquenessCheck};

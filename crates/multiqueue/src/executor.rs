@@ -7,10 +7,29 @@
 //! worker is still executing a task that may push children. We track an
 //! in-flight counter: incremented for every pushed task, decremented when
 //! its execution completes; workers exit when the counter hits zero.
+//!
+//! # Panic safety
+//!
+//! Termination detection makes panics dangerous: a task that unwinds out
+//! of its worker thread would skip the in-flight decrement, leaving every
+//! other worker spinning on a counter that never reaches zero — a
+//! deadlock, not a crash. [`try_execute`] therefore catches each task's
+//! panic, decrements the counter on the panic path too, signals the other
+//! workers to stop, drains whatever tasks were still queued (dropping
+//! them, so their payloads' destructors run), and surfaces the first
+//! panic as a typed [`ExecutorError`]. [`execute`] keeps the transparent
+//! behavior on top of that machinery: it resumes the original panic
+//! payload on the caller's thread.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::any::Any;
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 use crate::mq::MultiQueue;
+
+pub use rpb_parlay::panics::panic_message;
 
 /// Per-run statistics from [`execute`].
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -20,6 +39,61 @@ pub struct ExecutorStats {
     /// Times a worker found the MQ momentarily empty and had to idle-spin.
     pub idle_spins: usize,
 }
+
+/// A task panicked during [`try_execute`]; the run was unwound cleanly.
+///
+/// Carries the first panic's payload (later concurrent panics are dropped)
+/// plus accounting of what completed and what was abandoned. The queue's
+/// remaining tasks were drained and dropped before this error was
+/// returned, so no worker is left running and no task payload leaks.
+pub struct ExecutorError {
+    payload: Box<dyn Any + Send + 'static>,
+    /// Tasks that finished executing before the run was abandoned.
+    pub tasks_completed: usize,
+    /// Tasks still queued at abandonment, drained and dropped.
+    pub tasks_drained: usize,
+}
+
+impl ExecutorError {
+    /// The panic message, when the payload was a `&'static str` or `String`.
+    pub fn message(&self) -> &str {
+        panic_message(&*self.payload)
+    }
+
+    /// Consumes the error, returning the captured panic payload.
+    pub fn into_payload(self) -> Box<dyn Any + Send + 'static> {
+        self.payload
+    }
+
+    /// Re-raises the captured panic on the current thread.
+    pub fn resume(self) -> ! {
+        std::panic::resume_unwind(self.payload)
+    }
+}
+
+impl fmt::Debug for ExecutorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ExecutorError")
+            .field("message", &self.message())
+            .field("tasks_completed", &self.tasks_completed)
+            .field("tasks_drained", &self.tasks_drained)
+            .finish()
+    }
+}
+
+impl fmt::Display for ExecutorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "executor task panicked: {} ({} tasks completed, {} drained)",
+            self.message(),
+            self.tasks_completed,
+            self.tasks_drained
+        )
+    }
+}
+
+impl std::error::Error for ExecutorError {}
 
 /// Capability handed to tasks for spawning children.
 pub struct Handle<'a, T> {
@@ -42,12 +116,45 @@ impl<T: Send> Handle<'_, T> {
 ///
 /// `task(pri, item, handle)` may push new work through the handle. The
 /// call returns when every pushed task has finished executing.
+///
+/// If a task panics, the panic is re-raised on the calling thread with its
+/// original payload — after the run has been unwound cleanly (see
+/// [`try_execute`] for the non-panicking variant and the exact semantics).
 pub fn execute<T, F>(
     n_threads: usize,
     n_queues: usize,
     initial: Vec<(u64, T)>,
     task: F,
 ) -> ExecutorStats
+where
+    T: Send,
+    F: Fn(u64, T, &Handle<'_, T>) + Send + Sync,
+{
+    match try_execute(n_threads, n_queues, initial, task) {
+        Ok(stats) => stats,
+        Err(err) => err.resume(),
+    }
+}
+
+/// Like [`execute`], but surfaces a panicking task as `Err(ExecutorError)`
+/// instead of re-raising the panic.
+///
+/// Unwind semantics when a task panics:
+///
+/// * the panicking task's in-flight slot is released, so termination
+///   detection stays live for the other workers (no deadlock);
+/// * every other worker stops at its next scheduling point — a task
+///   already mid-execution runs to completion first;
+/// * tasks still queued are drained and dropped (their destructors run),
+///   counted in [`ExecutorError::tasks_drained`];
+/// * the *first* panic's payload is captured; payloads of concurrent
+///   panics from other workers are dropped.
+pub fn try_execute<T, F>(
+    n_threads: usize,
+    n_queues: usize,
+    initial: Vec<(u64, T)>,
+    task: F,
+) -> Result<ExecutorStats, ExecutorError>
 where
     T: Send,
     F: Fn(u64, T, &Handle<'_, T>) + Send + Sync,
@@ -60,6 +167,8 @@ where
     }
     let total_tasks = AtomicUsize::new(0);
     let total_idle = AtomicUsize::new(0);
+    let panicked = AtomicBool::new(false);
+    let first_panic: Mutex<Option<Box<dyn Any + Send>>> = Mutex::new(None);
     std::thread::scope(|s| {
         for _ in 0..n_threads {
             s.spawn(|| {
@@ -70,11 +179,32 @@ where
                 let mut tasks = 0usize;
                 let mut idle = 0usize;
                 loop {
+                    if panicked.load(Ordering::Acquire) {
+                        break;
+                    }
                     match mq.pop() {
                         Some((pri, item)) => {
-                            task(pri, item, &handle);
-                            tasks += 1;
+                            let result =
+                                catch_unwind(AssertUnwindSafe(|| task(pri, item, &handle)));
+                            // Decrement on the panic path too: the popped
+                            // task is no longer in flight either way, and
+                            // skipping this is exactly the deadlock we are
+                            // guarding against.
                             pending.fetch_sub(1, Ordering::SeqCst);
+                            match result {
+                                Ok(()) => tasks += 1,
+                                Err(payload) => {
+                                    let mut slot = first_panic
+                                        .lock()
+                                        .unwrap_or_else(|poison| poison.into_inner());
+                                    if slot.is_none() {
+                                        *slot = Some(payload);
+                                    }
+                                    drop(slot);
+                                    panicked.store(true, Ordering::Release);
+                                    break;
+                                }
+                            }
                         }
                         None => {
                             if pending.load(Ordering::SeqCst) == 0 {
@@ -96,7 +226,22 @@ where
     };
     rpb_obs::metrics::EXEC_TASKS.add(stats.tasks as u64);
     rpb_obs::metrics::EXEC_IDLE_SPINS.add(stats.idle_spins as u64);
-    stats
+    if panicked.load(Ordering::Acquire) {
+        // Drop everything still queued so task payloads are not leaked.
+        let drained = mq.drain().len();
+        let payload = first_panic
+            .into_inner()
+            .unwrap_or_else(|poison| poison.into_inner())
+            .expect("panicked flag implies a stored payload");
+        rpb_obs::metrics::EXEC_TASK_PANICS.add(1);
+        rpb_obs::metrics::EXEC_TASKS_DRAINED.add(drained as u64);
+        return Err(ExecutorError {
+            payload,
+            tasks_completed: stats.tasks,
+            tasks_drained: drained,
+        });
+    }
+    Ok(stats)
 }
 
 #[cfg(test)]
@@ -145,5 +290,100 @@ mod tests {
             }
         });
         assert_eq!(counter.load(Ordering::Relaxed), 6);
+    }
+
+    #[test]
+    fn panicking_task_surfaces_typed_error() {
+        // Without catch_unwind + the panic-path decrement, the three
+        // surviving workers would spin forever on `pending > 0` — this
+        // test would hang rather than fail.
+        let init: Vec<(u64, usize)> = (0..100).map(|i| (i as u64, i)).collect();
+        let err = try_execute(4, 8, init, |_, item, _| {
+            if item == 50 {
+                panic!("injected task panic");
+            }
+        })
+        .expect_err("one task panics");
+        assert_eq!(err.message(), "injected task panic");
+        assert!(err.tasks_completed <= 99);
+    }
+
+    #[test]
+    fn panic_message_handles_string_payload() {
+        let err = try_execute(2, 4, vec![(0u64, 7usize)], |_, item, _| {
+            panic!("task {item} failed");
+        })
+        .expect_err("task panics");
+        assert_eq!(err.message(), "task 7 failed");
+        assert!(format!("{err}").contains("task 7 failed"));
+    }
+
+    #[test]
+    fn execute_resumes_the_original_payload() {
+        let caught = std::panic::catch_unwind(|| {
+            execute(2, 4, vec![(0u64, ())], |_, (), _| {
+                panic!("propagated through execute");
+            });
+        })
+        .expect_err("execute re-raises");
+        assert_eq!(panic_message(&*caught), "propagated through execute");
+    }
+
+    #[test]
+    fn queued_tasks_are_drained_and_dropped_after_panic() {
+        // Every task payload must be accounted for after a panic: either
+        // its task ran, it was consumed by the panicking closure, or it
+        // was drained — and in all three cases its destructor runs.
+        static DROPS: AtomicUsize = AtomicUsize::new(0);
+        static RAN: AtomicUsize = AtomicUsize::new(0);
+        struct Payload(#[allow(dead_code)] usize);
+        impl Drop for Payload {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        let n = 1000;
+        let init: Vec<(u64, Payload)> = (0..n).map(|i| (i as u64, Payload(i))).collect();
+        // Single worker: after the first (lowest-priority) task panics,
+        // everything else must come back through the drain path.
+        let err = try_execute(1, 4, init, |_, payload, _| {
+            RAN.fetch_add(1, Ordering::SeqCst);
+            drop(payload);
+            panic!("abandon run");
+        })
+        .expect_err("first task panics");
+        assert_eq!(RAN.load(Ordering::SeqCst), 1);
+        assert_eq!(err.tasks_completed, 0);
+        assert_eq!(err.tasks_drained, n - 1);
+        assert_eq!(
+            DROPS.load(Ordering::SeqCst),
+            n,
+            "every payload dropped exactly once"
+        );
+    }
+
+    #[test]
+    fn all_workers_stop_after_concurrent_panics() {
+        // Several workers may panic at once; exactly one payload is kept
+        // and the run still terminates.
+        let init: Vec<(u64, usize)> = (0..64).map(|i| (i as u64, i)).collect();
+        let err = try_execute(4, 8, init, |_, _, _| {
+            panic!("many panics");
+        })
+        .expect_err("all tasks panic");
+        assert_eq!(err.message(), "many panics");
+    }
+
+    #[test]
+    fn children_pushed_before_panic_are_drained() {
+        let err = try_execute(1, 2, vec![(0u64, 0usize)], |_, depth, h| {
+            if depth == 0 {
+                h.push(1, 1);
+                h.push(1, 2);
+                panic!("parent dies after spawning");
+            }
+        })
+        .expect_err("parent panics");
+        assert_eq!(err.tasks_drained, 2);
     }
 }

@@ -22,7 +22,7 @@ pub mod executor;
 pub mod mq;
 pub mod stats;
 
-pub use executor::{execute, ExecutorStats, Handle};
+pub use executor::{execute, panic_message, try_execute, ExecutorError, ExecutorStats, Handle};
 pub use mq::MultiQueue;
 pub use stats::{measure_rank_error, rank_error_sweep, RankErrorStats};
 

@@ -17,12 +17,17 @@ use crate::mq::MultiQueue;
 pub struct RankErrorStats {
     /// Number of pops measured.
     pub pops: usize,
-    /// Mean rank error.
+    /// Mean rank error over the ranked pops (`pops - sampler_misses`).
     pub mean: f64,
     /// Maximum rank error observed.
     pub max: usize,
-    /// Share of pops that returned the exact minimum.
+    /// Share of ranked pops that returned the exact minimum.
     pub exact_share: f64,
+    /// Pops the mirror multiset could not account for. Zero in the offline
+    /// single-threaded measurement; under concurrent use (another thread
+    /// popping the same queue mid-measurement) the affected pops are
+    /// excluded from `mean`/`exact_share` instead of aborting the run.
+    pub sampler_misses: usize,
 }
 
 /// Feeds `items` (priority values, arbitrary order) through a fresh
@@ -41,28 +46,50 @@ pub fn measure_rank_error(items: &[u64], n_queues: usize) -> RankErrorStats {
         mq.push(p, ());
         *resident.entry(p).or_insert(0) += 1;
     }
+    drain_ranked(&mq, resident)
+}
+
+/// Pops `mq` dry, ranking each pop against the `resident` mirror. Pops the
+/// mirror cannot account for (it was built from a different snapshot than
+/// the queue, or another thread raced the drain) become `sampler_misses`.
+fn drain_ranked(mq: &MultiQueue<()>, mut resident: BTreeMap<u64, usize>) -> RankErrorStats {
     let mut stats = RankErrorStats::default();
     let mut total = 0usize;
     let mut exact = 0usize;
     while let Some((p, ())) = mq.pop() {
-        let rank: usize = resident.range(..p).map(|(_, &c)| c).sum();
-        total += rank;
-        if rank == 0 {
-            exact += 1;
-        }
-        stats.max = stats.max.max(rank);
         stats.pops += 1;
         match resident.get_mut(&p) {
             Some(c) if *c > 1 => *c -= 1,
             Some(_) => {
                 resident.remove(&p);
             }
-            None => panic!("popped priority {p} that was never resident"),
+            None => {
+                // A pop the mirror never saw: in principle impossible in
+                // this single-threaded drain, but the queue may be shared
+                // (a caller measuring an `mq` that other threads still
+                // pop) and a racing removal desynchronizes the mirror.
+                // Rank is undefined for such a pop — count it as a
+                // sampler miss rather than aborting the measurement.
+                stats.sampler_misses += 1;
+                continue;
+            }
         }
+        let rank: usize = resident.range(..p).map(|(_, &c)| c).sum();
+        total += rank;
+        if rank == 0 {
+            exact += 1;
+        }
+        stats.max = stats.max.max(rank);
     }
-    assert!(resident.is_empty(), "elements lost: {resident:?}");
-    stats.mean = total as f64 / stats.pops.max(1) as f64;
-    stats.exact_share = exact as f64 / stats.pops.max(1) as f64;
+    // Leftover mirror entries mean the queue lost elements — still a hard
+    // error when the measurement was race-free; with misses the mirror is
+    // expectedly out of sync.
+    if stats.sampler_misses == 0 {
+        assert!(resident.is_empty(), "elements lost: {resident:?}");
+    }
+    let ranked = (stats.pops - stats.sampler_misses).max(1);
+    stats.mean = total as f64 / ranked as f64;
+    stats.exact_share = exact as f64 / ranked as f64;
     stats
 }
 
@@ -156,13 +183,14 @@ pub(crate) fn online_on_pop(pri: u64) {
         rpb_obs::metrics::MQ_RANK_ERROR_MAX.record(rank as u64);
     }
     // Tolerate pops the mirror never saw (e.g. `drain`, or pushes that
-    // raced the sampler being enabled).
+    // raced the sampler being enabled) — but count them, so a harness can
+    // tell how approximate the sampled ranks were.
     match mirror.get_mut(&pri) {
         Some(c) if *c > 1 => *c -= 1,
         Some(_) => {
             mirror.remove(&pri);
         }
-        None => {}
+        None => rpb_obs::metrics::MQ_RANK_SAMPLER_MISSES.add(1),
     }
 }
 
@@ -215,6 +243,49 @@ mod tests {
     fn empty_input() {
         let stats = measure_rank_error(&[], 4);
         assert_eq!(stats.pops, 0);
+        assert_eq!(stats.sampler_misses, 0);
+    }
+
+    #[test]
+    fn race_free_measurement_has_no_misses() {
+        let items: Vec<u64> = (0..5000).map(hash64).collect();
+        let stats = measure_rank_error(&items, 8);
+        assert_eq!(stats.sampler_misses, 0);
+    }
+
+    #[test]
+    fn unmirrored_pops_count_as_sampler_misses() {
+        // Simulate a concurrent-pop race: the queue holds elements the
+        // mirror snapshot never saw. Before the fix this panicked with
+        // "popped priority … never resident"; now those pops are excluded
+        // from the ranked statistics and reported as misses.
+        let mq: MultiQueue<()> = MultiQueue::new(4);
+        let mut mirror = std::collections::BTreeMap::new();
+        for p in 0..100u64 {
+            mq.push(p, ());
+            if p < 90 {
+                *mirror.entry(p).or_insert(0) += 1;
+            }
+        }
+        let stats = drain_ranked(&mq, mirror);
+        assert_eq!(stats.pops, 100);
+        assert_eq!(stats.sampler_misses, 10);
+        // Ranked statistics are normalized over the 90 accounted pops.
+        assert!(stats.exact_share <= 1.0);
+    }
+
+    #[test]
+    fn leftover_mirror_entries_tolerated_when_misses_occurred() {
+        // The inverse desync: the mirror believes elements are resident
+        // that the queue never held. With at least one miss the final
+        // "elements lost" assertion must not fire.
+        let mq: MultiQueue<()> = MultiQueue::new(2);
+        let mut mirror = std::collections::BTreeMap::new();
+        mq.push(7, ());
+        *mirror.entry(99u64).or_insert(0) += 1; // never in the queue
+        let stats = drain_ranked(&mq, mirror);
+        assert_eq!(stats.pops, 1);
+        assert_eq!(stats.sampler_misses, 1);
     }
 
     #[cfg(feature = "obs")]

@@ -109,10 +109,17 @@ define_metrics! {
             "Pops whose rank error was sampled by the online sampler.",
         MQ_RANK_ERROR_SUM => "mq_rank_error_sum":
             "Sum of sampled rank errors (mean = sum / samples).",
+        MQ_RANK_SAMPLER_MISSES => "mq_rank_sampler_misses":
+            "Pops the online sampler's mirror never saw (drain or races \
+             around sampler enablement).",
         // rpb-multiqueue executor: per-run totals.
         EXEC_TASKS => "exec_tasks": "Tasks executed by MultiQueue workers.",
         EXEC_IDLE_SPINS => "exec_idle_spins":
             "Times a MultiQueue worker found no work and yielded.",
+        EXEC_TASK_PANICS => "exec_task_panics":
+            "Executor runs aborted because a task panicked.",
+        EXEC_TASKS_DRAINED => "exec_tasks_drained":
+            "Queued tasks dropped while unwinding a panicked executor run.",
         // rpb-bench: Rayon pool lifecycle.
         POOL_THREADS_STARTED => "pool_threads_started":
             "Rayon worker threads started by instrumented pools.",

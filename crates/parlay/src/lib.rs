@@ -25,6 +25,7 @@
 pub mod collect_reduce;
 pub mod list_rank;
 pub mod pack;
+pub mod panics;
 pub mod random;
 pub mod reduce;
 pub mod scan;
@@ -36,6 +37,7 @@ pub mod stencil;
 
 pub use collect_reduce::{collect_reduce_dense, collect_reduce_sparse, count_by_key};
 pub use pack::{filter, flatten, pack, pack_index};
+pub use panics::panic_message;
 pub use random::Random;
 pub use reduce::{max_index, reduce, reduce_with};
 pub use scan::{scan_exclusive, scan_inclusive, scan_inplace_exclusive};

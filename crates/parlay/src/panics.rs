@@ -1,0 +1,62 @@
+//! Panic-payload helpers shared across the workspace.
+//!
+//! `std::panic::catch_unwind` yields a `Box<dyn Any + Send>` whose concrete
+//! type depends on how the panic was raised: `panic!("literal")` produces a
+//! `&'static str`, while `panic!("formatted {x}")` produces a `String`.
+//! Test assertions (and error types wrapping a captured payload) that only
+//! downcast to one of the two silently miss the other — a brittleness this
+//! module removes once for every crate in the workspace.
+
+use std::any::Any;
+
+/// Extracts the human-readable message from a panic payload, handling both
+/// `&'static str` and `String` payloads.
+///
+/// Returns a placeholder for payloads of any other type (e.g. a value
+/// thrown via `std::panic::panic_any`), so callers can embed the result in
+/// diagnostics unconditionally.
+///
+/// ```
+/// use rpb_parlay::panics::panic_message;
+///
+/// let err = std::panic::catch_unwind(|| panic!("plain literal")).unwrap_err();
+/// assert_eq!(panic_message(&*err), "plain literal");
+///
+/// let x = 7;
+/// let err = std::panic::catch_unwind(|| panic!("formatted {x}")).unwrap_err();
+/// assert_eq!(panic_message(&*err), "formatted 7");
+/// ```
+pub fn panic_message(payload: &dyn Any) -> &str {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        s
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.as_str()
+    } else {
+        "<non-string panic payload>"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::panic::catch_unwind;
+
+    #[test]
+    fn static_str_payload() {
+        let err = catch_unwind(|| panic!("static message")).unwrap_err();
+        assert_eq!(panic_message(&*err), "static message");
+    }
+
+    #[test]
+    fn string_payload() {
+        let n = 42;
+        let err = catch_unwind(|| panic!("value was {n}")).unwrap_err();
+        assert_eq!(panic_message(&*err), "value was 42");
+    }
+
+    #[test]
+    fn non_string_payload() {
+        let err = catch_unwind(|| std::panic::panic_any(17u32)).unwrap_err();
+        assert_eq!(panic_message(&*err), "<non-string panic payload>");
+    }
+}

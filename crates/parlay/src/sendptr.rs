@@ -16,7 +16,13 @@
 /// Raw mutable pointer that may cross thread boundaries.
 pub struct SendPtr<T>(*mut T);
 
+// SAFETY: a `SendPtr` is just an address; moving it between threads is
+// harmless because every dereference goes through the `unsafe` accessors
+// below, whose caller contract (module doc) demands disjoint indices.
+// `T: Send` so the values written/read may themselves change threads.
 unsafe impl<T: Send> Send for SendPtr<T> {}
+// SAFETY: shared `&SendPtr` access exposes no safe dereference; the
+// unsafe accessors' disjointness contract rules out data races.
 unsafe impl<T: Send> Sync for SendPtr<T> {}
 
 impl<T> Clone for SendPtr<T> {
@@ -40,6 +46,7 @@ impl<T> SendPtr<T> {
     /// by any other task (see module-level contract).
     #[inline]
     pub unsafe fn write(&self, i: usize, value: T) {
+        // SAFETY: caller contract — in-bounds, no concurrent access to `i`.
         unsafe { self.0.add(i).write(value) };
     }
 
@@ -49,6 +56,8 @@ impl<T> SendPtr<T> {
     /// `i` must be in bounds, initialized, and not concurrently written.
     #[inline]
     pub unsafe fn read(&self, i: usize) -> T {
+        // SAFETY: caller contract — in-bounds, initialized, not
+        // concurrently written.
         unsafe { self.0.add(i).read() }
     }
 
@@ -60,6 +69,8 @@ impl<T> SendPtr<T> {
     #[inline]
     #[allow(clippy::mut_from_ref)]
     pub unsafe fn get_mut(&self, i: usize) -> &mut T {
+        // SAFETY: caller contract — in-bounds and exclusive for the
+        // lifetime of the returned borrow.
         unsafe { &mut *self.0.add(i) }
     }
 }

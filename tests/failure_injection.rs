@@ -6,6 +6,9 @@ use rayon::prelude::*;
 use rpb::fearless::{
     IndChunksError, IndOffsetsError, ParIndChunksMutExt, ParIndIterMutExt, UniquenessCheck,
 };
+// `downcast_ref::<String>()` alone misses `&'static str` payloads (plain
+// `panic!("literal")`); the shared helper handles both.
+use rpb::parlay::panics::panic_message;
 
 #[test]
 fn duplicate_offset_panics_at_call_site() {
@@ -16,7 +19,7 @@ fn duplicate_offset_panics_at_call_site() {
         out.par_ind_iter_mut(&offsets).for_each(|o| *o = 1);
     });
     let err = result.expect_err("must panic");
-    let msg = err.downcast_ref::<String>().expect("panic message");
+    let msg = panic_message(&*err);
     assert!(msg.contains("duplicates"), "unhelpful panic: {msg}");
 }
 
@@ -113,5 +116,53 @@ fn hash_set_overflow_panics_with_message() {
             set.insert(k);
         }
     });
-    assert!(result.is_err(), "overflow must panic, not corrupt");
+    let err = result.expect_err("overflow must panic, not corrupt");
+    // The payload type is an implementation detail (`&'static str` today);
+    // the helper keeps this assertion payload-type agnostic.
+    assert!(
+        panic_message(&*err).contains("full"),
+        "unhelpful overflow panic: {}",
+        panic_message(&*err)
+    );
+}
+
+#[test]
+fn chunk_boundary_panic_message_is_helpful() {
+    let mut out = vec![0u8; 10];
+    let offsets = vec![0usize, 7, 3]; // the planted bug: decreasing
+    let result = std::panic::catch_unwind(move || {
+        out.par_ind_chunks_mut(&offsets).for_each(|c| c.fill(1));
+    });
+    let err = result.expect_err("must panic");
+    let msg = panic_message(&*err);
+    assert!(msg.contains("monotone"), "unhelpful panic: {msg}");
+}
+
+#[test]
+fn panicking_executor_task_does_not_deadlock() {
+    // A task panicking mid-run must surface as a typed error with the
+    // original message — not leave the remaining workers spinning on the
+    // in-flight counter forever.
+    let init: Vec<(u64, usize)> = (0..200).map(|i| (i as u64, i)).collect();
+    let err = rpb::multiqueue::try_execute(4, 8, init, |_, item, h| {
+        if item == 13 {
+            panic!("worker task blew up");
+        }
+        if item < 50 {
+            h.push(item as u64 + 200, item + 200);
+        }
+    })
+    .expect_err("the planted panic must surface");
+    assert_eq!(err.message(), "worker task blew up");
+}
+
+#[test]
+fn executor_panic_propagates_through_execute() {
+    let caught = std::panic::catch_unwind(|| {
+        rpb::multiqueue::execute(2, 4, vec![(0u64, ())], |_, (), _| {
+            panic!("scheduled task failed");
+        });
+    })
+    .expect_err("execute re-raises the task panic");
+    assert_eq!(panic_message(&*caught), "scheduled task failed");
 }
