@@ -9,13 +9,17 @@ use rpb_bench::{figures, RunRecord, Scale, Workloads};
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cmd = args.first().map(String::as_str).unwrap_or("help");
+    if cmd == "gate" {
+        // The gate has its own flag grammar (record|compare|check).
+        std::process::exit(rpb_bench::gate::run_cli(&args[1..]));
+    }
     let mut scale = Scale::default();
     let mut threads = std::thread::available_parallelism()
         .map(|p| p.get())
         .unwrap_or(1);
     let mut reps = 3usize;
     let mut json_path: Option<PathBuf> = None;
-    let mut report_path: Option<PathBuf> = None;
+    let mut report_paths: Vec<PathBuf> = Vec::new();
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -44,8 +48,8 @@ fn main() {
                     args.get(i).unwrap_or_else(|| die("--json needs a path")),
                 ));
             }
-            other if cmd == "report" && report_path.is_none() && !other.starts_with('-') => {
-                report_path = Some(PathBuf::from(other));
+            other if cmd == "report" && !other.starts_with('-') => {
+                report_paths.push(PathBuf::from(other));
             }
             other => die(&format!("unknown option {other}")),
         }
@@ -89,14 +93,26 @@ fn main() {
         "fig6" => print!("{}", figures::fig6_report(scale.seq_len, reps)),
         "verify" => verify(w.expect("workloads"), threads),
         "report" => {
-            let path = report_path.unwrap_or_else(|| die("report needs a JSON file path"));
-            let text = std::fs::read_to_string(&path)
-                .unwrap_or_else(|e| die(&format!("cannot read {}: {e}", path.display())));
-            let doc = rpb_obs::Json::parse(&text)
-                .unwrap_or_else(|e| die(&format!("cannot parse {}: {e}", path.display())));
-            match record::render_report(&doc) {
-                Ok(summary) => print!("{summary}"),
-                Err(e) => die(&e),
+            if report_paths.is_empty() {
+                die("report needs at least one JSON file path");
+            }
+            let docs: Vec<(String, rpb_obs::Json)> = report_paths
+                .iter()
+                .map(|path| {
+                    let text = std::fs::read_to_string(path)
+                        .unwrap_or_else(|e| die(&format!("cannot read {}: {e}", path.display())));
+                    let doc = rpb_obs::Json::parse(&text)
+                        .unwrap_or_else(|e| die(&format!("cannot parse {}: {e}", path.display())));
+                    (path.display().to_string(), doc)
+                })
+                .collect();
+            let outcome = record::render_report_docs(&docs);
+            print!("{}", outcome.rendered);
+            for w in &outcome.warnings {
+                eprintln!("rpb report: warning: {w}");
+            }
+            if outcome.rendered_files == 0 {
+                die("no renderable report files");
             }
         }
         "all" => {
@@ -116,11 +132,15 @@ fn main() {
                  \"When Is Parallelism Fearless and Zero-Cost with Rust?\" (SPAA'24)\n\n\
                  usage: rpb <table1|table2|table3|fig3|fig4|fig5a|fig5b|fig6|all|verify>\n\
                  \x20       [--scale small|medium|large] [--threads N] [--reps N] [--json PATH]\n\
-                 \x20      rpb report <file.json>   # summarize a --json report\n\n\
+                 \x20      rpb report <file.json>...      # summarize --json reports\n\
+                 \x20      rpb gate <record|compare|check> # deterministic perf gate\n\n\
                  --json writes one structured record per timed case (schema\n\
-                 \"rpb-bench-v1\"); telemetry fields are all-zero unless built\n\
+                 \"rpb-bench-v2\"); telemetry fields are all-zero unless built\n\
                  with --features obs. `rpb report` renders the check-overhead\n\
-                 and MultiQueue summaries from such a file."
+                 and MultiQueue summaries from such files (v1 files remain\n\
+                 readable; unknown schemas warn instead of silently skipping).\n\
+                 `rpb gate` records and checks committed perf baselines — see\n\
+                 `rpb gate` with no arguments and EXPERIMENTS.md."
             );
         }
     }

@@ -41,8 +41,9 @@ mod pool_obs {
 }
 
 /// Runs `f` inside a Rayon pool of `threads` workers. With `--features
-/// obs` the pool's workers report start/exit telemetry.
-fn in_pool<T: Send>(threads: usize, f: impl FnOnce() -> T + Send) -> T {
+/// obs` the pool's workers report start/exit telemetry. Shared with the
+/// perf gate, whose counter pass pins `threads` to 1 for determinism.
+pub(crate) fn in_pool<T: Send>(threads: usize, f: impl FnOnce() -> T + Send) -> T {
     let builder = rayon::ThreadPoolBuilder::new().num_threads(threads);
     #[cfg(feature = "obs")]
     let builder = builder

@@ -13,6 +13,7 @@
 //! rpb fig5b [opts]      # synchronization overhead (12 pairs)
 //! rpb fig6  [opts]      # Rayon-justification microbenchmark
 //! rpb all   [opts]      # everything
+//! rpb gate  <record|compare|check> [opts]   # deterministic perf gate
 //! ```
 //!
 //! Options: `--scale small|medium|large`, `--threads N`.
@@ -23,6 +24,7 @@
 
 pub mod fig6;
 pub mod figures;
+pub mod gate;
 pub mod record;
 pub mod runner;
 pub mod scale;
@@ -35,19 +37,28 @@ pub use workloads::Workloads;
 
 use std::time::{Duration, Instant};
 
-/// Result of one timed measurement: best and mean over the measured
+/// Result of one timed measurement: best, mean, and robust order
+/// statistics (median and median absolute deviation) over the measured
 /// repetitions (warmup excluded).
 ///
 /// The harness prints `best` (the lower-variance choice for a noisy shared
 /// container; changes no ratios vs. the paper's means over 10 runs) and the
-/// `--json` run records carry both, so the `BENCH_*.json` perf trajectory
-/// can track either statistic.
+/// `--json` run records carry all four, so the `BENCH_*.json` perf
+/// trajectory can track any statistic. `median`/`mad` are what the perf
+/// gate's soft wall-clock comparison uses: the median ignores one-off
+/// scheduler hiccups entirely, and the MAD gives a scale-free noise bound
+/// that stays meaningful on shared CI runners.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct TimingStats {
     /// Minimum measured repetition.
     pub best: Duration,
     /// Mean over the measured repetitions.
     pub mean: Duration,
+    /// Median measured repetition (upper-middle element for even `reps`).
+    pub median: Duration,
+    /// Median absolute deviation from `median` (same upper-middle
+    /// convention); 0 for a single repetition.
+    pub mad: Duration,
     /// Number of measured repetitions (≥ 1; warmup not counted).
     pub reps: usize,
 }
@@ -62,26 +73,57 @@ impl TimingStats {
     pub fn mean_ns(&self) -> u128 {
         self.mean.as_nanos()
     }
+
+    /// `median` in whole nanoseconds.
+    pub fn median_ns(&self) -> u128 {
+        self.median.as_nanos()
+    }
+
+    /// `mad` in whole nanoseconds.
+    pub fn mad_ns(&self) -> u128 {
+        self.mad.as_nanos()
+    }
+
+    /// Builds the statistics from raw per-repetition samples.
+    ///
+    /// # Panics
+    /// Panics on an empty sample set.
+    pub fn from_samples(samples: &[Duration]) -> TimingStats {
+        assert!(!samples.is_empty(), "TimingStats needs at least one sample");
+        let best = *samples.iter().min().expect("non-empty");
+        let total: Duration = samples.iter().sum();
+        let median = median_of(samples);
+        let deviations: Vec<Duration> = samples.iter().map(|&s| s.abs_diff(median)).collect();
+        TimingStats {
+            best,
+            mean: total / samples.len() as u32,
+            median,
+            mad: median_of(&deviations),
+            reps: samples.len(),
+        }
+    }
+}
+
+/// Upper-middle median (element at `len / 2` of the sorted samples for
+/// even lengths — no averaging, so the value is always one that was
+/// actually measured).
+fn median_of(samples: &[Duration]) -> Duration {
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    sorted[sorted.len() / 2]
 }
 
 /// Times `f` with one warmup and `reps` measured repetitions.
 pub fn time_best<F: FnMut()>(reps: usize, mut f: F) -> TimingStats {
     f(); // warmup
     let reps = reps.max(1);
-    let mut best = Duration::MAX;
-    let mut total = Duration::ZERO;
+    let mut samples = Vec::with_capacity(reps);
     for _ in 0..reps {
         let t0 = Instant::now();
         f();
-        let d = t0.elapsed();
-        best = best.min(d);
-        total += d;
+        samples.push(t0.elapsed());
     }
-    TimingStats {
-        best,
-        mean: total / reps as u32,
-        reps,
-    }
+    TimingStats::from_samples(&samples)
 }
 
 /// Geometric mean of ratios.
@@ -115,6 +157,33 @@ mod tests {
             ts.best,
             ts.mean
         );
+        assert!(ts.best <= ts.median);
         assert!(ts.mean < Duration::from_secs(1));
+    }
+
+    #[test]
+    fn from_samples_computes_robust_statistics() {
+        let ns = |v: u64| Duration::from_nanos(v);
+        // Odd count with one wild outlier: the median and MAD ignore it.
+        let ts = TimingStats::from_samples(&[ns(100), ns(110), ns(90), ns(105), ns(10_000)]);
+        assert_eq!(ts.best, ns(90));
+        assert_eq!(ts.median, ns(105));
+        // Deviations from 105: [5, 5, 15, 0, 9895] -> median 5.
+        assert_eq!(ts.mad, ns(5));
+        assert_eq!(ts.reps, 5);
+
+        // Even count: upper-middle convention, no averaging.
+        let ts = TimingStats::from_samples(&[ns(10), ns(20), ns(30), ns(40)]);
+        assert_eq!(ts.median, ns(30));
+
+        // Single sample: degenerate but defined.
+        let ts = TimingStats::from_samples(&[ns(7)]);
+        assert_eq!((ts.best, ts.median, ts.mad), (ns(7), ns(7), Duration::ZERO));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sample")]
+    fn from_samples_rejects_empty() {
+        TimingStats::from_samples(&[]);
     }
 }

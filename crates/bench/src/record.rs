@@ -4,9 +4,15 @@
 //! Each timed benchmark run (one pair × mode × thread count) becomes one
 //! [`RunRecord`] carrying the timing statistics and a full telemetry
 //! snapshot from [`rpb_obs::metrics`]. A report file is a single JSON
-//! object `{"schema": "rpb-bench-v1", "records": [...]}` whose records
+//! object `{"schema": "rpb-bench-v2", "records": [...]}` whose records
 //! embed the environment (`git_sha`, `cpu_count`, `rustc`) so perf
 //! trajectories (`BENCH_0.json`, `BENCH_1.json`, …) stay self-describing.
+//!
+//! Schema history: `rpb-bench-v2` added the robust wall-clock statistics
+//! `median_ns`/`mad_ns` to every record (the noise model behind `rpb
+//! gate`'s soft comparisons). `rpb-bench-v1` files remain readable — the
+//! summary renderer accepts every tag in [`KNOWN_SCHEMAS`] and warns
+//! (rather than silently skipping) on files whose tag it does not know.
 
 use std::io::Write as _;
 
@@ -16,7 +22,13 @@ use crate::scale::Scale;
 use crate::TimingStats;
 
 /// Schema tag written into every report file.
-pub const SCHEMA: &str = "rpb-bench-v1";
+pub const SCHEMA: &str = "rpb-bench-v2";
+
+/// The original record schema (no `median_ns`/`mad_ns`); still readable.
+pub const SCHEMA_V1: &str = "rpb-bench-v1";
+
+/// Every report schema `rpb report` can render, newest first.
+pub const KNOWN_SCHEMAS: &[&str] = &[SCHEMA, SCHEMA_V1];
 
 /// Build/host environment captured once per harness invocation.
 #[derive(Clone, Debug)]
@@ -82,6 +94,11 @@ pub struct RunRecord {
     pub best_ns: u128,
     /// Mean measured wall time, nanoseconds.
     pub mean_ns: u128,
+    /// Median measured wall time, nanoseconds (schema v2).
+    pub median_ns: u128,
+    /// Median absolute deviation of the wall times, nanoseconds
+    /// (schema v2).
+    pub mad_ns: u128,
     /// Validation-cost regime for checked-mode runs that vary it:
     /// `"fresh"` (mark-table pool disabled — every check allocates an
     /// exact-size table) or `"amortized"` (pooled epoch tables and
@@ -116,6 +133,8 @@ impl RunRecord {
             reps: timing.reps,
             best_ns: timing.best_ns(),
             mean_ns: timing.mean_ns(),
+            median_ns: timing.median_ns(),
+            mad_ns: timing.mad_ns(),
             check: None,
             telemetry,
         }
@@ -147,6 +166,8 @@ impl RunRecord {
             ("reps".into(), Json::from_u64(self.reps as u64)),
             ("best_ns".into(), Json::from_u128(self.best_ns)),
             ("mean_ns".into(), Json::from_u128(self.mean_ns)),
+            ("median_ns".into(), Json::from_u128(self.median_ns)),
+            ("mad_ns".into(), Json::from_u128(self.mad_ns)),
             ("telemetry".into(), self.telemetry.to_json()),
             ("env".into(), env.to_json()),
         ]);
@@ -185,14 +206,79 @@ pub fn write_json(
     writeln!(f, "{}", report_to_json(records, scale, env))
 }
 
+/// The `"schema"` tag of a parsed report document, if it has one.
+pub fn doc_schema(doc: &Json) -> Option<&str> {
+    doc.get("schema").and_then(Json::as_str)
+}
+
+/// Result of rendering a batch of report documents ([`render_report_docs`]).
+#[derive(Debug, Default)]
+pub struct ReportOutcome {
+    /// Concatenated summaries of every renderable document.
+    pub rendered: String,
+    /// One warning per skipped document (offending path + reason).
+    pub warnings: Vec<String>,
+    /// Documents successfully rendered.
+    pub rendered_files: usize,
+    /// Documents skipped (unknown schema or malformed records).
+    pub skipped_files: usize,
+}
+
+/// Renders `(label, document)` pairs — the multi-file `rpb report` path.
+///
+/// A document whose `"schema"` tag is not in [`KNOWN_SCHEMAS`] (or is
+/// malformed) is *not* silently dropped: it produces a warning naming the
+/// offending label and is counted in `skipped_files`, so a trajectory
+/// directory mixing old and foreign files reports exactly what it ignored.
+pub fn render_report_docs(docs: &[(String, Json)]) -> ReportOutcome {
+    use std::fmt::Write as _;
+
+    let mut out = ReportOutcome::default();
+    for (label, doc) in docs {
+        match render_report(doc) {
+            Ok(summary) => {
+                if out.rendered_files > 0 {
+                    out.rendered.push('\n');
+                }
+                if docs.len() > 1 {
+                    let _ = writeln!(out.rendered, "== {label} ==");
+                }
+                out.rendered.push_str(&summary);
+                out.rendered_files += 1;
+            }
+            Err(e) => {
+                out.warnings.push(format!("skipping {label}: {e}"));
+                out.skipped_files += 1;
+            }
+        }
+    }
+    if out.skipped_files > 0 {
+        out.warnings.push(format!(
+            "{} of {} file(s) skipped (unknown schema or malformed); \
+             known schemas: {}",
+            out.skipped_files,
+            docs.len(),
+            KNOWN_SCHEMAS.join(", ")
+        ));
+    }
+    out
+}
+
 /// Renders the human-readable `rpb report` summary from a parsed report
 /// document: per-pair check-overhead attribution (Fig. 5a's question) and
 /// MultiQueue behaviour (scheduler health for the Sync pairs).
 pub fn render_report(doc: &Json) -> Result<String, String> {
     use std::fmt::Write as _;
 
-    if doc.get("schema").and_then(Json::as_str) != Some(SCHEMA) {
-        return Err(format!("not an {SCHEMA} report (missing/wrong \"schema\")"));
+    let schema = doc_schema(doc);
+    if !schema.is_some_and(|s| KNOWN_SCHEMAS.contains(&s)) {
+        return Err(match schema {
+            Some(s) => format!(
+                "unknown schema \"{s}\" (known: {})",
+                KNOWN_SCHEMAS.join(", ")
+            ),
+            None => format!("not an {SCHEMA} report (missing \"schema\")"),
+        });
     }
     let records = doc
         .get("records")
@@ -381,6 +467,8 @@ mod tests {
             TimingStats {
                 best: Duration::from_nanos(1000),
                 mean: Duration::from_nanos(1200),
+                median: Duration::from_nanos(1100),
+                mad: Duration::from_nanos(50),
                 reps: 3,
             },
             Snapshot::default(),
@@ -405,12 +493,16 @@ mod tests {
             "reps",
             "best_ns",
             "mean_ns",
+            "median_ns",
+            "mad_ns",
             "telemetry",
             "env",
         ] {
             assert!(j.get(k).is_some(), "missing field {k}");
         }
         assert_eq!(j.get("best_ns").unwrap().as_u64(), Some(1000));
+        assert_eq!(j.get("median_ns").unwrap().as_u64(), Some(1100));
+        assert_eq!(j.get("mad_ns").unwrap().as_u64(), Some(50));
         assert_eq!(
             j.get("env").unwrap().get("git_sha").unwrap().as_str(),
             Some("abc123")
@@ -469,5 +561,63 @@ mod tests {
     fn render_rejects_foreign_documents() {
         assert!(render_report(&Json::parse("{\"x\":1}").unwrap()).is_err());
         assert!(render_report(&Json::Null).is_err());
+        let err =
+            render_report(&Json::parse("{\"schema\":\"rpb-bench-v99\",\"records\":[]}").unwrap())
+                .expect_err("unknown schema");
+        assert!(err.contains("rpb-bench-v99"), "names the schema: {err}");
+    }
+
+    #[test]
+    fn render_accepts_v1_documents() {
+        // A v1 trajectory file (no median_ns/mad_ns anywhere) must keep
+        // rendering after the v2 bump.
+        let env = EnvInfo::collect();
+        let mut doc = report_to_json(&[dummy_record("checked")], Scale::small(), &env);
+        if let Json::Obj(fields) = &mut doc {
+            for (k, v) in fields.iter_mut() {
+                if k == "schema" {
+                    *v = Json::Str(SCHEMA_V1.into());
+                }
+            }
+        }
+        let rendered = render_report(&doc).expect("v1 renders");
+        assert!(rendered.contains("Check-overhead attribution"));
+    }
+
+    #[test]
+    fn report_docs_warn_on_unknown_schema_with_path_and_count() {
+        let env = EnvInfo::collect();
+        let good = report_to_json(&[dummy_record("checked")], Scale::small(), &env);
+        let mut old = good.clone();
+        if let Json::Obj(fields) = &mut old {
+            for (k, v) in fields.iter_mut() {
+                if k == "schema" {
+                    *v = Json::Str(SCHEMA_V1.into());
+                }
+            }
+        }
+        let foreign = Json::parse("{\"schema\":\"rpb-bench-v99\",\"records\":[]}").unwrap();
+        let outcome = render_report_docs(&[
+            ("runs/a.json".into(), good),
+            ("runs/old.json".into(), old),
+            ("runs/foreign.json".into(), foreign),
+        ]);
+        assert_eq!(outcome.rendered_files, 2, "v2 + v1 render");
+        assert_eq!(outcome.skipped_files, 1, "unknown schema skipped");
+        // The warning names the offending path and the bad schema ...
+        assert!(
+            outcome
+                .warnings
+                .iter()
+                .any(|w| w.contains("runs/foreign.json") && w.contains("rpb-bench-v99")),
+            "warnings: {:?}",
+            outcome.warnings
+        );
+        // ... and a final line carries the skip count.
+        assert!(
+            outcome.warnings.last().unwrap().contains("1 of 3"),
+            "warnings: {:?}",
+            outcome.warnings
+        );
     }
 }

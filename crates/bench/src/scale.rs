@@ -15,6 +15,21 @@ pub struct Scale {
 }
 
 impl Scale {
+    /// Perf-gate scale: the pinned smoke matrix `rpb gate` records and
+    /// checks against. Deliberately tiny — the gate's hard metrics are
+    /// deterministic event counters, which are just as sensitive at small
+    /// N, and CI pays for every case twice (counter pass + wall pass).
+    /// Changing these numbers invalidates every committed baseline
+    /// (`gate check` reports the mismatch as a hard violation).
+    pub fn gate() -> Scale {
+        Scale {
+            text_len: 4_000,
+            seq_len: 20_000,
+            graph_n: 800,
+            points_n: 300,
+        }
+    }
+
     /// Smoke-test scale (sub-second totals; used by criterion benches).
     pub fn small() -> Scale {
         Scale {
@@ -76,6 +91,7 @@ mod tests {
 
     #[test]
     fn scales_are_ordered() {
+        assert!(Scale::gate().text_len < Scale::small().text_len);
         assert!(Scale::small().text_len < Scale::medium().text_len);
         assert!(Scale::medium().graph_n < Scale::large().graph_n);
     }

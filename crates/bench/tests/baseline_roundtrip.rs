@@ -1,0 +1,149 @@
+//! Round-trip property test for the `rpb-baseline-v1` schema: any
+//! recordable baseline serializes to JSON text, parses back, and compares
+//! semantically equal (provenance carried verbatim, gating fields exact).
+//!
+//! Pure data-model test — no workloads, no telemetry feature needed.
+
+// Proptest drives hundreds of cases and persists failures to disk — too
+// slow for the interpreter; the deterministic unit tests in `gate` cover
+// the same code paths under Miri.
+#![cfg(not(miri))]
+
+use proptest::prelude::*;
+use rpb_bench::gate::{compare, Baseline, GateCase, WallStats, DEFAULT_WALL_TOLERANCE};
+use rpb_bench::record::EnvInfo;
+use rpb_bench::Scale;
+use rpb_obs::Json;
+
+/// Exactly representable in the JSON writer's f64 numbers.
+const MAX_EXACT: u64 = 1 << 53;
+
+/// Counter names drawn from the real hard-metric set plus a foreign one,
+/// so parsing never depends on the gate's own vocabulary.
+fn counter_name() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just("sngind_pool_hits".to_string()),
+        Just("sngind_offsets_validated".to_string()),
+        Just("mq_pushes".to_string()),
+        Just("exec_tasks".to_string()),
+        Just("some_future_counter".to_string()),
+    ]
+}
+
+/// Strings with escape-worthy content: the schema must survive quotes,
+/// backslashes, newlines, and non-ASCII in provenance fields.
+fn provenance_string() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[ -~\u{e9}\u{4e16}\"\\\\\n\t]{0,24}").unwrap()
+}
+
+fn wall_stats() -> impl Strategy<Value = WallStats> {
+    (0..MAX_EXACT, 0..MAX_EXACT, 0..MAX_EXACT, 1..1000u64).prop_map(
+        |(best_ns, median_ns, mad_ns, reps)| WallStats {
+            best_ns,
+            median_ns,
+            mad_ns,
+            reps,
+        },
+    )
+}
+
+fn gate_case() -> impl Strategy<Value = GateCase> {
+    (
+        "[a-z]{1,8}(-[a-z]{1,4})?",
+        prop_oneof![
+            Just("unsafe".to_string()),
+            Just("checked".to_string()),
+            Just("sync".to_string())
+        ],
+        proptest::option::of(prop_oneof![
+            Just("fresh".to_string()),
+            Just("amortized".to_string())
+        ]),
+        proptest::collection::vec((counter_name(), 0..MAX_EXACT), 0..6),
+        wall_stats(),
+    )
+        .prop_map(|(name, mode, check, counters, wall)| GateCase {
+            name,
+            mode,
+            check,
+            counters,
+            wall,
+        })
+}
+
+fn baseline() -> impl Strategy<Value = Baseline> {
+    (
+        (
+            1..100_000usize,
+            1..100_000usize,
+            1..10_000usize,
+            1..10_000usize,
+        ),
+        1..8usize,
+        1..64usize,
+        1..100usize,
+        (provenance_string(), 0..1024usize, provenance_string()),
+        proptest::collection::vec(gate_case(), 0..8),
+    )
+        .prop_map(
+            |(
+                (text_len, seq_len, graph_n, points_n),
+                counter_threads,
+                wall_threads,
+                wall_reps,
+                (git_sha, cpu_count, rustc),
+                cases,
+            )| {
+                // One cell per (name, mode, check) key: `compare` matches
+                // cases by key, so duplicate keys are not a valid matrix.
+                let mut seen = std::collections::HashSet::new();
+                let cases: Vec<GateCase> =
+                    cases.into_iter().filter(|c| seen.insert(c.key())).collect();
+                Baseline {
+                    scale: Scale {
+                        text_len,
+                        seq_len,
+                        graph_n,
+                        points_n,
+                    },
+                    counter_threads,
+                    wall_threads,
+                    wall_reps,
+                    env: EnvInfo {
+                        git_sha,
+                        cpu_count,
+                        rustc,
+                    },
+                    cases,
+                }
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// serialize -> parse -> semantic equality, through the actual text
+    /// representation a committed `baselines/*.json` file uses.
+    #[test]
+    fn baseline_round_trips_semantically(b in baseline()) {
+        let text = format!("{}\n", b.to_json());
+        let doc = Json::parse(&text).expect("baseline text parses");
+        let parsed = Baseline::parse(&doc).expect("baseline document parses");
+        prop_assert!(b.semantic_eq(&parsed), "round trip changed the baseline");
+        // Provenance is carried verbatim even though it never gates.
+        prop_assert_eq!(&parsed.env.git_sha, &b.env.git_sha);
+        prop_assert_eq!(parsed.env.cpu_count, b.env.cpu_count);
+        prop_assert_eq!(&parsed.env.rustc, &b.env.rustc);
+    }
+
+    /// A round-tripped baseline gates identically to the original: the
+    /// comparison of a parsed copy against its source is always clean.
+    #[test]
+    fn round_tripped_baseline_compares_clean(b in baseline()) {
+        let doc = Json::parse(&b.to_json().to_string()).expect("parses");
+        let parsed = Baseline::parse(&doc).expect("valid");
+        let cmp = compare(&b, &parsed, DEFAULT_WALL_TOLERANCE);
+        prop_assert!(cmp.violations.is_empty(), "{:?}", cmp.violations);
+    }
+}

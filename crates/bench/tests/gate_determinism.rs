@@ -1,0 +1,137 @@
+//! The perf gate's acceptance properties, end to end:
+//!
+//! 1. `record` twice on the same machine produces **byte-identical**
+//!    counter sections (the determinism claim behind hard gating), and
+//! 2. `rpb gate check` against a tampered baseline exits non-zero and
+//!    prints a per-metric diff table (driven through the real binary).
+//!
+//! Both need telemetry recording, so they are `--features obs` only;
+//! without the feature this file instead checks that the gate CLI refuses
+//! to record a vacuous all-zero baseline.
+
+#![cfg(not(miri))]
+
+use std::process::Command;
+
+#[cfg(feature = "obs")]
+mod with_obs {
+    use super::Command;
+    use rpb_bench::gate::{self, EXIT_HARD};
+    use rpb_bench::{Scale, Workloads};
+
+    /// 3 SngInd-heavy pairs x 2 validation-cost brackets.
+    const FIG5A_BRACKETS: usize = 6;
+    /// bfs-link, bfs-road, sssp-link, sssp-road.
+    const MQ_PAIRS: usize = 4;
+
+    /// The metrics registry and the mark-table pool are process-global and
+    /// `gate::record` resets both around every matrix cell, so the tests
+    /// in this binary must not overlap.
+    static SERIAL: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    #[test]
+    fn record_twice_is_byte_identical_on_counters() {
+        let _guard = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+        let w = Workloads::build(Scale::gate());
+        let a = gate::record(&w, 1, 1);
+        let b = gate::record(&w, 1, 1);
+
+        assert_eq!(a.cases.len(), b.cases.len());
+        let mut nonzero_cells = 0usize;
+        for (ca, cb) in a.cases.iter().zip(&b.cases) {
+            assert_eq!(ca.key(), cb.key(), "matrix order is part of the contract");
+            // The acceptance criterion verbatim: the counter *sections* of
+            // the two baselines are byte-identical.
+            assert_eq!(
+                ca.counters_json().to_string(),
+                cb.counters_json().to_string(),
+                "counter section drifted between two records of {}",
+                ca.key()
+            );
+            if ca.counters.iter().any(|&(_, v)| v > 0) {
+                nonzero_cells += 1;
+            }
+        }
+        // Determinism of all-zero sections would be vacuous: the checked
+        // brackets and the MultiQueue pairs must actually record events.
+        assert!(
+            nonzero_cells >= FIG5A_BRACKETS + MQ_PAIRS,
+            "only {nonzero_cells} matrix cells recorded any events"
+        );
+
+        // And the baseline round-trips through its JSON file form.
+        let text = format!("{}\n", a.to_json());
+        let parsed =
+            gate::Baseline::parse(&rpb_obs::Json::parse(&text).expect("parse")).expect("valid");
+        assert!(a.semantic_eq(&parsed));
+    }
+
+    #[test]
+    fn check_against_tampered_baseline_hard_fails_through_the_cli() {
+        let _guard = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+        let w = Workloads::build(Scale::gate());
+        // Cheap wall pass (1 thread, 1 rep): `check` mirrors this config.
+        let baseline = gate::record(&w, 1, 1);
+
+        // Tamper with the first nonzero hard counter — the forged baseline
+        // claims the code performs one more event than it does.
+        let mut tampered = baseline.clone();
+        let (key, metric) = {
+            let (key, slot) = tampered
+                .cases
+                .iter_mut()
+                .find_map(|c| {
+                    let key = c.key();
+                    c.counters
+                        .iter_mut()
+                        .find(|(_, v)| *v > 0)
+                        .map(|slot| (key, slot))
+                })
+                .expect("some matrix cell records events");
+            slot.1 += 1;
+            (key, slot.0.clone())
+        };
+
+        let dir = std::env::temp_dir().join(format!("rpb-gate-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let tampered_path = dir.join("tampered.json");
+        std::fs::write(&tampered_path, format!("{}\n", tampered.to_json()))
+            .expect("write baseline");
+
+        let output = Command::new(env!("CARGO_BIN_EXE_rpb"))
+            .args(["gate", "check", "--baseline"])
+            .arg(&tampered_path)
+            .args(["--wall", "advisory"])
+            .output()
+            .expect("spawn rpb gate check");
+        std::fs::remove_dir_all(&dir).ok();
+
+        let stdout = String::from_utf8_lossy(&output.stdout);
+        let stderr = String::from_utf8_lossy(&output.stderr);
+        assert_eq!(
+            output.status.code(),
+            Some(EXIT_HARD),
+            "tampered counter must hard-fail\nstdout:\n{stdout}\nstderr:\n{stderr}"
+        );
+        // The per-metric diff table names the drifted counter and its cell.
+        assert!(stdout.contains("Drifted metrics:"), "diff table\n{stdout}");
+        assert!(stdout.contains(&metric), "metric {metric} named\n{stdout}");
+        assert!(stdout.contains(&key), "cell {key} named\n{stdout}");
+        assert!(stderr.contains("HARD FAIL"), "verdict on stderr\n{stderr}");
+    }
+}
+
+#[cfg(not(feature = "obs"))]
+#[test]
+fn gate_record_refuses_without_telemetry() {
+    // Without `--features obs` every counter is a zero-cost no-op, so a
+    // recorded baseline would gate nothing: the CLI must refuse loudly
+    // rather than write a vacuous all-zero baseline.
+    let output = Command::new(env!("CARGO_BIN_EXE_rpb"))
+        .args(["gate", "record", "--out", "/nonexistent/never-written.json"])
+        .output()
+        .expect("spawn rpb gate record");
+    assert_eq!(output.status.code(), Some(rpb_bench::gate::EXIT_USAGE));
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("--features obs"), "{stderr}");
+}

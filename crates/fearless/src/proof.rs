@@ -131,6 +131,7 @@ pub fn validate_offsets_cached(
     strategy: UniquenessCheck,
 ) -> Result<ValidatedOffsets<'_>, IndOffsetsError> {
     validate_offsets(offsets, len, strategy)?;
+    rpb_obs::metrics::SNGIND_PROOF_BUILDS.add(1);
     Ok(ValidatedOffsets {
         offsets,
         len,
@@ -183,6 +184,7 @@ pub fn validate_chunk_offsets_cached(
     len: usize,
 ) -> Result<ValidatedChunks<'_>, IndChunksError> {
     validate_chunk_offsets(offsets, len)?;
+    rpb_obs::metrics::RNGIND_PROOF_BUILDS.add(1);
     Ok(ValidatedChunks {
         offsets,
         len,

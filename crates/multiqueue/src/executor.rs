@@ -160,6 +160,7 @@ where
     F: Fn(u64, T, &Handle<'_, T>) + Send + Sync,
 {
     let n_threads = n_threads.max(1);
+    rpb_obs::metrics::EXEC_RUNS.add(1);
     let mq: MultiQueue<T> = MultiQueue::new(n_queues.max(1));
     let pending = AtomicUsize::new(initial.len());
     for (p, item) in initial {

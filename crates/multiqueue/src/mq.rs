@@ -186,6 +186,7 @@ impl<T: Send> MultiQueue<T> {
                 out.push((pri, item));
             }
         }
+        rpb_obs::metrics::MQ_DRAINED_ITEMS.add(out.len() as u64);
         out
     }
 }

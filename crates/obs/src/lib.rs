@@ -13,7 +13,8 @@
 //! * [`DurationHisto`] — power-of-two-bucket duration histograms,
 //! * [`ScopedTimer`] / [`span!`] — RAII timers recording into a histogram,
 //! * [`metrics`] — the suite-wide named metric statics plus
-//!   [`metrics::snapshot`] / [`metrics::reset`],
+//!   [`metrics::snapshot`] / [`metrics::reset`] and the per-run
+//!   attribution bracket [`metrics::capture`],
 //! * [`json`] — a dependency-free JSON writer/parser used by the bench
 //!   harness for `--json` run reports.
 //!

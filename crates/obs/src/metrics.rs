@@ -89,6 +89,12 @@ define_metrics! {
         SNGIND_PROOF_REUSES => "sngind_proof_reuses":
             "Indirect iterators constructed from a pre-validated \
              `ValidatedOffsets`/`ValidatedChunks` proof (validation skipped).",
+        SNGIND_PROOF_BUILDS => "sngind_proof_builds":
+            "`ValidatedOffsets` proofs constructed (one SngInd validation \
+             each; reuses are counted separately).",
+        RNGIND_PROOF_BUILDS => "rngind_proof_builds":
+            "`ValidatedChunks` proofs constructed (one RngInd validation \
+             each; reuses are counted separately).",
         // rpb-fearless: RngInd boundary checking (the ~free check).
         RNGIND_CHECKS => "rngind_checks":
             "`validate_chunk_offsets` runs (monotonicity checks).",
@@ -112,7 +118,12 @@ define_metrics! {
         MQ_RANK_SAMPLER_MISSES => "mq_rank_sampler_misses":
             "Pops the online sampler's mirror never saw (drain or races \
              around sampler enablement).",
+        MQ_DRAINED_ITEMS => "mq_drained_items":
+            "Elements removed through `MultiQueue::drain` (sequential \
+             drains, including the executor's post-panic cleanup).",
         // rpb-multiqueue executor: per-run totals.
+        EXEC_RUNS => "exec_runs":
+            "MultiQueue executor invocations (`execute`/`try_execute`).",
         EXEC_TASKS => "exec_tasks": "Tasks executed by MultiQueue workers.",
         EXEC_IDLE_SPINS => "exec_idle_spins":
             "Times a MultiQueue worker found no work and yielded.",
@@ -145,6 +156,21 @@ define_metrics! {
     }
 }
 
+/// Runs `f` against a zeroed registry and returns its result together with
+/// the [`Snapshot`] of everything it recorded.
+///
+/// This is the per-run attribution primitive behind the perf gate: the
+/// registry is process-global, so without the reset/snapshot bracket a
+/// counter value is the sum of everything since startup rather than a
+/// property of one run. Not reentrant (the registry is global) — callers
+/// must not nest captures or run concurrent instrumented work they do not
+/// want attributed to `f`.
+pub fn capture<T>(f: impl FnOnce() -> T) -> (T, Snapshot) {
+    reset();
+    let out = f();
+    (out, snapshot())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -173,6 +199,22 @@ mod tests {
         }
         assert!(snap.histo("sngind_check_ns").is_some());
         assert!(snap.histo("pool_thread_lifetime_ns").is_some());
+    }
+
+    #[test]
+    fn capture_attributes_only_the_closure() {
+        EXEC_RUNS.add(100); // pre-existing noise the capture must discard
+        let (out, snap) = capture(|| {
+            EXEC_RUNS.add(7);
+            42u32
+        });
+        assert_eq!(out, 42);
+        if crate::enabled() {
+            assert_eq!(snap.counter("exec_runs"), 7);
+        } else {
+            assert_eq!(snap.counter("exec_runs"), 0);
+        }
+        reset();
     }
 
     #[test]
