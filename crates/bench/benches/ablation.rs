@@ -60,7 +60,7 @@ fn bench_schedulers(c: &mut Criterion) {
         b.iter(|| rpb_suite::sssp::run_par(&w.wroad, 0, threads, rpb_fearless::ExecMode::Sync));
     });
     group.bench_function("sssp_road/delta_stepping", |b| {
-        b.iter(|| rpb_suite::sssp_delta::run_par(&w.wroad, 0, delta));
+        b.iter(|| rpb_suite::sssp_delta::run_par(&w.wroad, 0, delta).expect("non-zero delta"));
     });
     group.finish();
 }

@@ -39,7 +39,7 @@ fn bench_fig5b(c: &mut Criterion) {
     let range = w.seq.len() as u64;
     for mode in [ExecMode::Unsafe, ExecMode::Sync] {
         group.bench_function(format!("word_bins/{mode}"), |b| {
-            b.iter(|| rpb_suite::hist::run_par(&w.seq, 256, range, mode));
+            b.iter(|| rpb_suite::hist::run_par(&w.seq, 256, range, mode).expect("valid buckets"));
         });
     }
     group.finish();

@@ -20,6 +20,8 @@ fn main() {
     let mut reps = 3usize;
     let mut json_path: Option<PathBuf> = None;
     let mut report_paths: Vec<PathBuf> = Vec::new();
+    let mut verify_cfg = rpb_bench::verifier::VerifyConfig::default();
+    let mut workers_given = false;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -48,12 +50,50 @@ fn main() {
                     args.get(i).unwrap_or_else(|| die("--json needs a path")),
                 ));
             }
+            "--suite" if cmd == "verify" => {
+                i += 1;
+                let list = args.get(i).unwrap_or_else(|| die("--suite needs a list"));
+                verify_cfg.benches = list.split(',').map(str::to_string).collect();
+            }
+            "--mode" if cmd == "verify" => {
+                i += 1;
+                let list = args.get(i).unwrap_or_else(|| die("--mode needs a list"));
+                verify_cfg.modes = list
+                    .split(',')
+                    .map(|m| m.parse().unwrap_or_else(|e| die(&format!("{e}"))))
+                    .collect();
+            }
+            "--workers" if cmd == "verify" => {
+                i += 1;
+                let list = args.get(i).unwrap_or_else(|| die("--workers needs a list"));
+                verify_cfg.workers = list
+                    .split(',')
+                    .map(|n| {
+                        n.parse()
+                            .unwrap_or_else(|_| die("--workers needs positive integers"))
+                    })
+                    .collect();
+                workers_given = true;
+            }
+            "--inject" if cmd == "verify" => {
+                i += 1;
+                let bench = args
+                    .get(i)
+                    .unwrap_or_else(|| die("--inject needs a benchmark"));
+                verify_cfg.inject = Some(bench.clone());
+            }
             other if cmd == "report" && !other.starts_with('-') => {
                 report_paths.push(PathBuf::from(other));
             }
             other => die(&format!("unknown option {other}")),
         }
         i += 1;
+    }
+    if !workers_given {
+        // Default worker matrix: serial, minimal contention, full width.
+        verify_cfg.workers = vec![1, 2, threads];
+        verify_cfg.workers.sort_unstable();
+        verify_cfg.workers.dedup();
     }
     if json_path.is_some() && !matches!(cmd, "fig4" | "fig5a" | "fig5b" | "all") {
         die("--json only applies to fig4|fig5a|fig5b|all");
@@ -91,7 +131,14 @@ fn main() {
             figures::fig5b(w.expect("workloads"), threads, reps, &mut recs)
         ),
         "fig6" => print!("{}", figures::fig6_report(scale.seq_len, reps)),
-        "verify" => verify(w.expect("workloads"), threads),
+        "verify" => {
+            let outcome = rpb_bench::verifier::run_matrix(w.expect("workloads"), &verify_cfg)
+                .unwrap_or_else(|e| die(&e));
+            print!("{}", outcome.rendered);
+            if !outcome.failures.is_empty() {
+                std::process::exit(rpb_bench::verifier::EXIT_DIVERGENCE);
+            }
+        }
         "report" => {
             if report_paths.is_empty() {
                 die("report needs at least one JSON file path");
@@ -131,9 +178,15 @@ fn main() {
                 "rpb — regenerate the tables and figures of\n\
                  \"When Is Parallelism Fearless and Zero-Cost with Rust?\" (SPAA'24)\n\n\
                  usage: rpb <table1|table2|table3|fig3|fig4|fig5a|fig5b|fig6|all|verify>\n\
-                 \x20       [--scale small|medium|large] [--threads N] [--reps N] [--json PATH]\n\
+                 \x20       [--scale gate|small|medium|large] [--threads N] [--reps N] [--json PATH]\n\
+                 \x20      rpb verify [--suite a,b,...] [--mode unsafe,checked,sync]\n\
+                 \x20                 [--workers 1,2,...]  # differential verification matrix\n\
                  \x20      rpb report <file.json>...      # summarize --json reports\n\
                  \x20      rpb gate <record|compare|check> # deterministic perf gate\n\n\
+                 `rpb verify` runs every benchmark's parallel implementation\n\
+                 against its sequential oracle and structural invariant checker\n\
+                 in each execution mode and worker-pool size, exiting 1 on any\n\
+                 divergence (see EXPERIMENTS.md, \"Output verification\").\n\
                  --json writes one structured record per timed case (schema\n\
                  \"rpb-bench-v2\"); telemetry fields are all-zero unless built\n\
                  with --features obs. `rpb report` renders the check-overhead\n\
@@ -151,126 +204,6 @@ fn main() {
             .unwrap_or_else(|e| die(&format!("cannot write {}: {e}", path.display())));
         eprintln!("wrote {} records to {}", recs.len(), path.display());
     }
-}
-
-/// Runs every benchmark once in every mode and validates the results
-/// against the sequential baselines — a one-command correctness audit of
-/// the whole suite at the chosen scale.
-fn verify(w: &rpb_bench::Workloads, threads: usize) {
-    use rpb_fearless::ExecMode;
-    use rpb_suite::*;
-    let modes = [ExecMode::Unsafe, ExecMode::Checked, ExecMode::Sync];
-    let mut ok = 0usize;
-    let mut check = |name: &str, pass: bool| {
-        println!("{:<24} {}", name, if pass { "ok" } else { "FAIL" });
-        if pass {
-            ok += 1;
-        } else {
-            std::process::exit(1);
-        }
-    };
-    let seq_bw = bw::run_seq(&w.bwt);
-    for m in modes {
-        check(&format!("bw/{m}"), bw::run_par(&w.bwt, m) == seq_bw);
-    }
-    let seq_lrs = lrs::run_seq(&w.text);
-    for m in modes {
-        let r = lrs::run_par(&w.text, m);
-        check(
-            &format!("lrs/{m}"),
-            r.len == seq_lrs.len && lrs::verify(&w.text, &r).is_ok(),
-        );
-    }
-    let seq_sa = sa::run_seq(&w.text);
-    for m in modes {
-        check(&format!("sa/{m}"), sa::run_par(&w.text, m) == seq_sa);
-    }
-    let r = dr::run_par(&w.points, ExecMode::Checked);
-    check("dr/checked", dr::verify(&w.points, &r).is_ok());
-    for (label, g) in [("link", &w.link), ("road", &w.road)] {
-        let seq = mis::run_seq(g);
-        check(
-            &format!("mis-{label}"),
-            mis::run_par(g, ExecMode::Checked) == seq,
-        );
-        check(
-            &format!("mis_spec-{label}"),
-            mis_spec::run_par(g, ExecMode::Checked) == seq,
-        );
-    }
-    for (label, (n, es)) in [("rmat", &w.rmat_edges), ("road", &w.road_edges)] {
-        check(
-            &format!("mm-{label}"),
-            mm::run_par(*n, es, ExecMode::Checked) == mm::run_seq(*n, es),
-        );
-        let f = sf::run_par(*n, es, ExecMode::Checked);
-        check(&format!("sf-{label}"), sf::verify(*n, es, &f).is_ok());
-    }
-    for (label, (n, es)) in [("rmat", &w.rmat_wedges), ("road", &w.road_wedges)] {
-        let seq = msf::run_seq(*n, es);
-        check(
-            &format!("msf-{label}"),
-            msf::run_par(*n, es, ExecMode::Checked) == seq,
-        );
-        check(
-            &format!("msf_kruskal-{label}"),
-            msf_kruskal::run_par(*n, es, ExecMode::Checked) == seq,
-        );
-    }
-    let mut want = w.seq.clone();
-    sort::run_seq(&mut want);
-    for m in modes {
-        let mut got = w.seq.clone();
-        sort::run_par(&mut got, m);
-        check(&format!("sort/{m}"), got == want);
-    }
-    let seq_dedup = dedup::run_seq(&w.seq);
-    for m in modes {
-        check(
-            &format!("dedup/{m}"),
-            dedup::run_par(&w.seq, m) == seq_dedup,
-        );
-    }
-    let range = w.seq.len() as u64;
-    let seq_hist = hist::run_seq(&w.seq, 256, range);
-    for m in modes {
-        check(
-            &format!("hist/{m}"),
-            hist::run_par(&w.seq, 256, range, m) == seq_hist,
-        );
-    }
-    let bits = 64 - (w.seq.len() as u64).leading_zeros();
-    let mut iwant = w.seq.clone();
-    isort::run_seq(&mut iwant, bits);
-    for m in modes {
-        let mut got = w.seq.clone();
-        isort::run_par(&mut got, bits, m);
-        check(&format!("isort/{m}"), got == iwant);
-    }
-    for (label, g) in [("link", &w.link), ("road", &w.road)] {
-        let seq = bfs::run_seq(g, 0);
-        check(
-            &format!("bfs-{label}/mq"),
-            bfs::run_par(g, 0, threads, ExecMode::Sync) == seq,
-        );
-        check(
-            &format!("bfs-{label}/frontier"),
-            bfs_frontier::run_par(g, 0) == seq,
-        );
-    }
-    for (label, g) in [("link", &w.wlink), ("road", &w.wroad)] {
-        let seq = sssp::run_seq(g, 0);
-        check(
-            &format!("sssp-{label}/mq"),
-            sssp::run_par(g, 0, threads, ExecMode::Sync) == seq,
-        );
-        let delta = sssp_delta::default_delta(g);
-        check(
-            &format!("sssp-{label}/delta"),
-            sssp_delta::run_par(g, 0, delta) == seq,
-        );
-    }
-    println!("\nall {ok} checks passed");
 }
 
 fn die(msg: &str) -> ! {

@@ -13,10 +13,13 @@
 //! rpb fig5b [opts]      # synchronization overhead (12 pairs)
 //! rpb fig6  [opts]      # Rayon-justification microbenchmark
 //! rpb all   [opts]      # everything
+//! rpb verify [opts]     # cross-mode differential verification matrix
 //! rpb gate  <record|compare|check> [opts]   # deterministic perf gate
 //! ```
 //!
-//! Options: `--scale small|medium|large`, `--threads N`.
+//! Options: `--scale gate|small|medium|large`, `--threads N`; `verify`
+//! additionally takes `--suite a,b,...`, `--mode m,...`, and
+//! `--workers n,...` (see [`verifier`]).
 //!
 //! See EXPERIMENTS.md for the mapping to the paper's numbers and the
 //! substitutions (this machine is not a 24-core `c5.metal`; the *shape*
@@ -28,6 +31,7 @@ pub mod gate;
 pub mod record;
 pub mod runner;
 pub mod scale;
+pub mod verifier;
 pub mod workloads;
 
 pub use record::{EnvInfo, RunRecord};

@@ -60,7 +60,9 @@ pub fn run_case(
     let key_bits = 64 - (w.seq.len() as u64).leading_zeros();
     match name {
         "bw" => time_best(reps, || {
-            std::hint::black_box(bw::run_par(&w.bwt, mode));
+            std::hint::black_box(
+                bw::run_par(&w.bwt, mode).expect("bw: workload BWT is well-formed"),
+            );
         }),
         "lrs" => time_best(reps, || {
             std::hint::black_box(lrs::run_par(&w.text, mode));
@@ -106,7 +108,10 @@ pub fn run_case(
         "hist" => time_best(reps, || {
             // The paper's hist uses "large structs"; the Sync variant is
             // the Mutex-per-bin configuration of Fig. 5(b).
-            std::hint::black_box(hist::run_large(&w.seq, 256, w.seq.len() as u64, mode));
+            std::hint::black_box(
+                hist::run_large(&w.seq, 256, w.seq.len() as u64, mode)
+                    .expect("hist: 256 buckets over a non-zero range is valid"),
+            );
         }),
         "isort" => time_best(reps, || {
             let mut v = w.seq.clone();
@@ -134,7 +139,7 @@ pub fn run_seq_case(name: &str, w: &Workloads, reps: usize) -> TimingStats {
     let key_bits = 64 - (w.seq.len() as u64).leading_zeros();
     match name {
         "bw" => time_best(reps, || {
-            std::hint::black_box(bw::run_seq(&w.bwt));
+            std::hint::black_box(bw::run_seq(&w.bwt).expect("bw: workload BWT is well-formed"));
         }),
         "lrs" => time_best(reps, || {
             std::hint::black_box(lrs::run_seq(&w.text));
@@ -178,7 +183,10 @@ pub fn run_seq_case(name: &str, w: &Workloads, reps: usize) -> TimingStats {
             std::hint::black_box(dedup::run_seq(&w.seq));
         }),
         "hist" => time_best(reps, || {
-            std::hint::black_box(hist::run_large_seq(&w.seq, 256, w.seq.len() as u64));
+            std::hint::black_box(
+                hist::run_large_seq(&w.seq, 256, w.seq.len() as u64)
+                    .expect("hist: 256 buckets over a non-zero range is valid"),
+            );
         }),
         "isort" => time_best(reps, || {
             let mut v = w.seq.clone();

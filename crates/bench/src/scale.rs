@@ -60,13 +60,14 @@ impl Scale {
         }
     }
 
-    /// Parses `small|medium|large`.
+    /// Parses `gate|small|medium|large`.
     pub fn parse(s: &str) -> Result<Scale, String> {
         match s {
+            "gate" => Ok(Scale::gate()),
             "small" => Ok(Scale::small()),
             "medium" => Ok(Scale::medium()),
             "large" => Ok(Scale::large()),
-            other => Err(format!("unknown scale {other} (small|medium|large)")),
+            other => Err(format!("unknown scale {other} (gate|small|medium|large)")),
         }
     }
 }
@@ -83,10 +84,12 @@ mod tests {
 
     #[test]
     fn parse_round_trip() {
+        assert_eq!(Scale::parse("gate"), Ok(Scale::gate()));
         assert_eq!(Scale::parse("small"), Ok(Scale::small()));
         assert_eq!(Scale::parse("medium"), Ok(Scale::medium()));
         assert_eq!(Scale::parse("large"), Ok(Scale::large()));
-        assert!(Scale::parse("huge").is_err());
+        let err = Scale::parse("huge").unwrap_err();
+        assert!(err.contains("gate|small|medium|large"), "{err}");
     }
 
     #[test]

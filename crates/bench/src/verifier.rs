@@ -1,0 +1,264 @@
+//! The engine behind `rpb verify`: drives the suite's differential
+//! verification ([`rpb_suite::verify`]) across execution modes and
+//! worker-pool sizes, and renders the pass/fail matrix.
+//!
+//! Each cell is one `(benchmark, mode)` pair, run once per requested
+//! worker count inside a dedicated Rayon pool of that size. A cell
+//! fails on the first typed [`rpb_suite::SuiteError`] — or on a panic,
+//! which is caught and reported as a failure rather than killing the
+//! sweep. The harness exits [`EXIT_DIVERGENCE`] when any cell fails, so
+//! CI can block on it.
+
+use std::fmt::Write as _;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use rpb_fearless::{ExecMode, ALL_MODES};
+use rpb_suite::verify::{verify_pair, SuiteInputs, SUITE_BENCHES};
+
+use crate::figures::in_pool;
+use crate::workloads::Workloads;
+
+/// Every cell agreed.
+pub const EXIT_OK: i32 = 0;
+/// At least one cell diverged, violated an invariant, or panicked.
+pub const EXIT_DIVERGENCE: i32 = 1;
+
+/// What to run: which benchmarks, modes, and pool sizes.
+pub struct VerifyConfig {
+    /// Benchmark abbreviations; empty means the full suite.
+    pub benches: Vec<String>,
+    /// Execution modes to cover.
+    pub modes: Vec<ExecMode>,
+    /// Worker-pool sizes each cell runs under.
+    pub workers: Vec<usize>,
+    /// Corrupt this benchmark's parallel output before checking — a
+    /// testing hook proving the failure path (FAIL cell, nonzero exit)
+    /// works end to end.
+    pub inject: Option<String>,
+}
+
+impl Default for VerifyConfig {
+    fn default() -> Self {
+        VerifyConfig {
+            benches: Vec::new(),
+            modes: ALL_MODES.to_vec(),
+            workers: vec![1, 2],
+            inject: None,
+        }
+    }
+}
+
+/// Result of a matrix sweep.
+pub struct VerifyOutcome {
+    /// The rendered matrix + failure details + summary line.
+    pub rendered: String,
+    /// One line per failed `(bench, mode, workers)` run.
+    pub failures: Vec<String>,
+    /// Number of `(bench, mode)` cells executed.
+    pub cells: usize,
+}
+
+/// Borrows a [`Workloads`] as the suite's verification input set.
+pub fn suite_inputs(w: &Workloads) -> SuiteInputs<'_> {
+    SuiteInputs {
+        text: &w.text,
+        bwt: &w.bwt,
+        seq: &w.seq,
+        points: &w.points,
+        link: &w.link,
+        road: &w.road,
+        wlink: &w.wlink,
+        wroad: &w.wroad,
+        link_edges: (w.link_edges.0, &w.link_edges.1),
+        road_edges: (w.road_edges.0, &w.road_edges.1),
+        rmat_wedges: (w.rmat_wedges.0, &w.rmat_wedges.1),
+        road_wedges: (w.road_wedges.0, &w.road_wedges.1),
+    }
+}
+
+/// Runs the configured matrix. `Err` is a usage problem (unknown
+/// benchmark name, empty mode/worker list) — distinct from verification
+/// failures, which are reported inside the `Ok` outcome.
+pub fn run_matrix(w: &Workloads, cfg: &VerifyConfig) -> Result<VerifyOutcome, String> {
+    let benches: Vec<&str> = if cfg.benches.is_empty() {
+        SUITE_BENCHES.to_vec()
+    } else {
+        cfg.benches
+            .iter()
+            .map(|b| {
+                SUITE_BENCHES
+                    .iter()
+                    .find(|&&s| s == b)
+                    .copied()
+                    .ok_or_else(|| {
+                        format!(
+                            "unknown benchmark `{b}` (valid: {})",
+                            SUITE_BENCHES.join(", ")
+                        )
+                    })
+            })
+            .collect::<Result<_, _>>()?
+    };
+    if let Some(inj) = &cfg.inject {
+        if !SUITE_BENCHES.contains(&inj.as_str()) {
+            return Err(format!(
+                "cannot inject into unknown benchmark `{inj}` (valid: {})",
+                SUITE_BENCHES.join(", ")
+            ));
+        }
+    }
+    if cfg.modes.is_empty() {
+        return Err("no execution modes selected".into());
+    }
+    if cfg.workers.is_empty() || cfg.workers.contains(&0) {
+        return Err("worker counts must be a non-empty list of positive integers".into());
+    }
+
+    let inputs = suite_inputs(w);
+    let mut rendered = String::new();
+    let mut failures: Vec<String> = Vec::new();
+    let mut cells = 0usize;
+
+    write!(rendered, "{:<8}", "bench").expect("write to string");
+    for mode in &cfg.modes {
+        write!(rendered, " {:<8}", mode.label()).expect("write to string");
+    }
+    rendered.push('\n');
+    for &bench in &benches {
+        write!(rendered, "{bench:<8}").expect("write to string");
+        for &mode in &cfg.modes {
+            cells += 1;
+            let mut cell_ok = true;
+            for &workers in &cfg.workers {
+                let inject = cfg.inject.as_deref() == Some(bench);
+                if let Err(detail) = run_cell(&inputs, bench, mode, workers, inject) {
+                    failures.push(format!(
+                        "{bench}/{} @{workers} workers: {detail}",
+                        mode.label()
+                    ));
+                    cell_ok = false;
+                    break;
+                }
+            }
+            write!(rendered, " {:<8}", if cell_ok { "ok" } else { "FAIL" })
+                .expect("write to string");
+        }
+        rendered.push('\n');
+    }
+    rendered.push('\n');
+    for f in &failures {
+        writeln!(rendered, "FAIL {f}").expect("write to string");
+    }
+    let workers: Vec<String> = cfg.workers.iter().map(|n| n.to_string()).collect();
+    writeln!(
+        rendered,
+        "verify: {cells} cells ({} ok, {} FAIL) across workers {{{}}}",
+        cells - failures.len(),
+        failures.len(),
+        workers.join(",")
+    )
+    .expect("write to string");
+    Ok(VerifyOutcome {
+        rendered,
+        failures,
+        cells,
+    })
+}
+
+/// One `(bench, mode, workers)` run inside its own pool, panic-isolated.
+fn run_cell(
+    inputs: &SuiteInputs<'_>,
+    bench: &str,
+    mode: ExecMode,
+    workers: usize,
+    inject: bool,
+) -> Result<(), String> {
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        in_pool(workers, || {
+            verify_pair(bench, inputs, mode, workers, inject)
+        })
+    }));
+    match outcome {
+        Ok(Ok(())) => Ok(()),
+        Ok(Err(e)) => Err(e.to_string()),
+        Err(payload) => Err(format!(
+            "panicked: {}",
+            rpb_parlay::panics::panic_message(&*payload)
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scale::Scale;
+
+    fn tiny_workloads() -> Workloads {
+        let mut scale = Scale::gate();
+        // Shrink below gate so the in-crate matrix tests stay fast; the
+        // CLI regression test exercises the real gate scale.
+        scale.text_len = 2_000;
+        scale.seq_len = 8_000;
+        scale.graph_n = 400;
+        scale.points_n = 200;
+        Workloads::build(scale)
+    }
+
+    #[test]
+    fn clean_subset_matrix_passes() {
+        let w = tiny_workloads();
+        let cfg = VerifyConfig {
+            benches: vec!["hist".into(), "sort".into(), "bfs".into()],
+            workers: vec![1, 2],
+            ..VerifyConfig::default()
+        };
+        let out = run_matrix(&w, &cfg).expect("usage ok");
+        assert_eq!(out.cells, 9, "3 benches x 3 modes");
+        assert!(out.failures.is_empty(), "{}", out.rendered);
+        assert!(
+            out.rendered.contains("9 cells (9 ok, 0 FAIL)"),
+            "{}",
+            out.rendered
+        );
+    }
+
+    #[test]
+    fn injection_renders_fail_cells() {
+        let w = tiny_workloads();
+        let cfg = VerifyConfig {
+            benches: vec!["hist".into(), "sort".into()],
+            modes: vec![ExecMode::Checked],
+            workers: vec![2],
+            inject: Some("hist".into()),
+        };
+        let out = run_matrix(&w, &cfg).expect("usage ok");
+        assert_eq!(out.failures.len(), 1, "{}", out.rendered);
+        assert!(out.failures[0].contains("hist"), "{}", out.failures[0]);
+        assert!(out.rendered.contains("FAIL"), "{}", out.rendered);
+    }
+
+    #[test]
+    fn usage_errors_are_not_failures() {
+        let w = tiny_workloads();
+        let unknown = VerifyConfig {
+            benches: vec!["quicksort".into()],
+            ..VerifyConfig::default()
+        };
+        assert!(run_matrix(&w, &unknown).unwrap_err().contains("quicksort"));
+        let bad_inject = VerifyConfig {
+            inject: Some("quicksort".into()),
+            ..VerifyConfig::default()
+        };
+        assert!(run_matrix(&w, &bad_inject).is_err());
+        let zero_workers = VerifyConfig {
+            workers: vec![0],
+            ..VerifyConfig::default()
+        };
+        assert!(run_matrix(&w, &zero_workers).is_err());
+        let no_modes = VerifyConfig {
+            modes: Vec::new(),
+            ..VerifyConfig::default()
+        };
+        assert!(run_matrix(&w, &no_modes).is_err());
+    }
+}

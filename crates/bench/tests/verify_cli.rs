@@ -1,0 +1,84 @@
+//! `rpb verify` exit-code contract, driven through the real binary:
+//!
+//! 0 on a clean matrix, 1 on any divergence (proved via the `--inject`
+//! corruption hook), 2 on usage errors. CI blocks on exactly these codes,
+//! so they are regression-tested here rather than assumed.
+
+#![cfg(not(miri))]
+
+use std::process::Command;
+
+fn rpb_verify(extra: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_rpb"))
+        .args(["verify", "--scale", "gate", "--workers", "1,2"])
+        .args(extra)
+        .output()
+        .expect("spawn rpb verify")
+}
+
+#[test]
+fn clean_subset_exits_zero_with_matrix() {
+    let out = rpb_verify(&["--suite", "hist,sort,bfs"]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "clean verify must exit 0\nstdout:\n{stdout}\nstderr:\n{stderr}"
+    );
+    assert!(stdout.contains("9 cells (9 ok, 0 FAIL)"), "{stdout}");
+    assert!(!stdout.contains("FAIL "), "{stdout}");
+}
+
+#[test]
+fn injected_divergence_exits_one_and_names_the_bench() {
+    let out = rpb_verify(&["--suite", "hist,sort", "--inject", "hist"]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(
+        out.status.code(),
+        Some(rpb_bench::verifier::EXIT_DIVERGENCE),
+        "injected corruption must exit {}\nstdout:\n{stdout}",
+        rpb_bench::verifier::EXIT_DIVERGENCE
+    );
+    assert!(
+        stdout.contains("FAIL hist/"),
+        "failure detail line\n{stdout}"
+    );
+    // The uncorrupted benchmark still passes in the same sweep.
+    assert!(!stdout.contains("FAIL sort/"), "{stdout}");
+}
+
+#[test]
+fn unknown_suite_name_is_a_usage_error() {
+    let out = rpb_verify(&["--suite", "quicksort"]);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(out.status.code(), Some(2), "{stderr}");
+    assert!(stderr.contains("quicksort"), "{stderr}");
+    assert!(stderr.contains("bfs"), "valid names listed\n{stderr}");
+}
+
+#[test]
+fn unknown_mode_is_a_usage_error_listing_valid_modes() {
+    let out = rpb_verify(&["--mode", "atomic"]);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(out.status.code(), Some(2), "{stderr}");
+    assert!(stderr.contains("atomic"), "{stderr}");
+    assert!(
+        stderr.contains("unsafe") && stderr.contains("checked") && stderr.contains("sync"),
+        "valid modes listed\n{stderr}"
+    );
+}
+
+#[test]
+fn full_matrix_at_gate_scale_is_clean() {
+    let out = rpb_verify(&[]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "full suite must verify\nstdout:\n{stdout}\nstderr:\n{stderr}"
+    );
+    // 14 benchmarks x 3 modes.
+    assert!(stdout.contains("42 cells (42 ok, 0 FAIL)"), "{stdout}");
+}

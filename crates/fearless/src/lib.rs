@@ -49,7 +49,7 @@ pub mod snd_ind;
 pub mod taxonomy;
 
 pub use fn_offsets::{ind_write_fn, transpose};
-pub use mode::ExecMode;
+pub use mode::{ExecMode, ParseExecModeError, ALL_MODES};
 pub use pool::PoolStats;
 pub use proof::{
     validate_chunk_offsets_cached, validate_offsets_cached, ParIndProvedExt, ValidatedChunks,

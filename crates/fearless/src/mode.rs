@@ -67,14 +67,44 @@ impl std::fmt::Display for ExecMode {
     }
 }
 
+/// Rejected [`ExecMode`] label, carrying the offending input so CLI
+/// layers can echo it back alongside the accepted spellings.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseExecModeError {
+    input: String,
+}
+
+impl ParseExecModeError {
+    /// The input that failed to parse, whitespace-trimmed.
+    pub fn input(&self) -> &str {
+        &self.input
+    }
+}
+
+impl std::fmt::Display for ParseExecModeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "unknown exec mode `{}`: valid modes are unsafe, checked, sync \
+             (case-insensitive; `synchronized` is accepted for sync)",
+            self.input
+        )
+    }
+}
+
+impl std::error::Error for ParseExecModeError {}
+
 impl std::str::FromStr for ExecMode {
-    type Err = String;
+    type Err = ParseExecModeError;
     fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let s = s.trim();
         match s.to_ascii_lowercase().as_str() {
             "unsafe" => Ok(ExecMode::Unsafe),
             "checked" => Ok(ExecMode::Checked),
             "sync" | "synchronized" => Ok(ExecMode::Sync),
-            other => Err(format!("unknown exec mode: {other} (unsafe|checked|sync)")),
+            _ => Err(ParseExecModeError {
+                input: s.to_string(),
+            }),
         }
     }
 }
@@ -90,6 +120,25 @@ mod tests {
             assert_eq!(parsed, m);
         }
         assert!("bogus".parse::<ExecMode>().is_err());
+    }
+
+    #[test]
+    fn parse_is_case_insensitive_and_trims() {
+        assert_eq!("UNSAFE".parse::<ExecMode>(), Ok(ExecMode::Unsafe));
+        assert_eq!("Checked".parse::<ExecMode>(), Ok(ExecMode::Checked));
+        assert_eq!(" sync\n".parse::<ExecMode>(), Ok(ExecMode::Sync));
+        assert_eq!("Synchronized".parse::<ExecMode>(), Ok(ExecMode::Sync));
+    }
+
+    #[test]
+    fn parse_error_names_input_and_valid_modes() {
+        let err = " atomic ".parse::<ExecMode>().unwrap_err();
+        assert_eq!(err.input(), "atomic");
+        let msg = err.to_string();
+        assert!(msg.contains("`atomic`"), "{msg}");
+        for valid in ["unsafe", "checked", "sync"] {
+            assert!(msg.contains(valid), "{msg} missing {valid}");
+        }
     }
 
     #[test]

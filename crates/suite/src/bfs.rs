@@ -15,6 +15,8 @@ use rpb_fearless::ExecMode;
 use rpb_graph::Graph;
 use rpb_multiqueue::execute;
 
+use crate::error::SuiteError;
+
 /// Unreachable marker.
 pub const INF: u64 = u64::MAX;
 
@@ -52,6 +54,72 @@ pub fn run_seq(g: &Graph, src: usize) -> Vec<u64> {
     rpb_graph::seq::bfs(g, src)
 }
 
+/// Distance-certificate invariant: `dist` is exactly the hop distance
+/// from `src`, proved without an oracle run.
+///
+/// Three conditions make the certificate complete:
+/// 1. `dist[src] == 0`,
+/// 2. *level consistency* — every arc `(u, v)` with `dist[u]` finite has
+///    `dist[v] <= dist[u] + 1` (so no claimed distance exceeds the true
+///    one), and
+/// 3. *parent witness* — every finite non-source `v` has an in-neighbour
+///    at exactly `dist[v] - 1`. Following witnesses strictly decreases
+///    the level, so the chain terminates at the only level-0 vertex
+///    (`src`), exhibiting a real path of length `dist[v]`.
+///
+/// Together 2 and 3 sandwich every entry between the true distance from
+/// both sides, so any corruption of a reachable entry — and any finite
+/// label on an unreachable vertex — is caught.
+pub fn verify(g: &Graph, src: usize, dist: &[u64]) -> Result<(), SuiteError> {
+    let n = g.num_vertices();
+    if dist.len() != n {
+        return Err(SuiteError::invariant(
+            "bfs",
+            format!("{} distances for {n} vertices", dist.len()),
+        ));
+    }
+    if src >= n {
+        return Err(SuiteError::malformed(
+            "bfs",
+            format!("source {src} out of range for {n} vertices"),
+        ));
+    }
+    if dist[src] != 0 {
+        return Err(SuiteError::invariant(
+            "bfs",
+            format!("dist[src] = {} (want 0)", dist[src]),
+        ));
+    }
+    let mut has_parent = vec![false; n];
+    for u in 0..n {
+        let du = dist[u];
+        if du == INF {
+            continue;
+        }
+        for &v in g.neighbors(u) {
+            let dv = dist[v as usize];
+            if dv > du.saturating_add(1) {
+                return Err(SuiteError::invariant(
+                    "bfs",
+                    format!("arc ({u}, {v}) relaxable: {dv} > {du} + 1"),
+                ));
+            }
+            if dv == du + 1 {
+                has_parent[v as usize] = true;
+            }
+        }
+    }
+    for v in 0..n {
+        if v != src && dist[v] != INF && !has_parent[v] {
+            return Err(SuiteError::invariant(
+                "bfs",
+                format!("vertex {v} at level {} has no parent witness", dist[v]),
+            ));
+        }
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -81,5 +149,37 @@ mod tests {
     fn single_vertex() {
         let g = rpb_graph::Graph::from_edges(1, &[]);
         assert_eq!(run_par(&g, 0, 2, ExecMode::Sync), vec![0]);
+    }
+
+    #[test]
+    fn verify_certifies_and_rejects() {
+        let g = inputs::graph(GraphKind::Link, 600);
+        let mut d = run_par(&g, 0, 2, ExecMode::Sync);
+        verify(&g, 0, &d).expect("clean distances certify");
+        // Source corrupted.
+        let saved = d[0];
+        d[0] = 1;
+        assert!(verify(&g, 0, &d).is_err());
+        d[0] = saved;
+        // A reachable vertex pulled closer than possible: breaks its own
+        // parent witness (or a neighbour's level consistency).
+        if let Some(v) = (1..d.len()).find(|&v| d[v] != INF && d[v] > 1) {
+            let saved = d[v];
+            d[v] = 1;
+            assert!(verify(&g, 0, &d).is_err(), "vertex {v} pulled to 1");
+            d[v] = saved;
+            // Pushed farther: the in-arc from its true parent is relaxable.
+            d[v] = saved + 1;
+            assert!(verify(&g, 0, &d).is_err(), "vertex {v} pushed out");
+            d[v] = saved;
+        }
+        // A fabricated finite label on an unreachable vertex.
+        let iso = rpb_graph::Graph::undirected_from_edges(3, &[(0, 1)]);
+        let mut d = run_seq(&iso, 0);
+        d[2] = 5;
+        assert!(verify(&iso, 0, &d).is_err());
+        // Wrong length and bad source are typed errors, not panics.
+        assert!(verify(&iso, 0, &[0]).is_err());
+        assert!(verify(&iso, 9, &[0, 1, INF]).is_err());
     }
 }

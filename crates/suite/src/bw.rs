@@ -13,27 +13,52 @@ use rpb_fearless::{
 use rpb_parlay::list_rank::{list_order, NIL};
 use rpb_text::bwt::{lf_mapping, SENTINEL};
 
-/// Parallel BWT decode in the given mode. Input must contain the sentinel
-/// byte exactly once; returns the text without sentinel.
-pub fn run_par(bwt: &[u8], mode: ExecMode) -> Vec<u8> {
-    let m = bwt.len();
-    if m <= 1 {
-        return Vec::new();
+use crate::error::SuiteError;
+
+/// Finds the sentinel row, rejecting inputs that are not the BWT of any
+/// text (no sentinel, or more than one).
+fn sentinel_pos(bwt: &[u8]) -> Result<usize, SuiteError> {
+    match bwt.iter().position(|&c| c == SENTINEL) {
+        None => Err(SuiteError::malformed(
+            "bw",
+            "the sentinel byte is missing from the BWT",
+        )),
+        Some(p) if bwt[p + 1..].contains(&SENTINEL) => Err(SuiteError::malformed(
+            "bw",
+            "the sentinel byte occurs more than once in the BWT",
+        )),
+        Some(p) => Ok(p),
     }
-    let lf = lf_mapping(bwt);
-    let p0 = bwt
-        .iter()
-        .position(|&c| c == SENTINEL)
-        .expect("bw: sentinel missing");
-    let mut next = lf;
-    let back = next
-        .par_iter()
-        .position_any(|&t| t == p0)
-        .expect("bw: malformed LF chain");
+}
+
+/// Parallel BWT decode in the given mode. The input must contain the
+/// sentinel byte exactly once; returns the text without sentinel, or a
+/// [`SuiteError::MalformedInput`] for byte strings that are not the BWT
+/// of any text.
+pub fn run_par(bwt: &[u8], mode: ExecMode) -> Result<Vec<u8>, SuiteError> {
+    let p0 = sentinel_pos(bwt)?;
+    let m = bwt.len();
+    if m == 1 {
+        return Ok(Vec::new());
+    }
+    let mut next = lf_mapping(bwt);
+    // The LF mapping is a permutation by construction, so some row maps
+    // back to the sentinel row; break the cycle there.
+    let back = next.par_iter().position_any(|&t| t == p0).ok_or_else(|| {
+        SuiteError::malformed("bw", "no row of the LF mapping leads back to the sentinel")
+    })?;
     next[back] = NIL;
     // order[k] = the row visited at step k; text index m-1-k.
     let order = list_order(&next, p0);
-    assert_eq!(order.len(), m, "bw: LF chain does not cover all rows");
+    if order.len() != m {
+        return Err(SuiteError::malformed(
+            "bw",
+            format!(
+                "the LF chain covers {} of {m} rows — not the BWT of any text",
+                order.len()
+            ),
+        ));
+    }
     // Scatter: out[m-1-k] = bwt[order[k]]. The offsets m-1-k over k are a
     // permutation (SngInd); we skip k = 0 (the sentinel slot).
     let offsets: Vec<usize> = (1..m).map(|k| m - 1 - k).collect();
@@ -47,13 +72,13 @@ pub fn run_par(bwt: &[u8], mode: ExecMode) -> Vec<u8> {
             });
         }
         ExecMode::Checked => {
-            match validate_offsets_cached(&offsets, out.len(), UniquenessCheck::Adaptive) {
-                Ok(proof) => out
-                    .par_ind_iter_mut_proved(&proof)
-                    .enumerate()
-                    .for_each(|(j, slot)| *slot = bwt[order[j + 1]]),
-                Err(e) => panic!("bw scatter: {e}"),
-            }
+            let proof = validate_offsets_cached(&offsets, out.len(), UniquenessCheck::Adaptive)
+                .map_err(|e| {
+                    SuiteError::invariant("bw", format!("scatter offsets rejected: {e}"))
+                })?;
+            out.par_ind_iter_mut_proved(&proof)
+                .enumerate()
+                .for_each(|(j, slot)| *slot = bwt[order[j + 1]]);
         }
         ExecMode::Sync => {
             use std::sync::atomic::{AtomicU8, Ordering};
@@ -66,12 +91,43 @@ pub fn run_par(bwt: &[u8], mode: ExecMode) -> Vec<u8> {
             });
         }
     }
-    out
+    Ok(out)
 }
 
-/// Sequential baseline.
-pub fn run_seq(bwt: &[u8]) -> Vec<u8> {
-    rpb_text::bwt::bwt_decode_seq(bwt)
+/// Sequential baseline. Validates the sentinel precondition like
+/// [`run_par`]; a single-sentinel input that is nevertheless not a real
+/// BWT yields an arbitrary byte string, which [`verify`] rejects.
+pub fn run_seq(bwt: &[u8]) -> Result<Vec<u8>, SuiteError> {
+    sentinel_pos(bwt)?;
+    Ok(rpb_text::bwt::bwt_decode_seq(bwt))
+}
+
+/// Round-trip invariant: `decoded` is the text whose BWT is `bwt`.
+///
+/// The BWT of a sentinel-terminated text is unique, so re-encoding the
+/// decoded text and comparing byte-for-byte is a complete check — any
+/// corruption of the decode output changes the re-encoded transform.
+pub fn verify(bwt: &[u8], decoded: &[u8]) -> Result<(), SuiteError> {
+    let want_len = bwt.len().saturating_sub(1);
+    if decoded.len() != want_len {
+        return Err(SuiteError::invariant(
+            "bw",
+            format!("decoded {} bytes, want {want_len}", decoded.len()),
+        ));
+    }
+    if decoded.contains(&SENTINEL) {
+        return Err(SuiteError::invariant(
+            "bw",
+            "decoded text contains the sentinel byte",
+        ));
+    }
+    if rpb_text::bwt_encode(decoded, ExecMode::Checked) != bwt {
+        return Err(SuiteError::invariant(
+            "bw",
+            "re-encoding the decoded text does not reproduce the input BWT",
+        ));
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -84,19 +140,68 @@ mod tests {
         let text = inputs::wiki(30_000);
         let bwt = rpb_text::bwt_encode(&text, ExecMode::Unsafe);
         for mode in [ExecMode::Unsafe, ExecMode::Checked, ExecMode::Sync] {
-            assert_eq!(run_par(&bwt, mode), text, "{mode}");
+            let got = run_par(&bwt, mode).expect("decode");
+            assert_eq!(got, text, "{mode}");
+            verify(&bwt, &got).expect("round trip");
         }
-        assert_eq!(run_seq(&bwt), text);
+        assert_eq!(run_seq(&bwt).expect("decode"), text);
     }
 
     #[test]
     fn tiny_input() {
         let bwt = rpb_text::bwt_encode(b"abracadabra", ExecMode::Checked);
-        assert_eq!(run_par(&bwt, ExecMode::Checked), b"abracadabra".to_vec());
+        assert_eq!(
+            run_par(&bwt, ExecMode::Checked).expect("decode"),
+            b"abracadabra".to_vec()
+        );
     }
 
     #[test]
     fn empty() {
-        assert!(run_par(&[SENTINEL], ExecMode::Checked).is_empty());
+        assert!(run_par(&[SENTINEL], ExecMode::Checked)
+            .expect("decode")
+            .is_empty());
+    }
+
+    #[test]
+    fn missing_sentinel_is_a_typed_error() {
+        let err = run_par(b"abc", ExecMode::Checked).unwrap_err();
+        assert!(matches!(err, SuiteError::MalformedInput { .. }), "{err}");
+        assert_eq!(err.benchmark(), "bw");
+        let err = run_seq(b"").unwrap_err();
+        assert!(matches!(err, SuiteError::MalformedInput { .. }), "{err}");
+    }
+
+    #[test]
+    fn duplicate_sentinel_is_a_typed_error() {
+        let err = run_par(&[1, SENTINEL, 2, SENTINEL], ExecMode::Unsafe).unwrap_err();
+        assert!(matches!(err, SuiteError::MalformedInput { .. }), "{err}");
+    }
+
+    #[test]
+    fn broken_lf_chain_is_a_typed_error() {
+        // One sentinel, but the byte multiset cannot close a single LF
+        // cycle over all rows: "aa\0a" decodes a 2-cycle + fixed points.
+        let bogus = [b'a', b'a', SENTINEL, b'a'];
+        match run_par(&bogus, ExecMode::Checked) {
+            Err(SuiteError::MalformedInput { .. }) => {}
+            Err(e) => panic!("wrong error kind: {e}"),
+            // Some near-BWT strings still decode; the round trip must
+            // then reject the output.
+            Ok(out) => assert!(verify(&bogus, &out).is_err()),
+        }
+    }
+
+    #[test]
+    fn verify_catches_corruption() {
+        let text = inputs::wiki(2_000);
+        let bwt = rpb_text::bwt_encode(&text, ExecMode::Checked);
+        let mut out = run_par(&bwt, ExecMode::Checked).expect("decode");
+        verify(&bwt, &out).expect("clean output passes");
+        let mid = out.len() / 2;
+        out[mid] = if out[mid] == b'z' { b'y' } else { b'z' };
+        assert!(verify(&bwt, &out).is_err());
+        out.truncate(10);
+        assert!(verify(&bwt, &out).is_err());
     }
 }

@@ -17,6 +17,8 @@ use rayon::prelude::*;
 use rpb_concurrent::ConcurrentHashSet;
 use rpb_fearless::ExecMode;
 
+use crate::error::SuiteError;
+
 /// Parallel dedup; returns the distinct values, sorted ascending.
 pub fn run_par(data: &[u64], mode: ExecMode) -> Vec<u64> {
     match mode {
@@ -53,6 +55,33 @@ pub fn run_seq(data: &[u64]) -> Vec<u64> {
     out
 }
 
+/// Set-equality invariant: `out` is exactly the distinct values of
+/// `input`, in the sorted canonical order the contract promises.
+///
+/// Strict ascent rules out both duplicates and disorder; equality with
+/// the independently-computed sorted distinct set rules out dropped or
+/// invented values.
+pub fn verify(input: &[u64], out: &[u64]) -> Result<(), SuiteError> {
+    if let Some(w) = out.windows(2).find(|w| w[0] >= w[1]) {
+        return Err(SuiteError::invariant(
+            "dedup",
+            format!("output not strictly ascending at value {}", w[0]),
+        ));
+    }
+    let want = run_seq(input);
+    if out != want {
+        return Err(SuiteError::invariant(
+            "dedup",
+            format!(
+                "{} distinct values returned, want {}",
+                out.len(),
+                want.len()
+            ),
+        ));
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -84,5 +113,24 @@ mod tests {
     fn empty() {
         assert!(run_par(&[], ExecMode::Checked).is_empty());
         assert!(run_par(&[], ExecMode::Sync).is_empty());
+    }
+
+    #[test]
+    fn verify_catches_duplicates_disorder_and_set_drift() {
+        let data: Vec<u64> = (0..5_000).map(|i| i % 101).collect();
+        let out = run_par(&data, ExecMode::Sync);
+        verify(&data, &out).expect("clean output");
+        let mut dup = out.clone();
+        dup.insert(1, dup[0]);
+        assert!(verify(&data, &dup).is_err(), "duplicate kept");
+        let mut missing = out.clone();
+        missing.pop();
+        assert!(verify(&data, &missing).is_err(), "value dropped");
+        let mut invented = out.clone();
+        invented.push(u64::MAX);
+        assert!(verify(&data, &invented).is_err(), "value invented");
+        let mut unsorted = out;
+        unsorted.swap(0, 1);
+        assert!(verify(&data, &unsorted).is_err(), "order broken");
     }
 }

@@ -11,6 +11,8 @@
 use rpb_fearless::ExecMode;
 use rpb_geom::{delaunay, refine, refine_seq, Point, RefineParams, RefineStats, Triangulation};
 
+use crate::error::SuiteError;
+
 /// Output of a `dr` run.
 pub struct DrResult {
     /// The refined mesh.
@@ -42,17 +44,23 @@ pub fn run_seq(points: &[Point]) -> DrResult {
 
 /// Verifies the refinement postcondition: structurally valid mesh and no
 /// refinable skinny triangle left behind.
-pub fn verify(points: &[Point], r: &DrResult) -> Result<(), String> {
+pub fn verify(points: &[Point], r: &DrResult) -> Result<(), SuiteError> {
     r.mesh.check_valid();
     let p = params(points);
     if r.stats.inserted >= p.max_steiner {
-        return Err(format!("hit the Steiner cap ({})", r.stats.inserted));
+        return Err(SuiteError::invariant(
+            "dr",
+            format!("hit the Steiner cap ({})", r.stats.inserted),
+        ));
     }
     let skinny = rpb_geom::refine::count_skinny(&r.mesh, &p);
     if skinny > r.stats.unrefinable {
-        return Err(format!(
-            "{skinny} skinny triangles remain but only {} marked unrefinable",
-            r.stats.unrefinable
+        return Err(SuiteError::invariant(
+            "dr",
+            format!(
+                "{skinny} skinny triangles remain but only {} marked unrefinable",
+                r.stats.unrefinable
+            ),
         ));
     }
     Ok(())

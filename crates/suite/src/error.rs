@@ -1,0 +1,149 @@
+//! Typed errors for the suite's fallible entry points and invariant
+//! checkers.
+//!
+//! Every error carries the benchmark abbreviation it came from, so the
+//! differential-verification matrix ([`crate::verify`]) can render a
+//! failing cell without re-deriving context, and so a malformed or
+//! degenerate input surfaces as an `Err` row instead of a panic that
+//! kills the whole sweep.
+
+use std::fmt;
+
+/// What went wrong in a suite run or verification.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SuiteError {
+    /// The input violates the benchmark's precondition (e.g. a BWT
+    /// without its sentinel): no output exists for it.
+    MalformedInput {
+        /// Benchmark abbreviation ("bw", "hist", ...).
+        benchmark: &'static str,
+        /// Human-readable description of the precondition violation.
+        reason: String,
+    },
+    /// A parameter makes the run meaningless (zero histogram buckets,
+    /// zero delta-stepping width).
+    DegenerateParameter {
+        /// Benchmark abbreviation.
+        benchmark: &'static str,
+        /// Which parameter, and why it is degenerate.
+        reason: String,
+    },
+    /// An output violates the benchmark's own postcondition
+    /// (unsortedness, a cycle in a forest, a broken round-trip, ...).
+    InvariantViolated {
+        /// Benchmark abbreviation.
+        benchmark: &'static str,
+        /// The violated invariant.
+        reason: String,
+    },
+    /// Two implementations or modes that must agree (after
+    /// canonicalization) did not.
+    Divergence {
+        /// Benchmark abbreviation.
+        benchmark: &'static str,
+        /// Which outputs diverged.
+        reason: String,
+    },
+}
+
+impl SuiteError {
+    /// A [`SuiteError::MalformedInput`].
+    pub fn malformed(benchmark: &'static str, reason: impl Into<String>) -> SuiteError {
+        SuiteError::MalformedInput {
+            benchmark,
+            reason: reason.into(),
+        }
+    }
+
+    /// A [`SuiteError::DegenerateParameter`].
+    pub fn degenerate(benchmark: &'static str, reason: impl Into<String>) -> SuiteError {
+        SuiteError::DegenerateParameter {
+            benchmark,
+            reason: reason.into(),
+        }
+    }
+
+    /// An [`SuiteError::InvariantViolated`].
+    pub fn invariant(benchmark: &'static str, reason: impl Into<String>) -> SuiteError {
+        SuiteError::InvariantViolated {
+            benchmark,
+            reason: reason.into(),
+        }
+    }
+
+    /// A [`SuiteError::Divergence`].
+    pub fn divergence(benchmark: &'static str, reason: impl Into<String>) -> SuiteError {
+        SuiteError::Divergence {
+            benchmark,
+            reason: reason.into(),
+        }
+    }
+
+    /// The benchmark abbreviation the error came from.
+    pub fn benchmark(&self) -> &'static str {
+        match self {
+            SuiteError::MalformedInput { benchmark, .. }
+            | SuiteError::DegenerateParameter { benchmark, .. }
+            | SuiteError::InvariantViolated { benchmark, .. }
+            | SuiteError::Divergence { benchmark, .. } => benchmark,
+        }
+    }
+
+    /// The human-readable detail.
+    pub fn reason(&self) -> &str {
+        match self {
+            SuiteError::MalformedInput { reason, .. }
+            | SuiteError::DegenerateParameter { reason, .. }
+            | SuiteError::InvariantViolated { reason, .. }
+            | SuiteError::Divergence { reason, .. } => reason,
+        }
+    }
+}
+
+impl fmt::Display for SuiteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let kind = match self {
+            SuiteError::MalformedInput { .. } => "malformed input",
+            SuiteError::DegenerateParameter { .. } => "degenerate parameter",
+            SuiteError::InvariantViolated { .. } => "invariant violated",
+            SuiteError::Divergence { .. } => "divergence",
+        };
+        write!(f, "{}: {kind}: {}", self.benchmark(), self.reason())
+    }
+}
+
+impl std::error::Error for SuiteError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_benchmark_and_kind() {
+        let e = SuiteError::malformed("bw", "sentinel missing");
+        assert_eq!(e.to_string(), "bw: malformed input: sentinel missing");
+        assert_eq!(e.benchmark(), "bw");
+        assert_eq!(e.reason(), "sentinel missing");
+
+        let e = SuiteError::degenerate("hist", "nbuckets = 0");
+        assert_eq!(e.to_string(), "hist: degenerate parameter: nbuckets = 0");
+
+        let e = SuiteError::invariant("sort", "not sorted");
+        assert_eq!(e.to_string(), "sort: invariant violated: not sorted");
+
+        let e = SuiteError::divergence("msf", "weight differs");
+        assert_eq!(e.to_string(), "msf: divergence: weight differs");
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(
+            SuiteError::invariant("sa", "x"),
+            SuiteError::invariant("sa", "x")
+        );
+        assert_ne!(
+            SuiteError::invariant("sa", "x"),
+            SuiteError::divergence("sa", "x")
+        );
+    }
+}

@@ -12,6 +12,10 @@
 //! types without atomic support must fall back to `Mutex`es, costing ~4×.
 //! [`run_large`] reproduces that variant with a multi-word accumulator
 //! ([`LargeBin`]).
+//!
+//! A zero bucket count is a degenerate parameter: every entry point
+//! returns [`SuiteError::DegenerateParameter`] for it instead of
+//! panicking, so the verify matrix reports it as a failed cell.
 
 use rayon::prelude::*;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -20,15 +24,21 @@ use parking_lot::Mutex;
 
 use rpb_fearless::ExecMode;
 
+use crate::error::SuiteError;
+
 /// Number of elements per local-histogram block.
 const BLOCK: usize = 1 << 14;
 
 /// Parallel histogram of `data` into `nbuckets` equal-width buckets over
 /// `[0, range)`.
-pub fn run_par(data: &[u64], nbuckets: usize, range: u64, mode: ExecMode) -> Vec<u64> {
-    assert!(nbuckets > 0);
-    let bucket_of = bucketer(nbuckets, range);
-    match mode {
+pub fn run_par(
+    data: &[u64],
+    nbuckets: usize,
+    range: u64,
+    mode: ExecMode,
+) -> Result<Vec<u64>, SuiteError> {
+    let bucket_of = bucketer(nbuckets, range)?;
+    Ok(match mode {
         ExecMode::Unsafe | ExecMode::Checked => {
             // Per-block locals + merge: fearless safe Rust.
             data.par_chunks(BLOCK)
@@ -56,22 +66,48 @@ pub fn run_par(data: &[u64], nbuckets: usize, range: u64, mode: ExecMode) -> Vec
             });
             counts.into_iter().map(|c| c.into_inner()).collect()
         }
-    }
+    })
 }
 
 /// Sequential baseline.
-pub fn run_seq(data: &[u64], nbuckets: usize, range: u64) -> Vec<u64> {
-    let bucket_of = bucketer(nbuckets, range);
+pub fn run_seq(data: &[u64], nbuckets: usize, range: u64) -> Result<Vec<u64>, SuiteError> {
+    let bucket_of = bucketer(nbuckets, range)?;
     let mut counts = vec![0u64; nbuckets];
     for &x in data {
         counts[bucket_of(x)] += 1;
     }
-    counts
+    Ok(counts)
 }
 
-fn bucketer(nbuckets: usize, range: u64) -> impl Fn(u64) -> usize {
+/// Mass-conservation invariant: one bucket per requested bin, and the
+/// counts sum to the element count (every element lands in exactly one
+/// bucket — the property the atomic and merge variants must both keep).
+pub fn verify(data: &[u64], nbuckets: usize, counts: &[u64]) -> Result<(), SuiteError> {
+    if counts.len() != nbuckets {
+        return Err(SuiteError::invariant(
+            "hist",
+            format!("{} buckets returned, want {nbuckets}", counts.len()),
+        ));
+    }
+    let total: u64 = counts.iter().sum();
+    if total != data.len() as u64 {
+        return Err(SuiteError::invariant(
+            "hist",
+            format!("counts sum to {total}, want {} elements", data.len()),
+        ));
+    }
+    Ok(())
+}
+
+fn bucketer(nbuckets: usize, range: u64) -> Result<impl Fn(u64) -> usize, SuiteError> {
+    if nbuckets == 0 {
+        return Err(SuiteError::degenerate(
+            "hist",
+            "bucket count must be positive",
+        ));
+    }
     let width = (range / nbuckets as u64).max(1);
-    move |x: u64| ((x / width) as usize).min(nbuckets - 1)
+    Ok(move |x: u64| ((x / width) as usize).min(nbuckets - 1))
 }
 
 /// A multi-word accumulator with no atomic equivalent — the "large
@@ -126,10 +162,14 @@ impl LargeBin {
 /// * non-`Sync` modes: per-block locals + merge,
 /// * [`ExecMode::Sync`]: one `Mutex<LargeBin>` per bucket — the 4×
 ///   configuration of Fig. 5(b).
-pub fn run_large(data: &[u64], nbuckets: usize, range: u64, mode: ExecMode) -> Vec<LargeBin> {
-    assert!(nbuckets > 0);
-    let bucket_of = bucketer(nbuckets, range);
-    match mode {
+pub fn run_large(
+    data: &[u64],
+    nbuckets: usize,
+    range: u64,
+    mode: ExecMode,
+) -> Result<Vec<LargeBin>, SuiteError> {
+    let bucket_of = bucketer(nbuckets, range)?;
+    Ok(match mode {
         ExecMode::Unsafe | ExecMode::Checked => data
             .par_chunks(BLOCK)
             .map(|chunk| {
@@ -157,17 +197,21 @@ pub fn run_large(data: &[u64], nbuckets: usize, range: u64, mode: ExecMode) -> V
             });
             bins.into_iter().map(|m| m.into_inner()).collect()
         }
-    }
+    })
 }
 
 /// Sequential large-bin baseline.
-pub fn run_large_seq(data: &[u64], nbuckets: usize, range: u64) -> Vec<LargeBin> {
-    let bucket_of = bucketer(nbuckets, range);
+pub fn run_large_seq(
+    data: &[u64],
+    nbuckets: usize,
+    range: u64,
+) -> Result<Vec<LargeBin>, SuiteError> {
+    let bucket_of = bucketer(nbuckets, range)?;
     let mut bins = vec![LargeBin::default(); nbuckets];
     for &x in data {
         bins[bucket_of(x)].add(x);
     }
-    bins
+    Ok(bins)
 }
 
 #[cfg(test)]
@@ -179,10 +223,12 @@ mod tests {
     fn all_modes_match_sequential() {
         let data = inputs::exponential(200_000);
         let range = 200_000;
-        let want = run_seq(&data, 256, range);
+        let want = run_seq(&data, 256, range).expect("hist");
         assert_eq!(want.iter().sum::<u64>(), data.len() as u64);
         for mode in [ExecMode::Unsafe, ExecMode::Checked, ExecMode::Sync] {
-            assert_eq!(run_par(&data, 256, range, mode), want, "{mode}");
+            let got = run_par(&data, 256, range, mode).expect("hist");
+            assert_eq!(got, want, "{mode}");
+            verify(&data, 256, &got).expect("mass conserved");
         }
     }
 
@@ -190,28 +236,64 @@ mod tests {
     fn large_bins_match_sequential() {
         let data = inputs::exponential(100_000);
         let range = 100_000;
-        let want = run_large_seq(&data, 64, range);
+        let want = run_large_seq(&data, 64, range).expect("hist");
         for mode in [ExecMode::Unsafe, ExecMode::Checked, ExecMode::Sync] {
-            assert_eq!(run_large(&data, 64, range, mode), want, "{mode}");
+            assert_eq!(
+                run_large(&data, 64, range, mode).expect("hist"),
+                want,
+                "{mode}"
+            );
         }
     }
 
     #[test]
     fn single_bucket_counts_everything() {
         let data = vec![1u64, 2, 3];
-        assert_eq!(run_par(&data, 1, 10, ExecMode::Sync), vec![3]);
+        assert_eq!(
+            run_par(&data, 1, 10, ExecMode::Sync).expect("hist"),
+            vec![3]
+        );
     }
 
     #[test]
     fn out_of_range_values_clamp_to_last_bucket() {
         let data = vec![999u64];
-        let h = run_par(&data, 4, 100, ExecMode::Checked);
+        let h = run_par(&data, 4, 100, ExecMode::Checked).expect("hist");
         assert_eq!(h[3], 1);
     }
 
     #[test]
     fn empty_input() {
-        let h = run_par(&[], 8, 100, ExecMode::Unsafe);
+        let h = run_par(&[], 8, 100, ExecMode::Unsafe).expect("hist");
         assert_eq!(h, vec![0; 8]);
+    }
+
+    #[test]
+    fn zero_buckets_is_a_typed_error() {
+        for result in [
+            run_par(&[1], 0, 10, ExecMode::Checked).map(|_| ()),
+            run_seq(&[1], 0, 10).map(|_| ()),
+            run_large(&[1], 0, 10, ExecMode::Sync).map(|_| ()),
+            run_large_seq(&[1], 0, 10).map(|_| ()),
+        ] {
+            let err = result.unwrap_err();
+            assert!(
+                matches!(err, SuiteError::DegenerateParameter { .. }),
+                "{err}"
+            );
+            assert_eq!(err.benchmark(), "hist");
+        }
+    }
+
+    #[test]
+    fn verify_catches_lost_and_invented_counts() {
+        let data = vec![5u64; 100];
+        let mut h = run_seq(&data, 4, 10).expect("hist");
+        verify(&data, 4, &h).expect("clean");
+        h[0] += 1;
+        assert!(verify(&data, 4, &h).is_err());
+        h[0] -= 2;
+        assert!(verify(&data, 4, &h).is_err());
+        assert!(verify(&data, 3, &run_seq(&data, 4, 10).expect("hist")).is_err());
     }
 }

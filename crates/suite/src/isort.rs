@@ -18,6 +18,8 @@ use rpb_fearless::{
 };
 use rpb_parlay::scan::scan_inplace_exclusive;
 
+use crate::error::SuiteError;
+
 const RADIX_BITS: u32 = 8;
 const BUCKETS: usize = 1 << RADIX_BITS;
 
@@ -162,6 +164,33 @@ pub fn run_seq(data: &mut [u64], key_bits: u32) {
     }
 }
 
+/// Sort invariant: `got` is ascending and a permutation of `original`
+/// (sorting both and comparing — no element lost or invented by the
+/// scatter passes).
+pub fn verify(original: &[u64], got: &[u64]) -> Result<(), SuiteError> {
+    if let Some(i) = (1..got.len()).find(|&i| got[i - 1] > got[i]) {
+        return Err(SuiteError::invariant(
+            "isort",
+            format!("output descends at index {i}"),
+        ));
+    }
+    if got.len() != original.len() {
+        return Err(SuiteError::invariant(
+            "isort",
+            format!("{} elements out, {} in", got.len(), original.len()),
+        ));
+    }
+    let mut want = original.to_vec();
+    want.sort_unstable();
+    if got != want {
+        return Err(SuiteError::invariant(
+            "isort",
+            "output is not a permutation of the input",
+        ));
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -200,5 +229,23 @@ mod tests {
         let mut v = vec![9u64];
         run_par(&mut v, 16, ExecMode::Checked);
         assert_eq!(v, vec![9]);
+    }
+
+    #[test]
+    fn verify_catches_disorder_and_element_drift() {
+        let input = inputs::exponential(5_000);
+        let mut got = input.clone();
+        run_par(&mut got, 32, ExecMode::Checked);
+        verify(&input, &got).expect("clean sort");
+        let mut drifted = got.clone();
+        drifted[0] = drifted[0].wrapping_add(1);
+        assert!(verify(&input, &drifted).is_err(), "element changed");
+        let mut short = got.clone();
+        short.pop();
+        assert!(verify(&input, &short).is_err(), "element dropped");
+        let mut unsorted = got;
+        let last = unsorted.len() - 1;
+        unsorted.swap(0, last);
+        assert!(verify(&input, &unsorted).is_err(), "order broken");
     }
 }

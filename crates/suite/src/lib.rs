@@ -30,12 +30,18 @@
 //! (delta-stepping), [`mis_spec`] (MIS via `speculative_for`), and
 //! [`msf_kruskal`] (parallel filter-Kruskal) — each cross-validated
 //! against its sibling implementation.
+//!
+//! The [`verify`] module ties it together: every benchmark gets a
+//! sequential oracle, a structural invariant checker, and cross-mode
+//! output comparison (with explicit canonicalization where several
+//! answers are legal), surfacing failures as typed [`SuiteError`]s.
 
 pub mod bfs;
 pub mod bfs_frontier;
 pub mod bw;
 pub mod dedup;
 pub mod dr;
+pub mod error;
 pub mod hist;
 pub mod inputs;
 pub mod isort;
@@ -51,5 +57,8 @@ pub mod sf;
 pub mod sort;
 pub mod sssp;
 pub mod sssp_delta;
+pub mod verify;
 
+pub use error::SuiteError;
 pub use meta::{all_benchmarks, BenchInfo};
+pub use verify::{verify_pair, SuiteInputs, SUITE_BENCHES};

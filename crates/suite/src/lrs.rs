@@ -7,6 +7,8 @@
 use rpb_fearless::ExecMode;
 use rpb_text::{lcp_from_sa, suffix_array, suffix_array_seq};
 
+use crate::error::SuiteError;
+
 /// A repeated substring occurrence: two positions and the match length.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Lrs {
@@ -74,19 +76,19 @@ pub fn lcp_seq(text: &[u8], sa: &[u32]) -> Vec<u32> {
 
 /// Confirms the result: the two substrings match for `len` bytes and do
 /// not match for `len + 1`.
-pub fn verify(text: &[u8], r: &Lrs) -> Result<(), String> {
+pub fn verify(text: &[u8], r: &Lrs) -> Result<(), SuiteError> {
     if r.len == 0 {
         return Ok(()); // no repeat claimed
     }
     let (a, b) = (r.pos_a, r.pos_b);
     if a == b {
-        return Err("positions identical".into());
+        return Err(SuiteError::invariant("lrs", "positions identical"));
     }
     if a + r.len > text.len() || b + r.len > text.len() {
-        return Err("match exceeds text".into());
+        return Err(SuiteError::invariant("lrs", "match exceeds text"));
     }
     if text[a..a + r.len] != text[b..b + r.len] {
-        return Err("claimed match differs".into());
+        return Err(SuiteError::invariant("lrs", "claimed match differs"));
     }
     Ok(())
 }

@@ -13,6 +13,8 @@ use rpb_fearless::ExecMode;
 use rpb_graph::Graph;
 use rpb_parlay::random::hash64;
 
+use crate::error::SuiteError;
+
 const UNDECIDED: u8 = 0;
 const IN: u8 = 1;
 const OUT: u8 = 2;
@@ -83,12 +85,21 @@ pub fn run_seq(g: &Graph) -> Vec<bool> {
 }
 
 /// Checks independence and maximality.
-pub fn verify(g: &Graph, mis: &[bool]) -> Result<(), String> {
+pub fn verify(g: &Graph, mis: &[bool]) -> Result<(), SuiteError> {
+    if mis.len() != g.num_vertices() {
+        return Err(SuiteError::invariant(
+            "mis",
+            format!("{} flags for {} vertices", mis.len(), g.num_vertices()),
+        ));
+    }
     for u in 0..g.num_vertices() {
         if mis[u] {
             for &v in g.neighbors(u) {
                 if v as usize != u && mis[v as usize] {
-                    return Err(format!("adjacent vertices {u} and {v} both in MIS"));
+                    return Err(SuiteError::invariant(
+                        "mis",
+                        format!("adjacent vertices {u} and {v} both in MIS"),
+                    ));
                 }
             }
         } else {
@@ -97,7 +108,10 @@ pub fn verify(g: &Graph, mis: &[bool]) -> Result<(), String> {
                 .iter()
                 .any(|&v| v as usize != u && mis[v as usize]);
             if !covered {
-                return Err(format!("vertex {u} could be added (not maximal)"));
+                return Err(SuiteError::invariant(
+                    "mis",
+                    format!("vertex {u} could be added (not maximal)"),
+                ));
             }
         }
     }

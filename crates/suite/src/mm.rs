@@ -12,6 +12,8 @@ use rpb_concurrent::reservations::{speculative_for, ReservationStation};
 use rpb_fearless::ExecMode;
 use rpb_parlay::random::hash64;
 
+use crate::error::SuiteError;
+
 /// Parallel maximal matching; returns a flag per edge of `edges`.
 ///
 /// The priority permutation is derived from edge indices via the PBBS
@@ -86,23 +88,38 @@ fn priority_order(m: usize) -> Vec<usize> {
 }
 
 /// Checks matching validity and maximality.
-pub fn verify(n: usize, edges: &[(u32, u32)], m: &[bool]) -> Result<(), String> {
+pub fn verify(n: usize, edges: &[(u32, u32)], m: &[bool]) -> Result<(), SuiteError> {
+    if m.len() != edges.len() {
+        return Err(SuiteError::invariant(
+            "mm",
+            format!("{} flags for {} edges", m.len(), edges.len()),
+        ));
+    }
     let mut deg = vec![0usize; n];
     for (i, &(u, v)) in edges.iter().enumerate() {
         if m[i] {
             if u == v {
-                return Err(format!("self-loop {i} matched"));
+                return Err(SuiteError::invariant(
+                    "mm",
+                    format!("self-loop {i} matched"),
+                ));
             }
             deg[u as usize] += 1;
             deg[v as usize] += 1;
         }
     }
     if let Some(v) = (0..n).find(|&v| deg[v] > 1) {
-        return Err(format!("vertex {v} matched {} times", deg[v]));
+        return Err(SuiteError::invariant(
+            "mm",
+            format!("vertex {v} matched {} times", deg[v]),
+        ));
     }
     for (i, &(u, v)) in edges.iter().enumerate() {
         if !m[i] && u != v && deg[u as usize] == 0 && deg[v as usize] == 0 {
-            return Err(format!("edge {i} could be added (not maximal)"));
+            return Err(SuiteError::invariant(
+                "mm",
+                format!("edge {i} could be added (not maximal)"),
+            ));
         }
     }
     Ok(())

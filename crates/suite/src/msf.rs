@@ -13,6 +13,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use rpb_concurrent::{write_min_u64, ConcurrentUnionFind};
 use rpb_fearless::ExecMode;
 
+use crate::error::SuiteError;
+
 /// Packs `(weight, edge_index)` into a single u64 priority.
 #[inline]
 fn pack(w: u32, i: usize) -> u64 {
@@ -106,6 +108,119 @@ pub fn run_seq(n: usize, edges: &[(u32, u32, u32)]) -> (Vec<usize>, u64) {
     (chosen, total)
 }
 
+/// Canonical form of a minimum spanning forest.
+///
+/// When duplicate weights admit several valid MSFs, any two share the
+/// total weight, the multiset of chosen weights, and the connected
+/// components they span — but *not* the raw edge-index set. Comparing
+/// implementations through this form avoids false divergence on ties
+/// while still pinning everything the matroid theory guarantees equal.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MsfCanonical {
+    /// Sum of chosen edge weights.
+    pub total_weight: u64,
+    /// Chosen weights, run-length encoded ascending as `(weight, count)`.
+    pub weight_histogram: Vec<(u32, usize)>,
+    /// For each vertex, the smallest vertex id in its forest tree.
+    pub components: Vec<u32>,
+}
+
+/// Canonicalizes a forest given as `chosen` indices into `edges`.
+pub fn canonical(
+    n: usize,
+    edges: &[(u32, u32, u32)],
+    chosen: &[usize],
+    total: u64,
+) -> MsfCanonical {
+    let uf = ConcurrentUnionFind::new(n);
+    let mut weights: Vec<u32> = chosen
+        .iter()
+        .map(|&i| {
+            let (u, v, w) = edges[i];
+            uf.unite(u as usize, v as usize);
+            w
+        })
+        .collect();
+    weights.sort_unstable();
+    let mut weight_histogram: Vec<(u32, usize)> = Vec::new();
+    for w in weights {
+        match weight_histogram.last_mut() {
+            Some((prev, count)) if *prev == w => *count += 1,
+            _ => weight_histogram.push((w, 1)),
+        }
+    }
+    let mut label = vec![u32::MAX; n];
+    // Vertices ascend, so each root's label settles to its min member.
+    for v in 0..n {
+        let r = uf.find(v);
+        if label[r] == u32::MAX {
+            label[r] = v as u32;
+        }
+    }
+    let components = (0..n).map(|v| label[uf.find(v)]).collect();
+    MsfCanonical {
+        total_weight: total,
+        weight_histogram,
+        components,
+    }
+}
+
+/// Spanning-forest invariant: `chosen` indexes a forest (ascending,
+/// in-range, acyclic) that spans every component of the graph, and
+/// `total` is its weight. Minimality is established separately by
+/// comparing [`canonical`] forms against an independent implementation.
+pub fn verify(
+    n: usize,
+    edges: &[(u32, u32, u32)],
+    chosen: &[usize],
+    total: u64,
+) -> Result<(), SuiteError> {
+    if let Some(w) = chosen.windows(2).find(|w| w[0] >= w[1]) {
+        return Err(SuiteError::invariant(
+            "msf",
+            format!("chosen indices not strictly ascending at {}", w[0]),
+        ));
+    }
+    if let Some(&i) = chosen.iter().find(|&&i| i >= edges.len()) {
+        return Err(SuiteError::invariant(
+            "msf",
+            format!("chosen index {i} out of range for {} edges", edges.len()),
+        ));
+    }
+    let uf = ConcurrentUnionFind::new(n);
+    for &i in chosen {
+        let (u, v, _) = edges[i];
+        if !uf.unite(u as usize, v as usize) {
+            return Err(SuiteError::invariant(
+                "msf",
+                format!("chosen edge {i} closes a cycle"),
+            ));
+        }
+    }
+    let full = ConcurrentUnionFind::new(n);
+    let mut components = n;
+    for &(u, v, _) in edges {
+        if full.unite(u as usize, v as usize) {
+            components -= 1;
+        }
+    }
+    let want = n - components;
+    if chosen.len() != want {
+        return Err(SuiteError::invariant(
+            "msf",
+            format!("{} forest edges, want {want} to span", chosen.len()),
+        ));
+    }
+    let sum: u64 = chosen.iter().map(|&i| edges[i].2 as u64).sum();
+    if sum != total {
+        return Err(SuiteError::invariant(
+            "msf",
+            format!("claimed weight {total}, edges sum to {sum}"),
+        ));
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -146,5 +261,59 @@ mod tests {
         let (chosen, total) = run_par(4, &edges, ExecMode::Checked);
         assert_eq!(chosen.len(), 2);
         assert_eq!(total, 9);
+    }
+
+    #[test]
+    fn tied_forests_differ_raw_but_share_canonical_form() {
+        // An equal-weight triangle has three valid MSFs. {0, 1} and
+        // {0, 2} differ as index sets — a raw comparison would flag a
+        // false divergence — yet both must canonicalize identically.
+        let edges = vec![(0u32, 1u32, 1u32), (1, 2, 1), (0, 2, 1)];
+        let a = vec![0usize, 1];
+        let b = vec![0usize, 2];
+        assert_ne!(a, b);
+        verify(3, &edges, &a, 2).expect("forest a spans");
+        verify(3, &edges, &b, 2).expect("forest b spans");
+        let ca = canonical(3, &edges, &a, 2);
+        let cb = canonical(3, &edges, &b, 2);
+        assert_eq!(ca, cb);
+        assert_eq!(ca.total_weight, 2);
+        assert_eq!(ca.weight_histogram, vec![(1, 2)]);
+        assert_eq!(ca.components, vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn duplicate_weight_multigraph_agrees_across_implementations() {
+        // Parallel double edges, all the same weight: heavy tie pressure.
+        let mut edges: Vec<(u32, u32, u32)> = Vec::new();
+        for v in 0..63u32 {
+            edges.push((v, v + 1, 4));
+            edges.push((v, v + 1, 4));
+            edges.push((v, (v + 7) % 64, 4));
+        }
+        let (pc, pw) = run_par(64, &edges, ExecMode::Sync);
+        let (sc, sw) = run_seq(64, &edges);
+        verify(64, &edges, &pc, pw).expect("parallel forest spans");
+        verify(64, &edges, &sc, sw).expect("sequential forest spans");
+        assert_eq!(
+            canonical(64, &edges, &pc, pw),
+            canonical(64, &edges, &sc, sw)
+        );
+    }
+
+    #[test]
+    fn verify_catches_cycles_gaps_and_weight_lies() {
+        let (n, edges) = inputs::weighted_edges(GraphKind::Road, 300);
+        let (chosen, total) = run_seq(n, &edges);
+        verify(n, &edges, &chosen, total).expect("clean forest");
+        assert!(verify(n, &edges, &chosen, total + 1).is_err(), "weight lie");
+        let mut gap = chosen.clone();
+        let dropped = gap.pop().expect("non-empty forest");
+        let w = edges[dropped].2 as u64;
+        assert!(verify(n, &edges, &gap, total - w).is_err(), "gap");
+        assert!(
+            verify(n, &edges, &[0, 0], 2 * edges[0].2 as u64).is_err(),
+            "repeated index"
+        );
     }
 }

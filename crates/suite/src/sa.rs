@@ -7,6 +7,8 @@
 
 use rpb_fearless::ExecMode;
 
+use crate::error::SuiteError;
+
 /// Parallel suffix array in the given mode.
 pub fn run_par(text: &[u8], mode: ExecMode) -> Vec<u32> {
     rpb_text::suffix_array(text, mode)
@@ -18,21 +20,30 @@ pub fn run_seq(text: &[u8]) -> Vec<u32> {
 }
 
 /// Checks that `sa` is the suffix array of `text`.
-pub fn verify(text: &[u8], sa: &[u32]) -> Result<(), String> {
+pub fn verify(text: &[u8], sa: &[u32]) -> Result<(), SuiteError> {
     if sa.len() != text.len() {
-        return Err(format!("length mismatch: {} vs {}", sa.len(), text.len()));
+        return Err(SuiteError::invariant(
+            "sa",
+            format!("length mismatch: {} vs {}", sa.len(), text.len()),
+        ));
     }
     let mut seen = vec![false; text.len()];
     for &i in sa {
         let i = i as usize;
         if i >= text.len() || seen[i] {
-            return Err(format!("not a permutation at {i}"));
+            return Err(SuiteError::invariant(
+                "sa",
+                format!("not a permutation at {i}"),
+            ));
         }
         seen[i] = true;
     }
     for w in sa.windows(2) {
         if text[w[0] as usize..] >= text[w[1] as usize..] {
-            return Err(format!("order violated at suffixes {} and {}", w[0], w[1]));
+            return Err(SuiteError::invariant(
+                "sa",
+                format!("order violated at suffixes {} and {}", w[0], w[1]),
+            ));
         }
     }
     Ok(())

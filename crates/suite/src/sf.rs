@@ -11,6 +11,8 @@ use rayon::prelude::*;
 use rpb_concurrent::ConcurrentUnionFind;
 use rpb_fearless::ExecMode;
 
+use crate::error::SuiteError;
+
 /// Parallel spanning forest; returns the indices of forest edges.
 pub fn run_par(n: usize, edges: &[(u32, u32)], _mode: ExecMode) -> Vec<usize> {
     let uf = ConcurrentUnionFind::new(n);
@@ -44,7 +46,11 @@ pub fn run_seq(n: usize, edges: &[(u32, u32)]) -> Vec<usize> {
 
 /// Verifies `forest` is a spanning forest of the graph: acyclic, and with
 /// exactly `n - #components` edges (so it spans every component).
-pub fn verify(n: usize, edges: &[(u32, u32)], forest: &[usize]) -> Result<(), String> {
+///
+/// Size plus acyclicity pins the partition: an acyclic edge set of that
+/// size must merge exactly the components the full graph merges, so two
+/// valid forests always span the same vertex partition.
+pub fn verify(n: usize, edges: &[(u32, u32)], forest: &[usize]) -> Result<(), SuiteError> {
     let mut parent: Vec<usize> = (0..n).collect();
     fn find(p: &mut [usize], mut x: usize) -> usize {
         while p[x] != x {
@@ -54,18 +60,27 @@ pub fn verify(n: usize, edges: &[(u32, u32)], forest: &[usize]) -> Result<(), St
         x
     }
     for &i in forest {
+        if i >= edges.len() {
+            return Err(SuiteError::invariant(
+                "sf",
+                format!("forest index {i} out of range for {} edges", edges.len()),
+            ));
+        }
         let (u, v) = edges[i];
         let (ru, rv) = (find(&mut parent, u as usize), find(&mut parent, v as usize));
         if ru == rv {
-            return Err(format!("forest edge {i} creates a cycle"));
+            return Err(SuiteError::invariant(
+                "sf",
+                format!("forest edge {i} creates a cycle"),
+            ));
         }
         parent[ru] = rv;
     }
     let expected = n - components(n, edges);
     if forest.len() != expected {
-        return Err(format!(
-            "forest has {} edges, want {expected}",
-            forest.len()
+        return Err(SuiteError::invariant(
+            "sf",
+            format!("forest has {} edges, want {expected}", forest.len()),
         ));
     }
     Ok(())

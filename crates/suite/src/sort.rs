@@ -20,6 +20,8 @@ use rpb_parlay::random::Random;
 use rpb_parlay::scan::scan_inplace_exclusive;
 use rpb_parlay::sendptr::SendPtr;
 
+use crate::error::SuiteError;
+
 /// Parallel sort of `u64` keys in the given mode.
 pub fn run_par(data: &mut [u64], mode: ExecMode) {
     match mode {
@@ -108,14 +110,17 @@ fn checked_sample_sort(data: &mut [u64]) {
 }
 
 /// Checks sortedness and that the result is a permutation of `original`.
-pub fn verify(original: &[u64], sorted: &[u64]) -> Result<(), String> {
+pub fn verify(original: &[u64], sorted: &[u64]) -> Result<(), SuiteError> {
     if sorted.windows(2).any(|w| w[0] > w[1]) {
-        return Err("not sorted".into());
+        return Err(SuiteError::invariant("sort", "not sorted"));
     }
     let mut a = original.to_vec();
     a.sort_unstable();
     if a != sorted {
-        return Err("not a permutation of the input".into());
+        return Err(SuiteError::invariant(
+            "sort",
+            "not a permutation of the input",
+        ));
     }
     Ok(())
 }

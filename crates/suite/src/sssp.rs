@@ -14,6 +14,8 @@ use rpb_fearless::ExecMode;
 use rpb_graph::WeightedGraph;
 use rpb_multiqueue::execute;
 
+use crate::error::SuiteError;
+
 /// Unreachable marker.
 pub const INF: u64 = u64::MAX;
 
@@ -45,6 +47,73 @@ pub fn run_par(g: &WeightedGraph, src: usize, threads: usize, _mode: ExecMode) -
 /// Sequential Dijkstra baseline.
 pub fn run_seq(g: &WeightedGraph, src: usize) -> Vec<u64> {
     rpb_graph::seq::dijkstra(g, src)
+}
+
+/// Distance-certificate invariant: `dist` is exactly the shortest-path
+/// distance from `src` — the weighted analogue of [`crate::bfs::verify`].
+///
+/// * `dist[src] == 0`;
+/// * *triangle inequality* — no arc `(u, v, w)` with finite `dist[u]` is
+///   relaxable (`dist[v] <= dist[u] + w`), so no entry undershoots the
+///   claim of some path;
+/// * *tight-parent witness* — every finite non-source `v` has an in-arc
+///   with `dist[u] + w == dist[v]`. Witness parents have strictly
+///   smaller labels (weights are positive), so following them reaches
+///   the unique zero-label vertex `src`, exhibiting a real path of total
+///   weight `dist[v]`.
+///
+/// The two directions pin every finite label to the true distance, and
+/// the witness rule rejects fabricated finite labels on unreachable
+/// vertices.
+pub fn verify(g: &WeightedGraph, src: usize, dist: &[u64]) -> Result<(), SuiteError> {
+    let n = g.num_vertices();
+    if dist.len() != n {
+        return Err(SuiteError::invariant(
+            "sssp",
+            format!("{} distances for {n} vertices", dist.len()),
+        ));
+    }
+    if src >= n {
+        return Err(SuiteError::malformed(
+            "sssp",
+            format!("source {src} out of range for {n} vertices"),
+        ));
+    }
+    if dist[src] != 0 {
+        return Err(SuiteError::invariant(
+            "sssp",
+            format!("dist[src] = {} (want 0)", dist[src]),
+        ));
+    }
+    let mut has_parent = vec![false; n];
+    for u in 0..n {
+        let du = dist[u];
+        if du == INF {
+            continue;
+        }
+        for (v, w) in g.neighbors(u) {
+            let nd = du.saturating_add(w as u64);
+            let dv = dist[v as usize];
+            if dv > nd {
+                return Err(SuiteError::invariant(
+                    "sssp",
+                    format!("arc ({u}, {v}, {w}) relaxable: {dv} > {du} + {w}"),
+                ));
+            }
+            if dv == nd {
+                has_parent[v as usize] = true;
+            }
+        }
+    }
+    for v in 0..n {
+        if v != src && dist[v] != INF && !has_parent[v] {
+            return Err(SuiteError::invariant(
+                "sssp",
+                format!("vertex {v} at distance {} has no tight in-arc", dist[v]),
+            ));
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -80,5 +149,28 @@ mod tests {
         let g = rpb_graph::WeightedGraph::from_edges(3, &[(0, 1, 7)]);
         let d = run_par(&g, 0, 2, ExecMode::Sync);
         assert_eq!(d, vec![0, 7, INF]);
+    }
+
+    #[test]
+    fn verify_certifies_and_rejects() {
+        let g = inputs::weighted_graph(GraphKind::Road, 700);
+        let mut d = run_par(&g, 0, 2, ExecMode::Sync);
+        verify(&g, 0, &d).expect("clean distances certify");
+        if let Some(v) = (1..d.len()).find(|&v| d[v] != INF && d[v] > 0) {
+            let saved = d[v];
+            // Too close: no in-arc is tight at the fabricated label.
+            d[v] = saved - 1;
+            assert!(verify(&g, 0, &d).is_err(), "vertex {v} pulled closer");
+            // Too far: the true parent's arc becomes relaxable.
+            d[v] = saved + 1;
+            assert!(verify(&g, 0, &d).is_err(), "vertex {v} pushed out");
+            d[v] = saved;
+        }
+        d[0] = 3;
+        assert!(verify(&g, 0, &d).is_err(), "nonzero source distance");
+        // Fabricated finite label on an unreachable vertex.
+        let iso = rpb_graph::WeightedGraph::from_edges(3, &[(0, 1, 7)]);
+        assert!(verify(&iso, 0, &[0, 7, 9]).is_err());
+        verify(&iso, 0, &[0, 7, INF]).expect("honest INF certifies");
     }
 }

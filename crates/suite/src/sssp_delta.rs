@@ -16,15 +16,22 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use rpb_concurrent::write_min_u64;
 use rpb_graph::WeightedGraph;
 
+use crate::error::SuiteError;
+
 /// Unreachable marker.
 pub const INF: u64 = u64::MAX;
 
 /// Parallel delta-stepping shortest paths from `src`.
 ///
-/// # Panics
-/// Panics if `delta == 0`.
-pub fn run_par(g: &WeightedGraph, src: usize, delta: u64) -> Vec<u64> {
-    assert!(delta > 0, "delta must be positive");
+/// A zero `delta` would loop forever on an empty bucket width, so it is
+/// rejected as a [`SuiteError::DegenerateParameter`].
+pub fn run_par(g: &WeightedGraph, src: usize, delta: u64) -> Result<Vec<u64>, SuiteError> {
+    if delta == 0 {
+        return Err(SuiteError::degenerate(
+            "sssp",
+            "delta-stepping bucket width must be positive",
+        ));
+    }
     let n = g.num_vertices();
     let dist: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(INF)).collect();
     dist[src].store(0, Ordering::Relaxed);
@@ -75,7 +82,7 @@ pub fn run_par(g: &WeightedGraph, src: usize, delta: u64) -> Vec<u64> {
             None => break,
         }
     }
-    dist.into_iter().map(|d| d.into_inner()).collect()
+    Ok(dist.into_iter().map(|d| d.into_inner()).collect())
 }
 
 /// Removes duplicate vertex ids (many relaxations may improve the same
@@ -108,7 +115,7 @@ mod tests {
         let g = inputs::weighted_graph(GraphKind::Road, 1500);
         let want = rpb_graph::seq::dijkstra(&g, 0);
         for delta in [1, 16, 64, 100_000] {
-            assert_eq!(run_par(&g, 0, delta), want, "delta={delta}");
+            assert_eq!(run_par(&g, 0, delta).expect("sssp"), want, "delta={delta}");
         }
     }
 
@@ -116,7 +123,7 @@ mod tests {
     fn matches_multiqueue_sssp() {
         let g = inputs::weighted_graph(GraphKind::Link, 1200);
         let delta = default_delta(&g);
-        let ds = run_par(&g, 0, delta);
+        let ds = run_par(&g, 0, delta).expect("sssp");
         let mq = crate::sssp::run_par(&g, 0, 4, rpb_fearless::ExecMode::Sync);
         assert_eq!(ds, mq);
     }
@@ -126,8 +133,18 @@ mod tests {
         // One bucket holds everything: still correct.
         let g = inputs::weighted_graph(GraphKind::Rmat, 800);
         assert_eq!(
-            run_par(&g, 0, u64::MAX / 4),
+            run_par(&g, 0, u64::MAX / 4).expect("sssp"),
             rpb_graph::seq::dijkstra(&g, 0)
+        );
+    }
+
+    #[test]
+    fn zero_delta_is_a_typed_error() {
+        let g = rpb_graph::WeightedGraph::from_edges(2, &[(0, 1, 1)]);
+        let err = run_par(&g, 0, 0).unwrap_err();
+        assert!(
+            matches!(err, SuiteError::DegenerateParameter { .. }),
+            "{err}"
         );
     }
 
@@ -141,7 +158,7 @@ mod tests {
     #[test]
     fn disconnected_vertices_stay_inf() {
         let g = rpb_graph::WeightedGraph::from_edges(4, &[(0, 1, 3)]);
-        let d = run_par(&g, 0, 2);
+        let d = run_par(&g, 0, 2).expect("sssp");
         assert_eq!(d, vec![0, 3, INF, INF]);
     }
 }

@@ -1,0 +1,505 @@
+//! Cross-mode differential verification for the whole suite.
+//!
+//! Each benchmark cell gets three independent lines of defence:
+//!
+//! 1. a **sequential oracle** — the parallel output is compared against
+//!    the benchmark's sequential baseline (after canonicalization where
+//!    the contract permits several valid answers),
+//! 2. a **structural invariant checker** — the per-module `verify`
+//!    functions certify the output against the problem statement itself
+//!    (sortedness + permutation, BWT round-trip, distance certificates,
+//!    independence + maximality, spanning-forest counting, ...), so a
+//!    bug shared by both implementations is still caught, and
+//! 3. an **ablation cross-check** — where a second parallel algorithm
+//!    exists (`bfs_frontier`, `sssp_delta`, `mis_spec`, `msf_kruskal`),
+//!    its output must agree too.
+//!
+//! Outputs that are legally nondeterministic compare through an explicit
+//! canonical form: `msf` via [`msf::MsfCanonical`] (tie-broken forests
+//! share weight and partition, not edge indices), `sf` via forest size
+//! (which, with the acyclicity check, pins the component partition),
+//! `lrs` via the repeat length (the winning pair may differ), and `dr`
+//! via the refinement postcondition alone (meshes are incomparable).
+//!
+//! The harness drives [`verify_pair`] across `ExecMode`s and worker-pool
+//! sizes; `inject` corrupts the parallel output just before checking and
+//! exists so the CLI's failure path (nonzero exit, FAIL cells) can be
+//! exercised end to end by tests.
+
+use rpb_fearless::ExecMode;
+use rpb_geom::Point;
+use rpb_graph::{Graph, WeightedGraph};
+
+use crate::error::SuiteError;
+use crate::{
+    bfs, bfs_frontier, bw, dedup, dr, hist, isort, lrs, mis, mis_spec, mm, msf, msf_kruskal, sa,
+    sf, sort, sssp, sssp_delta,
+};
+
+/// The 14 benchmark abbreviations of Table 1, in table order.
+pub const SUITE_BENCHES: [&str; 14] = [
+    "bw", "lrs", "sa", "dr", "mis", "mm", "sf", "msf", "sort", "dedup", "hist", "isort", "bfs",
+    "sssp",
+];
+
+/// Borrowed workload set covering every benchmark's input shape.
+pub struct SuiteInputs<'a> {
+    /// Text for `lrs`/`sa`.
+    pub text: &'a [u8],
+    /// BWT of a text, for `bw`.
+    pub bwt: &'a [u8],
+    /// Integer sequence for `sort`/`dedup`/`hist`/`isort`.
+    pub seq: &'a [u64],
+    /// Point set for `dr`.
+    pub points: &'a [Point],
+    /// Link-style graph for `mis`/`bfs`.
+    pub link: &'a Graph,
+    /// Road-style graph for `mis`/`bfs`.
+    pub road: &'a Graph,
+    /// Weighted link graph for `sssp`.
+    pub wlink: &'a WeightedGraph,
+    /// Weighted road graph for `sssp`.
+    pub wroad: &'a WeightedGraph,
+    /// `(n, edges)` for `mm`/`sf`.
+    pub link_edges: (usize, &'a [(u32, u32)]),
+    /// `(n, edges)` for `mm`/`sf`.
+    pub road_edges: (usize, &'a [(u32, u32)]),
+    /// `(n, weighted edges)` for `msf`.
+    pub rmat_wedges: (usize, &'a [(u32, u32, u32)]),
+    /// `(n, weighted edges)` for `msf`.
+    pub road_wedges: (usize, &'a [(u32, u32, u32)]),
+}
+
+/// Runs one `(benchmark, mode)` cell: parallel run, sequential oracle,
+/// invariant checker, and ablation cross-checks.
+///
+/// `threads` sizes the MultiQueue benchmarks' worker count (the rest
+/// parallelize through the ambient rayon pool, which the harness pins
+/// around this call). With `inject`, the parallel output is deliberately
+/// corrupted first — every benchmark must then return an `Err`.
+pub fn verify_pair(
+    name: &str,
+    i: &SuiteInputs<'_>,
+    mode: ExecMode,
+    threads: usize,
+    inject: bool,
+) -> Result<(), SuiteError> {
+    match name {
+        "bw" => check_bw(i, mode, inject),
+        "lrs" => check_lrs(i, mode, inject),
+        "sa" => check_sa(i, mode, inject),
+        "dr" => check_dr(i, mode, inject),
+        "mis" => check_mis(i, mode, inject),
+        "mm" => check_mm(i, mode, inject),
+        "sf" => check_sf(i, mode, inject),
+        "msf" => check_msf(i, mode, inject),
+        "sort" => check_sort(i, mode, inject),
+        "dedup" => check_dedup(i, mode, inject),
+        "hist" => check_hist(i, mode, inject),
+        "isort" => check_isort(i, mode, inject),
+        "bfs" => check_bfs(i, mode, threads, inject),
+        "sssp" => check_sssp(i, mode, threads, inject),
+        other => Err(SuiteError::malformed(
+            "verify",
+            format!(
+                "unknown benchmark `{other}` (valid: {})",
+                SUITE_BENCHES.join(", ")
+            ),
+        )),
+    }
+}
+
+fn check_bw(i: &SuiteInputs<'_>, mode: ExecMode, inject: bool) -> Result<(), SuiteError> {
+    let mut par = bw::run_par(i.bwt, mode)?;
+    if inject {
+        let mid = par.len() / 2;
+        par[mid] = if par[mid] == b'z' { b'y' } else { b'z' };
+    }
+    bw::verify(i.bwt, &par)?;
+    let seq = bw::run_seq(i.bwt)?;
+    if par != seq {
+        return Err(SuiteError::divergence(
+            "bw",
+            "parallel decode differs from sequential decode",
+        ));
+    }
+    Ok(())
+}
+
+fn check_lrs(i: &SuiteInputs<'_>, mode: ExecMode, inject: bool) -> Result<(), SuiteError> {
+    let mut par = lrs::run_par(i.text, mode);
+    if inject {
+        par.len += 1;
+    }
+    lrs::verify(i.text, &par)?;
+    let seq = lrs::run_seq(i.text);
+    // The winning pair is tie-dependent; the maximal length is unique.
+    if par.len != seq.len {
+        return Err(SuiteError::divergence(
+            "lrs",
+            format!(
+                "repeat length {} parallel vs {} sequential",
+                par.len, seq.len
+            ),
+        ));
+    }
+    Ok(())
+}
+
+fn check_sa(i: &SuiteInputs<'_>, mode: ExecMode, inject: bool) -> Result<(), SuiteError> {
+    let mut par = sa::run_par(i.text, mode);
+    if inject && par.len() >= 2 {
+        par.swap(0, 1);
+    }
+    sa::verify(i.text, &par)?;
+    if par != sa::run_seq(i.text) {
+        return Err(SuiteError::divergence(
+            "sa",
+            "parallel suffix array differs from sequential",
+        ));
+    }
+    Ok(())
+}
+
+fn check_dr(i: &SuiteInputs<'_>, mode: ExecMode, inject: bool) -> Result<(), SuiteError> {
+    let mut par = dr::run_par(i.points, mode);
+    if inject {
+        par.stats.inserted = dr::params(i.points).max_steiner;
+    }
+    dr::verify(i.points, &par)?;
+    // Refined meshes are not comparable point-for-point (insertion order
+    // steers Steiner placement); certify the sequential oracle against
+    // the same postcondition instead.
+    let seq = dr::run_seq(i.points);
+    dr::verify(i.points, &seq)
+}
+
+fn check_mis(i: &SuiteInputs<'_>, mode: ExecMode, mut inject: bool) -> Result<(), SuiteError> {
+    for g in [i.link, i.road] {
+        let mut par = mis::run_par(g, mode);
+        if std::mem::take(&mut inject) {
+            if let Some(v) = par.iter().position(|&b| b) {
+                par[v] = false;
+            }
+        }
+        mis::verify(g, &par)?;
+        let seq = mis::run_seq(g);
+        if par != seq {
+            return Err(SuiteError::divergence(
+                "mis",
+                "parallel MIS differs from greedy over the same priorities",
+            ));
+        }
+        if mis_spec::run_par(g, mode) != seq {
+            return Err(SuiteError::divergence(
+                "mis",
+                "speculative-for ablation differs from greedy",
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn check_mm(i: &SuiteInputs<'_>, mode: ExecMode, mut inject: bool) -> Result<(), SuiteError> {
+    for (n, edges) in [i.link_edges, i.road_edges] {
+        let mut par = mm::run_par(n, edges, mode);
+        if std::mem::take(&mut inject) {
+            if let Some(j) = par.iter().position(|&b| b) {
+                par[j] = false;
+            }
+        }
+        mm::verify(n, edges, &par)?;
+        if par != mm::run_seq(n, edges) {
+            return Err(SuiteError::divergence(
+                "mm",
+                "parallel matching differs from greedy over the same priorities",
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn check_sf(i: &SuiteInputs<'_>, mode: ExecMode, mut inject: bool) -> Result<(), SuiteError> {
+    for (n, edges) in [i.link_edges, i.road_edges] {
+        let mut par = sf::run_par(n, edges, mode);
+        if std::mem::take(&mut inject) {
+            par.pop();
+        }
+        sf::verify(n, edges, &par)?;
+        let seq = sf::run_seq(n, edges);
+        sf::verify(n, edges, &seq)?;
+        // Any interleaving picks a different edge set; two verified
+        // forests of equal size span the same partition.
+        if par.len() != seq.len() {
+            return Err(SuiteError::divergence(
+                "sf",
+                format!(
+                    "{} forest edges parallel vs {} sequential",
+                    par.len(),
+                    seq.len()
+                ),
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn check_msf(i: &SuiteInputs<'_>, mode: ExecMode, mut inject: bool) -> Result<(), SuiteError> {
+    for (n, edges) in [i.rmat_wedges, i.road_wedges] {
+        let (mut chosen, mut total) = msf::run_par(n, edges, mode);
+        if std::mem::take(&mut inject) {
+            if let Some(e) = chosen.pop() {
+                total -= edges[e].2 as u64;
+            }
+        }
+        msf::verify(n, edges, &chosen, total)?;
+        let (seq_chosen, seq_total) = msf::run_seq(n, edges);
+        msf::verify(n, edges, &seq_chosen, seq_total)?;
+        let want = msf::canonical(n, edges, &seq_chosen, seq_total);
+        if msf::canonical(n, edges, &chosen, total) != want {
+            return Err(SuiteError::divergence(
+                "msf",
+                "Boruvka forest canonical form differs from Kruskal",
+            ));
+        }
+        let (spec_chosen, spec_total) = msf_kruskal::run_par(n, edges, mode);
+        msf::verify(n, edges, &spec_chosen, spec_total)?;
+        if msf::canonical(n, edges, &spec_chosen, spec_total) != want {
+            return Err(SuiteError::divergence(
+                "msf",
+                "filter-Kruskal ablation canonical form differs from Kruskal",
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn check_sort(i: &SuiteInputs<'_>, mode: ExecMode, inject: bool) -> Result<(), SuiteError> {
+    let mut got = i.seq.to_vec();
+    sort::run_par(&mut got, mode);
+    if inject && !got.is_empty() {
+        got[0] = got[0].wrapping_add(1);
+    }
+    sort::verify(i.seq, &got)?;
+    let mut want = i.seq.to_vec();
+    sort::run_seq(&mut want);
+    if got != want {
+        return Err(SuiteError::divergence(
+            "sort",
+            "parallel sort differs from sequential",
+        ));
+    }
+    Ok(())
+}
+
+fn check_dedup(i: &SuiteInputs<'_>, mode: ExecMode, inject: bool) -> Result<(), SuiteError> {
+    let mut out = dedup::run_par(i.seq, mode);
+    if inject {
+        if let Some(&first) = out.first() {
+            out.insert(0, first);
+        }
+    }
+    dedup::verify(i.seq, &out)?;
+    if out != dedup::run_seq(i.seq) {
+        return Err(SuiteError::divergence(
+            "dedup",
+            "parallel distinct set differs from sequential",
+        ));
+    }
+    Ok(())
+}
+
+fn check_hist(i: &SuiteInputs<'_>, mode: ExecMode, inject: bool) -> Result<(), SuiteError> {
+    let nbuckets = 64;
+    let range = i.seq.len() as u64;
+    let mut h = hist::run_par(i.seq, nbuckets, range, mode)?;
+    if inject {
+        h[0] += 1;
+    }
+    hist::verify(i.seq, nbuckets, &h)?;
+    if h != hist::run_seq(i.seq, nbuckets, range)? {
+        return Err(SuiteError::divergence(
+            "hist",
+            "parallel counts differ from sequential",
+        ));
+    }
+    // The large-struct variant (mutexes under Sync) must agree too.
+    if hist::run_large(i.seq, nbuckets, range, mode)?
+        != hist::run_large_seq(i.seq, nbuckets, range)?
+    {
+        return Err(SuiteError::divergence(
+            "hist",
+            "large-bin accumulators differ from sequential",
+        ));
+    }
+    Ok(())
+}
+
+fn check_isort(i: &SuiteInputs<'_>, mode: ExecMode, inject: bool) -> Result<(), SuiteError> {
+    let key_bits = 64 - (i.seq.len() as u64).leading_zeros();
+    let mut got = i.seq.to_vec();
+    isort::run_par(&mut got, key_bits, mode);
+    if inject && !got.is_empty() {
+        got[0] = got[0].wrapping_add(1);
+    }
+    isort::verify(i.seq, &got)?;
+    let mut want = i.seq.to_vec();
+    isort::run_seq(&mut want, key_bits);
+    if got != want {
+        return Err(SuiteError::divergence(
+            "isort",
+            "parallel integer sort differs from sequential",
+        ));
+    }
+    Ok(())
+}
+
+fn check_bfs(
+    i: &SuiteInputs<'_>,
+    mode: ExecMode,
+    threads: usize,
+    mut inject: bool,
+) -> Result<(), SuiteError> {
+    for g in [i.link, i.road] {
+        let mut d = bfs::run_par(g, 0, threads, mode);
+        if std::mem::take(&mut inject) {
+            d[0] = 1;
+        }
+        bfs::verify(g, 0, &d)?;
+        let seq = bfs::run_seq(g, 0);
+        if d != seq {
+            return Err(SuiteError::divergence(
+                "bfs",
+                "MultiQueue distances differ from sequential BFS",
+            ));
+        }
+        if bfs_frontier::run_par(g, 0) != seq {
+            return Err(SuiteError::divergence(
+                "bfs",
+                "frontier-synchronous ablation differs from sequential BFS",
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn check_sssp(
+    i: &SuiteInputs<'_>,
+    mode: ExecMode,
+    threads: usize,
+    mut inject: bool,
+) -> Result<(), SuiteError> {
+    for g in [i.wlink, i.wroad] {
+        let mut d = sssp::run_par(g, 0, threads, mode);
+        if std::mem::take(&mut inject) {
+            d[0] = 1;
+        }
+        sssp::verify(g, 0, &d)?;
+        let seq = sssp::run_seq(g, 0);
+        if d != seq {
+            return Err(SuiteError::divergence(
+                "sssp",
+                "MultiQueue distances differ from Dijkstra",
+            ));
+        }
+        if sssp_delta::run_par(g, 0, sssp_delta::default_delta(g))? != seq {
+            return Err(SuiteError::divergence(
+                "sssp",
+                "delta-stepping ablation differs from Dijkstra",
+            ));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inputs;
+    use rpb_fearless::ALL_MODES;
+    use rpb_graph::GraphKind;
+
+    struct Owned {
+        text: Vec<u8>,
+        bwt: Vec<u8>,
+        seq: Vec<u64>,
+        points: Vec<Point>,
+        link: Graph,
+        road: Graph,
+        wlink: WeightedGraph,
+        wroad: WeightedGraph,
+        link_edges: (usize, Vec<(u32, u32)>),
+        road_edges: (usize, Vec<(u32, u32)>),
+        rmat_wedges: (usize, Vec<(u32, u32, u32)>),
+        road_wedges: (usize, Vec<(u32, u32, u32)>),
+    }
+
+    fn build() -> Owned {
+        let n = 500;
+        Owned {
+            text: inputs::wiki(3_000),
+            bwt: inputs::wiki_bwt(3_000),
+            seq: inputs::exponential(10_000),
+            points: inputs::kuzmin(250),
+            link: inputs::graph(GraphKind::Link, n),
+            road: inputs::graph(GraphKind::Road, n),
+            wlink: inputs::weighted_graph(GraphKind::Link, n),
+            wroad: inputs::weighted_graph(GraphKind::Road, n),
+            link_edges: inputs::edges(GraphKind::Link, n),
+            road_edges: inputs::edges(GraphKind::Road, n),
+            rmat_wedges: inputs::weighted_edges(GraphKind::Rmat, n),
+            road_wedges: inputs::weighted_edges(GraphKind::Road, n),
+        }
+    }
+
+    impl Owned {
+        fn as_inputs(&self) -> SuiteInputs<'_> {
+            SuiteInputs {
+                text: &self.text,
+                bwt: &self.bwt,
+                seq: &self.seq,
+                points: &self.points,
+                link: &self.link,
+                road: &self.road,
+                wlink: &self.wlink,
+                wroad: &self.wroad,
+                link_edges: (self.link_edges.0, &self.link_edges.1),
+                road_edges: (self.road_edges.0, &self.road_edges.1),
+                rmat_wedges: (self.rmat_wedges.0, &self.rmat_wedges.1),
+                road_wedges: (self.road_wedges.0, &self.road_wedges.1),
+            }
+        }
+    }
+
+    #[test]
+    fn every_bench_passes_in_every_mode() {
+        let owned = build();
+        let i = owned.as_inputs();
+        for name in SUITE_BENCHES {
+            for mode in ALL_MODES {
+                verify_pair(name, &i, mode, 2, false)
+                    .unwrap_or_else(|e| panic!("{name} in {mode}: {e}"));
+            }
+        }
+    }
+
+    #[test]
+    fn injection_fails_every_bench() {
+        let owned = build();
+        let i = owned.as_inputs();
+        for name in SUITE_BENCHES {
+            let err = verify_pair(name, &i, ExecMode::Checked, 2, true)
+                .expect_err(&format!("{name} must catch the injected corruption"));
+            assert_eq!(err.benchmark(), name, "{err}");
+        }
+    }
+
+    #[test]
+    fn unknown_benchmark_is_a_typed_error() {
+        let owned = build();
+        let err =
+            verify_pair("quicksort", &owned.as_inputs(), ExecMode::Checked, 2, false).unwrap_err();
+        assert!(matches!(err, SuiteError::MalformedInput { .. }), "{err}");
+        assert!(err.reason().contains("quicksort"), "{err}");
+    }
+}

@@ -1,0 +1,71 @@
+//! Differential property tests: the ablation implementations must agree
+//! with their siblings on *random* graphs, not just the Table 2 families.
+//!
+//! BFS distances and SSSP distances are unique fixed points, so every
+//! scheduler (MultiQueue, level-synchronous frontier, delta-stepping)
+//! must produce the same array as the sequential oracle — no
+//! canonicalization needed here.
+
+#![cfg(not(miri))]
+
+use proptest::prelude::*;
+use rpb_fearless::ExecMode;
+use rpb_graph::{Graph, WeightedGraph};
+use rpb_suite::{bfs, bfs_frontier, sssp, sssp_delta};
+
+/// A random undirected graph: `n` vertices, each proposed edge stored as
+/// arcs in both directions (self-loops allowed; they are distance no-ops).
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (2usize..40).prop_flat_map(|n| {
+        let edge = (0..n as u32, 0..n as u32);
+        proptest::collection::vec(edge, 0..4 * n).prop_map(move |edges| {
+            let mut arcs = Vec::with_capacity(2 * edges.len());
+            for (u, v) in edges {
+                arcs.push((u, v));
+                arcs.push((v, u));
+            }
+            Graph::from_edges(n, &arcs)
+        })
+    })
+}
+
+/// The weighted analogue, weights in `1..=64` (small enough that
+/// duplicate weights — the tie-pressure case — are common).
+fn arb_weighted_graph() -> impl Strategy<Value = WeightedGraph> {
+    (2usize..40).prop_flat_map(|n| {
+        let edge = (0..n as u32, 0..n as u32, 1u32..=64);
+        proptest::collection::vec(edge, 0..4 * n).prop_map(move |edges| {
+            let mut arcs = Vec::with_capacity(2 * edges.len());
+            for (u, v, w) in edges {
+                arcs.push((u, v, w));
+                arcs.push((v, u, w));
+            }
+            WeightedGraph::from_edges(n, &arcs)
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn bfs_schedulers_agree_with_oracle(g in arb_graph()) {
+        let want = bfs::run_seq(&g, 0);
+        let mq = bfs::run_par(&g, 0, 2, ExecMode::Sync);
+        prop_assert_eq!(&mq, &want, "MultiQueue BFS diverged");
+        let frontier = bfs_frontier::run_par(&g, 0);
+        prop_assert_eq!(&frontier, &want, "frontier BFS diverged");
+        bfs::verify(&g, 0, &want).expect("oracle passes its own certificate");
+    }
+
+    #[test]
+    fn sssp_schedulers_agree_with_dijkstra(g in arb_weighted_graph()) {
+        let want = sssp::run_seq(&g, 0);
+        let mq = sssp::run_par(&g, 0, 2, ExecMode::Sync);
+        prop_assert_eq!(&mq, &want, "MultiQueue SSSP diverged");
+        let delta = sssp_delta::default_delta(&g);
+        let ds = sssp_delta::run_par(&g, 0, delta).expect("default_delta is non-zero");
+        prop_assert_eq!(&ds, &want, "delta-stepping diverged");
+        sssp::verify(&g, 0, &want).expect("oracle passes its own certificate");
+    }
+}

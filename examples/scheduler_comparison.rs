@@ -66,7 +66,7 @@ fn main() {
         let s_mq = sssp::run_par(&wg, 0, threads, ExecMode::Sync);
         let t_mq = t0.elapsed();
         let t0 = Instant::now();
-        let s_ds = sssp_delta::run_par(&wg, 0, delta);
+        let s_ds = sssp_delta::run_par(&wg, 0, delta).expect("default_delta is non-zero");
         let t_ds = t0.elapsed();
         assert_eq!(s_mq, s_ds, "schedulers disagree on SSSP distances");
         println!("sssp: multiqueue {t_mq:>10.2?}   delta({delta}) {t_ds:>10.2?}");

@@ -54,7 +54,7 @@ fn main() {
     println!("bwt  [encode ]: {:?}", t0.elapsed());
     for mode in [ExecMode::Unsafe, ExecMode::Checked, ExecMode::Sync] {
         let t0 = Instant::now();
-        let decoded = bw::run_par(&bwt, mode);
+        let decoded = bw::run_par(&bwt, mode).expect("encoder output is a valid BWT");
         println!("bw   [{mode:>7}]: {:?}", t0.elapsed());
         assert_eq!(decoded, text, "round trip failed");
     }

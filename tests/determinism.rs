@@ -81,9 +81,9 @@ fn sort_dedup_hist_are_deterministic() {
         let d = with_pool(threads, || dedup::run_par(&data, ExecMode::Sync));
         assert_eq!(d, dedup::run_seq(&data));
         let h = with_pool(threads, || {
-            hist::run_par(&data, 128, 40_000, ExecMode::Sync)
+            hist::run_par(&data, 128, 40_000, ExecMode::Sync).expect("valid buckets")
         });
-        assert_eq!(h, hist::run_seq(&data, 128, 40_000));
+        assert_eq!(h, hist::run_seq(&data, 128, 40_000).expect("valid buckets"));
     }
 }
 

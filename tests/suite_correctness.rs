@@ -11,9 +11,13 @@ const MODES: [ExecMode; 3] = [ExecMode::Unsafe, ExecMode::Checked, ExecMode::Syn
 #[test]
 fn bw_all_modes() {
     let bwt = inputs::wiki_bwt(25_000);
-    let want = bw::run_seq(&bwt);
+    let want = bw::run_seq(&bwt).expect("wiki BWT is well-formed");
     for mode in MODES {
-        assert_eq!(bw::run_par(&bwt, mode), want, "{mode}");
+        assert_eq!(
+            bw::run_par(&bwt, mode).expect("wiki BWT is well-formed"),
+            want,
+            "{mode}"
+        );
     }
 }
 
@@ -94,10 +98,16 @@ fn msf_all_modes_and_inputs() {
     for kind in [GraphKind::Rmat, GraphKind::Road] {
         let (n, edges) = inputs::weighted_edges(kind, 1000);
         let (want_edges, want_w) = msf::run_seq(n, &edges);
+        let want = msf::canonical(n, &edges, &want_edges, want_w);
         for mode in MODES {
             let (got_edges, got_w) = msf::run_par(n, &edges, mode);
-            assert_eq!(got_w, want_w, "{kind:?}/{mode}");
-            assert_eq!(got_edges, want_edges, "{kind:?}/{mode}");
+            msf::verify(n, &edges, &got_edges, got_w).expect("valid forest");
+            // Ties are legally broken either way; compare canonical forms.
+            assert_eq!(
+                msf::canonical(n, &edges, &got_edges, got_w),
+                want,
+                "{kind:?}/{mode}"
+            );
         }
     }
 }
@@ -126,12 +136,16 @@ fn dedup_all_modes() {
 #[test]
 fn hist_all_modes() {
     let input = inputs::exponential(60_000);
-    let want = hist::run_seq(&input, 512, 60_000);
+    let want = hist::run_seq(&input, 512, 60_000).expect("valid buckets");
     for mode in MODES {
-        assert_eq!(hist::run_par(&input, 512, 60_000, mode), want, "{mode}");
         assert_eq!(
-            hist::run_large(&input, 64, 60_000, mode),
-            hist::run_large_seq(&input, 64, 60_000),
+            hist::run_par(&input, 512, 60_000, mode).expect("valid buckets"),
+            want,
+            "{mode}"
+        );
+        assert_eq!(
+            hist::run_large(&input, 64, 60_000, mode).expect("valid buckets"),
+            hist::run_large_seq(&input, 64, 60_000).expect("valid buckets"),
             "{mode} large bins"
         );
     }
