@@ -75,6 +75,16 @@ fn main() {
                     .collect();
                 workers_given = true;
             }
+            "--kernel-impl" if cmd == "verify" => {
+                i += 1;
+                let list = args
+                    .get(i)
+                    .unwrap_or_else(|| die("--kernel-impl needs a list (auto,scalar,simd)"));
+                verify_cfg.kernel_impls = list
+                    .split(',')
+                    .map(|k| k.parse().unwrap_or_else(|e| die(&format!("{e}"))))
+                    .collect();
+            }
             "--inject" if cmd == "verify" => {
                 i += 1;
                 let bench = args
@@ -180,13 +190,19 @@ fn main() {
                  usage: rpb <table1|table2|table3|fig3|fig4|fig5a|fig5b|fig6|all|verify>\n\
                  \x20       [--scale gate|small|medium|large] [--threads N] [--reps N] [--json PATH]\n\
                  \x20      rpb verify [--suite a,b,...] [--mode unsafe,checked,sync]\n\
-                 \x20                 [--workers 1,2,...]  # differential verification matrix\n\
+                 \x20                 [--workers 1,2,...] [--kernel-impl auto,scalar,simd]\n\
+                 \x20                 # differential verification matrix\n\
                  \x20      rpb report <file.json>...      # summarize --json reports\n\
                  \x20      rpb gate <record|compare|check> # deterministic perf gate\n\n\
                  `rpb verify` runs every benchmark's parallel implementation\n\
                  against its sequential oracle and structural invariant checker\n\
                  in each execution mode and worker-pool size, exiting 1 on any\n\
                  divergence (see EXPERIMENTS.md, \"Output verification\").\n\
+                 --kernel-impl scalar,simd repeats every cell with the SIMD\n\
+                 dispatch pinned to each implementation (meaningful in\n\
+                 --features simd builds; forcing simd never exceeds what the\n\
+                 CPU supports), differentially verifying the vectorized fast\n\
+                 paths against their mandatory scalar fallbacks.\n\
                  --json writes one structured record per timed case (schema\n\
                  \"rpb-bench-v2\"); telemetry fields are all-zero unless built\n\
                  with --features obs. `rpb report` renders the check-overhead\n\

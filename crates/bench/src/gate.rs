@@ -27,6 +27,17 @@
 //! all under the gate. Inputs are built at the pinned [`Scale::gate`];
 //! baselines embed the scale and `check` refuses to compare across scales.
 //!
+//! On top of the smoke matrix, every baseline carries the **kernel
+//! cells** ([`kernel_matrix`]): the four vectorized hot kernels of the
+//! `simd` feature (histogram bucketing, radix sort, the SngInd
+//! uniqueness sweep, the RngInd monotonicity sweep), each recorded twice
+//! with the dispatch pinned to `scalar` and to `simd` (pins never exceed
+//! what the CPU supports, so the cells degrade gracefully to two scalar
+//! runs on non-AVX2 hardware or default-feature builds). Their hard
+//! counters must agree across the two pins — the SIMD fast paths are
+//! required to be behaviorally invisible — while the wall brackets
+//! document the raw-speed win per kernel ([`render_kernel_speedups`]).
+//!
 //! Baselines are versioned JSON (`rpb-baseline-v1`) committed under
 //! `baselines/`. After an *intentional* behavioral change, re-record with
 //! `rpb gate record` and commit the diff — the diff itself documents the
@@ -36,15 +47,18 @@ use std::fmt::Write as _;
 use std::path::Path;
 
 use rpb_fearless::pool;
-use rpb_fearless::ExecMode;
+use rpb_fearless::snd_ind::{self, UniquenessCheck};
+use rpb_fearless::{rng_ind, ExecMode};
 use rpb_obs::{metrics, Json};
+use rpb_parlay::simd::KernelImpl;
+use rpb_suite::hist;
 
 use crate::figures::in_pool;
 use crate::record::EnvInfo;
 use crate::runner::{recommended_mode, run_case, ALL_PAIRS, FIG5A_PAIRS};
 use crate::scale::Scale;
 use crate::workloads::Workloads;
-use crate::TimingStats;
+use crate::{time_best, TimingStats};
 
 /// Schema tag of every baseline file the gate writes and reads.
 pub const BASELINE_SCHEMA: &str = "rpb-baseline-v1";
@@ -397,6 +411,89 @@ pub fn smoke_matrix() -> Vec<(&'static str, ExecMode, Option<&'static str>)> {
     matrix
 }
 
+/// The hot kernels of the `simd` feature's raw-speed pass, one gate cell
+/// per `(kernel, pinned implementation)` pair.
+pub const KERNEL_PAIRS: [&str; 4] = [
+    "kernel-hist",
+    "kernel-radix",
+    "kernel-sngind-validate",
+    "kernel-rngind-validate",
+];
+
+/// The kernel cells: every [`KERNEL_PAIRS`] entry under both dispatch
+/// pins, in recording order. The impl label lands in the cell's `mode`
+/// field, so keys read `kernel-hist/scalar`, `kernel-hist/simd`, …
+pub fn kernel_matrix() -> Vec<(&'static str, KernelImpl)> {
+    KERNEL_PAIRS
+        .iter()
+        .flat_map(|&name| [(name, KernelImpl::Scalar), (name, KernelImpl::Simd)])
+        .collect()
+}
+
+/// Executes one kernel cell's workload inside the current Rayon pool.
+/// The caller pins the dispatch ([`rpb_parlay::simd::set_forced`]) —
+/// this function is impl-agnostic on purpose so both pins time the
+/// byte-identical call sequence.
+fn run_kernel_case(name: &str, w: &Workloads, reps: usize) -> TimingStats {
+    let len = w.seq.len();
+    match name {
+        // The bucketing sweep (multiply-shift strength reduction + AVX2
+        // counting): 256 non-power-of-two-width buckets, the gate's hist
+        // configuration.
+        "kernel-hist" => time_best(reps, || {
+            std::hint::black_box(
+                hist::run_par(&w.seq, 256, len as u64, ExecMode::Unsafe)
+                    .expect("kernel-hist: 256 buckets over a non-zero range is valid"),
+            );
+        }),
+        // Digit extraction + block counting over every radix pass.
+        "kernel-radix" => time_best(reps, || {
+            let mut v = w.seq.clone();
+            rpb_parlay::radix_sort_u64(&mut v);
+            std::hint::black_box(v);
+        }),
+        // The fused bounds+uniqueness sweep against the epoch mark table
+        // (the strategy with the vectorized fast path). The offsets are a
+        // deterministic non-sequential permutation (evens then odds) so
+        // the sweep isn't a pure streaming walk.
+        "kernel-sngind-validate" => {
+            let offsets: Vec<usize> = (0..len).step_by(2).chain((1..len).step_by(2)).collect();
+            time_best(reps, || {
+                snd_ind::validate_offsets(&offsets, len, UniquenessCheck::MarkTable)
+                    .expect("kernel-sngind-validate: a permutation validates");
+                std::hint::black_box(&offsets);
+            })
+        }
+        // The monotonicity+bounds sweep over maximally fine chunk
+        // boundaries (every boundary live, none elided).
+        "kernel-rngind-validate" => {
+            let offsets: Vec<usize> = (0..=len).collect();
+            time_best(reps, || {
+                rng_ind::validate_chunk_offsets(&offsets, len)
+                    .expect("kernel-rngind-validate: a monotone ramp validates");
+                std::hint::black_box(&offsets);
+            })
+        }
+        other => panic!("unknown kernel cell: {other}"),
+    }
+}
+
+/// Counter pass of one kernel cell: like [`counter_pass`] but without a
+/// validation-cost bracket (kernel cells always run with the pool in the
+/// default enabled state). The caller holds the dispatch pin.
+fn kernel_counter_pass(name: &str, w: &Workloads) -> Vec<(String, u64)> {
+    prepare_pool(None);
+    let ((), snap) = metrics::capture(|| {
+        in_pool(COUNTER_THREADS, || {
+            run_kernel_case(name, w, 1);
+        });
+    });
+    HARD_COUNTERS
+        .iter()
+        .map(|&n| (n.to_string(), snap.counter(n)))
+        .collect()
+}
+
 /// Puts the global mark-table pool into the deterministic starting state
 /// for one matrix cell: empty, stats zeroed, enabled unless the cell is a
 /// `fresh` bracket. Without this, a cell's pool hit/miss counters would
@@ -461,6 +558,25 @@ pub fn record(w: &Workloads, wall_threads: usize, wall_reps: usize) -> Baseline 
             name: name.to_string(),
             mode: mode.label().to_string(),
             check: check.map(String::from),
+            counters,
+            wall: WallStats::from_timing(ts),
+        });
+    }
+    for (name, kimpl) in kernel_matrix() {
+        // Pin the dispatch for both passes (serialized via the global
+        // force lock so a concurrent matrix can't trample the pin) and
+        // restore auto dispatch before releasing it.
+        let guard = rpb_parlay::simd::force_lock();
+        rpb_parlay::simd::set_forced(kimpl);
+        let counters = kernel_counter_pass(name, w);
+        prepare_pool(None);
+        let ts = in_pool(wall_threads, || run_kernel_case(name, w, wall_reps));
+        rpb_parlay::simd::set_forced(KernelImpl::Auto);
+        drop(guard);
+        cases.push(GateCase {
+            name: name.to_string(),
+            mode: kimpl.label().to_string(),
+            check: None,
             counters,
             wall: WallStats::from_timing(ts),
         });
@@ -698,6 +814,43 @@ pub fn compare(base: &Baseline, cur: &Baseline, tolerance: f64) -> Comparison {
     cmp
 }
 
+/// Renders the scalar-vs-simd wall-clock ratios of a baseline's kernel
+/// cells (empty string when the baseline has none — e.g. one recorded
+/// before the kernel cells existed). The ratio is informational like
+/// every wall metric, but it is the number the `simd` feature's speedup
+/// claims are read off of.
+pub fn render_kernel_speedups(b: &Baseline) -> String {
+    let mut out = String::new();
+    for name in KERNEL_PAIRS {
+        let cell = |impl_label: &str| {
+            b.cases
+                .iter()
+                .find(|c| c.name == name && c.mode == impl_label)
+        };
+        let (Some(s), Some(v)) = (cell("scalar"), cell("simd")) else {
+            continue;
+        };
+        if out.is_empty() {
+            let _ = writeln!(
+                out,
+                "{:<24} {:>14} {:>14} {:>8}",
+                "kernel cell", "scalar med", "simd med", "speedup"
+            );
+        }
+        let ratio = if v.wall.median_ns > 0 {
+            s.wall.median_ns as f64 / v.wall.median_ns as f64
+        } else {
+            f64::NAN
+        };
+        let _ = writeln!(
+            out,
+            "{:<24} {:>12}ns {:>12}ns {:>7.2}x",
+            name, s.wall.median_ns, v.wall.median_ns, ratio
+        );
+    }
+    out
+}
+
 /// Renders the per-metric violation diff (empty string when clean).
 pub fn render_violations(cmp: &Comparison) -> String {
     if cmp.violations.is_empty() {
@@ -750,7 +903,8 @@ fn usage() -> String {
          \x20      rpb gate compare BASE CURRENT [--wall-tolerance X]\n\
          \x20      rpb gate check   --baseline PATH [--out PATH] [--reps N] [--threads N]\n\
          \x20                       [--wall gate|advisory] [--wall-tolerance X]\n\n\
-         record  runs the pinned smoke matrix at the gate scale and writes an\n\
+         record  runs the pinned smoke matrix (plus the scalar/simd kernel\n\
+         \x20       cells) at the gate scale and writes an\n\
          \x20       {BASELINE_SCHEMA} baseline (default out: baselines/smoke.json).\n\
          compare diffs two baseline files (exit {EXIT_HARD} on hard drift, {EXIT_SOFT} on soft).\n\
          check   records a fresh matrix and compares it against --baseline;\n\
@@ -850,6 +1004,7 @@ pub fn run_cli(args: &[String]) -> i32 {
                         path,
                         baseline.cases.len()
                     );
+                    print_kernel_speedups(&baseline);
                     EXIT_OK
                 }
                 Err(e) => cli_err(&e),
@@ -886,6 +1041,7 @@ pub fn run_cli(args: &[String]) -> i32 {
             let cmp = compare(&base, &cur, tolerance);
             print!("{}", cmp.table);
             print_violations(&cmp);
+            print_kernel_speedups(&cur);
             if let Some(out) = out {
                 if let Err(e) = write_baseline(Path::new(&out), &cur) {
                     return cli_err(&e);
@@ -917,6 +1073,14 @@ fn print_violations(cmp: &Comparison) {
     if !diff.is_empty() {
         println!("\nDrifted metrics:");
         print!("{diff}");
+    }
+}
+
+fn print_kernel_speedups(b: &Baseline) {
+    let table = render_kernel_speedups(b);
+    if !table.is_empty() {
+        println!("\nKernel cells (scalar vs simd dispatch, this run):");
+        print!("{table}");
     }
 }
 
@@ -1086,6 +1250,81 @@ mod tests {
         let cmp = compare(&base, &cur, DEFAULT_WALL_TOLERANCE);
         assert!(cmp.has_hard());
         assert!(render_violations(&cmp).contains("scale"));
+    }
+
+    #[test]
+    fn kernel_matrix_pins_every_kernel_both_ways() {
+        let m = kernel_matrix();
+        assert_eq!(m.len(), 2 * KERNEL_PAIRS.len());
+        for name in KERNEL_PAIRS {
+            for imp in [KernelImpl::Scalar, KernelImpl::Simd] {
+                assert!(m.contains(&(name, imp)), "{name} missing {}", imp.label());
+            }
+        }
+        // The Auto pin never records: a kernel cell is meaningful only
+        // when its dispatch is explicit.
+        assert!(m.iter().all(|&(_, k)| k != KernelImpl::Auto));
+    }
+
+    #[test]
+    fn kernel_speedup_table_reads_off_the_ratio() {
+        let mut b = tiny_baseline();
+        // No kernel cells: nothing to render (old baselines stay valid).
+        assert!(render_kernel_speedups(&b).is_empty());
+        let wall = |median_ns: u64| WallStats {
+            best_ns: median_ns,
+            median_ns,
+            mad_ns: 1,
+            reps: 3,
+        };
+        for (mode, median) in [("scalar", 3000), ("simd", 1500)] {
+            b.cases.push(GateCase {
+                name: "kernel-hist".into(),
+                mode: mode.into(),
+                check: None,
+                counters: Vec::new(),
+                wall: wall(median),
+            });
+        }
+        let table = render_kernel_speedups(&b);
+        assert!(table.contains("kernel-hist"), "{table}");
+        assert!(table.contains("2.00x"), "{table}");
+        // A lone pin (simd cell missing) renders nothing for that kernel.
+        b.cases.push(GateCase {
+            name: "kernel-radix".into(),
+            mode: "scalar".into(),
+            check: None,
+            counters: Vec::new(),
+            wall: wall(9999),
+        });
+        assert!(!render_kernel_speedups(&b).contains("kernel-radix"));
+    }
+
+    fn tiny_workloads() -> Workloads {
+        let mut scale = Scale::gate();
+        // Shrink below gate so the in-crate tests stay fast; CI's gate
+        // jobs exercise the real gate scale through the binary.
+        scale.text_len = 2_000;
+        scale.seq_len = 8_000;
+        scale.graph_n = 400;
+        scale.points_n = 200;
+        Workloads::build(scale)
+    }
+
+    #[test]
+    fn kernel_cases_run_and_time_at_tiny_scale() {
+        use std::time::Duration;
+        let w = tiny_workloads();
+        for name in KERNEL_PAIRS {
+            let ts = run_kernel_case(name, &w, 1);
+            assert!(ts.best > Duration::ZERO, "{name}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown kernel cell")]
+    fn kernel_case_rejects_unknown_names() {
+        run_kernel_case("kernel-typo", &tiny_workloads(), 1);
     }
 
     #[test]

@@ -13,6 +13,7 @@ use std::fmt::Write as _;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use rpb_fearless::{ExecMode, ALL_MODES};
+use rpb_parlay::simd::KernelImpl;
 use rpb_suite::verify::{verify_pair, SuiteInputs, SUITE_BENCHES};
 
 use crate::figures::in_pool;
@@ -31,6 +32,10 @@ pub struct VerifyConfig {
     pub modes: Vec<ExecMode>,
     /// Worker-pool sizes each cell runs under.
     pub workers: Vec<usize>,
+    /// Kernel implementations each cell runs under (the scalar-vs-simd
+    /// differential axis; `--kernel-impl scalar,simd`). The default is
+    /// `[Auto]` — let runtime detection decide, one run per cell.
+    pub kernel_impls: Vec<KernelImpl>,
     /// Corrupt this benchmark's parallel output before checking — a
     /// testing hook proving the failure path (FAIL cell, nonzero exit)
     /// works end to end.
@@ -43,6 +48,7 @@ impl Default for VerifyConfig {
             benches: Vec::new(),
             modes: ALL_MODES.to_vec(),
             workers: vec![1, 2],
+            kernel_impls: vec![KernelImpl::Auto],
             inject: None,
         }
     }
@@ -113,6 +119,9 @@ pub fn run_matrix(w: &Workloads, cfg: &VerifyConfig) -> Result<VerifyOutcome, St
     if cfg.workers.is_empty() || cfg.workers.contains(&0) {
         return Err("worker counts must be a non-empty list of positive integers".into());
     }
+    if cfg.kernel_impls.is_empty() {
+        return Err("no kernel implementations selected".into());
+    }
 
     let inputs = suite_inputs(w);
     let mut rendered = String::new();
@@ -129,15 +138,18 @@ pub fn run_matrix(w: &Workloads, cfg: &VerifyConfig) -> Result<VerifyOutcome, St
         for &mode in &cfg.modes {
             cells += 1;
             let mut cell_ok = true;
-            for &workers in &cfg.workers {
-                let inject = cfg.inject.as_deref() == Some(bench);
-                if let Err(detail) = run_cell(&inputs, bench, mode, workers, inject) {
-                    failures.push(format!(
-                        "{bench}/{} @{workers} workers: {detail}",
-                        mode.label()
-                    ));
-                    cell_ok = false;
-                    break;
+            'cell: for &kimpl in &cfg.kernel_impls {
+                for &workers in &cfg.workers {
+                    let inject = cfg.inject.as_deref() == Some(bench);
+                    if let Err(detail) = run_cell(&inputs, bench, mode, workers, kimpl, inject) {
+                        failures.push(format!(
+                            "{bench}/{} @{workers} workers [{}]: {detail}",
+                            mode.label(),
+                            kimpl.label()
+                        ));
+                        cell_ok = false;
+                        break 'cell;
+                    }
                 }
             }
             write!(rendered, " {:<8}", if cell_ok { "ok" } else { "FAIL" })
@@ -150,12 +162,14 @@ pub fn run_matrix(w: &Workloads, cfg: &VerifyConfig) -> Result<VerifyOutcome, St
         writeln!(rendered, "FAIL {f}").expect("write to string");
     }
     let workers: Vec<String> = cfg.workers.iter().map(|n| n.to_string()).collect();
+    let impls: Vec<&str> = cfg.kernel_impls.iter().map(|k| k.label()).collect();
     writeln!(
         rendered,
-        "verify: {cells} cells ({} ok, {} FAIL) across workers {{{}}}",
+        "verify: {cells} cells ({} ok, {} FAIL) across workers {{{}}} and kernel impls {{{}}}",
         cells - failures.len(),
         failures.len(),
-        workers.join(",")
+        workers.join(","),
+        impls.join(",")
     )
     .expect("write to string");
     Ok(VerifyOutcome {
@@ -165,19 +179,32 @@ pub fn run_matrix(w: &Workloads, cfg: &VerifyConfig) -> Result<VerifyOutcome, St
     })
 }
 
-/// One `(bench, mode, workers)` run inside its own pool, panic-isolated.
+/// One `(bench, mode, workers, kernel impl)` run inside its own pool,
+/// panic-isolated. A non-[`KernelImpl::Auto`] impl pins the dispatch for
+/// the duration of the run (serialized via the global force lock so
+/// concurrent matrices can't trample each other's pin) and restores
+/// auto dispatch afterwards — panics included.
 fn run_cell(
     inputs: &SuiteInputs<'_>,
     bench: &str,
     mode: ExecMode,
     workers: usize,
+    kimpl: KernelImpl,
     inject: bool,
 ) -> Result<(), String> {
+    let _pin = (kimpl != KernelImpl::Auto).then(|| {
+        let guard = rpb_parlay::simd::force_lock();
+        rpb_parlay::simd::set_forced(kimpl);
+        guard
+    });
     let outcome = catch_unwind(AssertUnwindSafe(|| {
         in_pool(workers, || {
             verify_pair(bench, inputs, mode, workers, inject)
         })
     }));
+    if kimpl != KernelImpl::Auto {
+        rpb_parlay::simd::set_forced(KernelImpl::Auto);
+    }
     match outcome {
         Ok(Ok(())) => Ok(()),
         Ok(Err(e)) => Err(e.to_string()),
@@ -220,6 +247,32 @@ mod tests {
             "{}",
             out.rendered
         );
+    }
+
+    #[test]
+    fn kernel_impl_axis_runs_both_paths() {
+        let w = tiny_workloads();
+        let cfg = VerifyConfig {
+            benches: vec!["hist".into(), "dedup".into()],
+            modes: vec![ExecMode::Checked],
+            workers: vec![2],
+            kernel_impls: vec![KernelImpl::Scalar, KernelImpl::Simd],
+            ..VerifyConfig::default()
+        };
+        let out = run_matrix(&w, &cfg).expect("usage ok");
+        assert_eq!(out.cells, 2, "{}", out.rendered);
+        assert!(out.failures.is_empty(), "{}", out.rendered);
+        assert!(
+            out.rendered.contains("kernel impls {scalar,simd}"),
+            "{}",
+            out.rendered
+        );
+        // An empty impl list is a usage error, not a verification failure.
+        let none = VerifyConfig {
+            kernel_impls: Vec::new(),
+            ..VerifyConfig::default()
+        };
+        assert!(run_matrix(&w, &none).is_err());
     }
 
     #[test]

@@ -67,6 +67,51 @@ mod with_obs {
     }
 
     #[test]
+    fn kernel_cells_hard_counters_match_across_dispatch_pins() {
+        let _guard = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+        let w = Workloads::build(Scale::gate());
+        let b = gate::record(&w, 1, 1);
+
+        // Every kernel appears under both pins, and the pins record
+        // *identical* hard counters: the SIMD fast paths must be
+        // behaviorally invisible (their own obs counters are deliberately
+        // outside the hard set). On non-AVX2 hardware or default-feature
+        // builds both pins resolve to the scalar paths, which satisfies
+        // the same property trivially.
+        for name in gate::KERNEL_PAIRS {
+            let cell = |mode: &str| {
+                b.cases
+                    .iter()
+                    .find(|c| c.name == name && c.mode == mode)
+                    .unwrap_or_else(|| panic!("{name}/{mode} cell missing"))
+            };
+            let (scalar, simd) = (cell("scalar"), cell("simd"));
+            assert_eq!(
+                scalar.counters_json().to_string(),
+                simd.counters_json().to_string(),
+                "{name}: scalar and simd pins disagree on hard counters"
+            );
+        }
+        // The validation kernels must actually record events, or the
+        // equality above is vacuous.
+        let validated = |name: &str, counter: &str| {
+            b.cases
+                .iter()
+                .find(|c| c.name == name && c.mode == "scalar")
+                .map(|c| c.counter(counter))
+                .unwrap_or(0)
+        };
+        assert!(
+            validated("kernel-sngind-validate", "sngind_offsets_validated") > 0,
+            "sngind kernel cell recorded no validations"
+        );
+        assert!(
+            validated("kernel-rngind-validate", "rngind_boundaries_validated") > 0,
+            "rngind kernel cell recorded no validations"
+        );
+    }
+
+    #[test]
     fn check_against_tampered_baseline_hard_fails_through_the_cli() {
         let _guard = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
         let w = Workloads::build(Scale::gate());

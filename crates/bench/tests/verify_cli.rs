@@ -70,6 +70,37 @@ fn unknown_mode_is_a_usage_error_listing_valid_modes() {
 }
 
 #[test]
+fn kernel_impl_axis_is_clean_across_the_suite() {
+    // The scalar-vs-simd differential axis: every benchmark/mode pair
+    // runs once per pinned kernel implementation. In default builds both
+    // pins resolve to the scalar paths; in --features simd builds on an
+    // AVX2 machine the second pass takes the vectorized kernels, and any
+    // scalar/simd divergence fails the cell.
+    let out = rpb_verify(&["--kernel-impl", "scalar,simd"]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "kernel-impl sweep must verify\nstdout:\n{stdout}\nstderr:\n{stderr}"
+    );
+    assert!(stdout.contains("42 cells (42 ok, 0 FAIL)"), "{stdout}");
+    assert!(stdout.contains("kernel impls {scalar,simd}"), "{stdout}");
+}
+
+#[test]
+fn unknown_kernel_impl_is_a_usage_error() {
+    let out = rpb_verify(&["--kernel-impl", "avx512"]);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(out.status.code(), Some(2), "{stderr}");
+    assert!(stderr.contains("avx512"), "{stderr}");
+    assert!(
+        stderr.contains("scalar") && stderr.contains("simd"),
+        "valid impls listed\n{stderr}"
+    );
+}
+
+#[test]
 fn full_matrix_at_gate_scale_is_clean() {
     let out = rpb_verify(&[]);
     let stdout = String::from_utf8_lossy(&out.stdout);

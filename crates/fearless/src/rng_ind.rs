@@ -123,6 +123,10 @@ fn validate_chunk_offsets_inner(offsets: &[usize], len: usize) -> Result<(), Ind
             }),
         };
     }
+    #[cfg(all(feature = "simd", target_arch = "x86_64", target_pointer_width = "64"))]
+    if rpb_parlay::simd::simd_enabled() {
+        return validate_chunk_offsets_simd(offsets, len);
+    }
     // Bounds and monotonicity fused into one indexed sweep: boundary `i`
     // checks itself and its predecessor, so every adjacent pair is covered
     // without a second `windows` pass.
@@ -141,17 +145,128 @@ fn validate_chunk_offsets_inner(offsets: &[usize], len: usize) -> Result<(), Ind
     match err {
         None => Ok(()),
         Some(e @ IndChunksError::OutOfBounds { .. }) => Err(e),
-        Some(non_monotone) => {
-            // The parallel sweep reports whichever fault some thread hit
-            // first. When an out-of-bounds boundary coexists with the
-            // non-monotone pair, prefer it deterministically (first by
-            // index), matching the historical bounds-then-monotone order —
-            // error path only, so the rescan is free in the success case.
-            match offsets.iter().enumerate().find(|&(_, &o)| o > len) {
-                Some((index, &offset)) => Err(IndChunksError::OutOfBounds { index, offset, len }),
-                None => Err(non_monotone),
+        Some(non_monotone) => Err(prefer_out_of_bounds(offsets, len, non_monotone)),
+    }
+}
+
+/// Cold error path shared by the sweep variants: the parallel sweep
+/// reported `non_monotone`; when an out-of-bounds boundary coexists with
+/// it, prefer that deterministically (first by index), matching the
+/// historical bounds-then-monotone order — error path only, so the rescan
+/// is free in the success case.
+fn prefer_out_of_bounds(
+    offsets: &[usize],
+    len: usize,
+    non_monotone: IndChunksError,
+) -> IndChunksError {
+    match offsets.iter().enumerate().find(|&(_, &o)| o > len) {
+        Some((index, &offset)) => IndChunksError::OutOfBounds { index, offset, len },
+        None => non_monotone,
+    }
+}
+
+/// AVX2 variant of the fused boundary sweep: each 256-bit step checks 4
+/// boundaries for bounds (`offset > len`) *and* 4 adjacent pairs for
+/// monotonicity (an unaligned load at `i - 1` supplies the predecessors),
+/// reporting the earliest faulting lane with the scalar path's
+/// bounds-before-monotone priority at equal index. Same verdict and
+/// error-variant contract as the scalar sweep, which remains the
+/// differential oracle.
+#[cfg(all(feature = "simd", target_arch = "x86_64", target_pointer_width = "64"))]
+fn validate_chunk_offsets_simd(offsets: &[usize], len: usize) -> Result<(), IndChunksError> {
+    use rayon::prelude::*;
+    rpb_obs::metrics::RNGIND_SIMD_SWEEPS.add(1);
+    const CHUNK: usize = 2048;
+    let nchunks = offsets.len().div_ceil(CHUNK);
+    let err = (0..nchunks).into_par_iter().find_map_any(|c| {
+        let start = c * CHUNK;
+        let end = ((c + 1) * CHUNK).min(offsets.len());
+        // SAFETY: dispatch established AVX2 support via `simd_enabled()`.
+        unsafe { simd_sweep::first_boundary_fault(offsets, start, end, len) }.map(
+            |(index, is_oob)| {
+                if is_oob {
+                    IndChunksError::OutOfBounds {
+                        index,
+                        offset: offsets[index],
+                        len,
+                    }
+                } else {
+                    IndChunksError::NotMonotone { index }
+                }
+            },
+        )
+    });
+    match err {
+        None => Ok(()),
+        Some(e @ IndChunksError::OutOfBounds { .. }) => Err(e),
+        Some(non_monotone) => Err(prefer_out_of_bounds(offsets, len, non_monotone)),
+    }
+}
+
+/// The vector kernel behind [`validate_chunk_offsets_simd`].
+#[cfg(all(feature = "simd", target_arch = "x86_64", target_pointer_width = "64"))]
+mod simd_sweep {
+    use std::arch::x86_64::*;
+
+    /// First faulting boundary in positions `start..end` of `offsets`:
+    /// returns `(index, is_oob)` where `is_oob` distinguishes
+    /// `offsets[index] > len` from `offsets[index - 1] > offsets[index]`.
+    /// At an index with both faults, bounds win (the scalar check order).
+    ///
+    /// Unsigned 64-bit compares are emulated by flipping the sign bit of
+    /// both sides (`a > b (unsigned) ⟺ (a ^ MIN) > (b ^ MIN) (signed)`).
+    /// Position 0 has no predecessor and is checked for bounds only.
+    ///
+    /// # Safety
+    /// The CPU must support AVX2 (callers establish this through
+    /// [`rpb_parlay::simd::simd_enabled`]). `start < end <= offsets.len()`
+    /// must hold.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn first_boundary_fault(
+        offsets: &[usize],
+        start: usize,
+        end: usize,
+        len: usize,
+    ) -> Option<(usize, bool)> {
+        debug_assert!(start < end && end <= offsets.len());
+        let mut i = start;
+        if i == 0 {
+            if offsets[0] > len {
+                return Some((0, true));
             }
+            i = 1;
         }
+        let sign = _mm256_set1_epi64x(i64::MIN);
+        let bound = _mm256_set1_epi64x((len as u64 ^ (1u64 << 63)) as i64);
+        while i + 4 <= end {
+            // SAFETY: 1 <= i and i + 4 <= end <= offsets.len(), so the two
+            // 32-byte unaligned loads cover in-bounds ranges [i, i+4) and
+            // [i-1, i+3) (usize is 64-bit by this module's cfg gate).
+            let cur = unsafe { _mm256_loadu_si256(offsets.as_ptr().add(i) as *const __m256i) };
+            // SAFETY: as above.
+            let prev = unsafe { _mm256_loadu_si256(offsets.as_ptr().add(i - 1) as *const __m256i) };
+            let cur_biased = _mm256_xor_si256(cur, sign);
+            let oob = _mm256_cmpgt_epi64(cur_biased, bound);
+            let mono = _mm256_cmpgt_epi64(_mm256_xor_si256(prev, sign), cur_biased);
+            let oob_mask = _mm256_movemask_pd(_mm256_castsi256_pd(oob));
+            let mono_mask = _mm256_movemask_pd(_mm256_castsi256_pd(mono));
+            let any = oob_mask | mono_mask;
+            if any != 0 {
+                let lane = any.trailing_zeros();
+                return Some((i + lane as usize, (oob_mask >> lane) & 1 == 1));
+            }
+            i += 4;
+        }
+        while i < end {
+            if offsets[i] > len {
+                return Some((i, true));
+            }
+            if offsets[i - 1] > offsets[i] {
+                return Some((i, false));
+            }
+            i += 1;
+        }
+        None
     }
 }
 
@@ -482,5 +597,109 @@ mod tests {
             .enumerate()
             .for_each(|(k, chunk)| chunk.fill(k as u8 + 1));
         assert_eq!(v, vec![3, 3, 2, 2, 1, 1]);
+    }
+
+    /// Scalar-oracle differential for the vectorized boundary sweep: on
+    /// builds/machines without AVX2 both runs trivially coincide.
+    fn validate_both_impls(
+        offsets: &[usize],
+        len: usize,
+    ) -> (Result<(), IndChunksError>, Result<(), IndChunksError>) {
+        use rpb_parlay::simd::{set_forced, KernelImpl};
+        set_forced(KernelImpl::Scalar);
+        let scalar = validate_chunk_offsets(offsets, len);
+        set_forced(KernelImpl::Simd);
+        let simd = validate_chunk_offsets(offsets, len);
+        set_forced(KernelImpl::Auto);
+        (scalar, simd)
+    }
+
+    #[test]
+    fn simd_and_scalar_boundary_sweeps_agree() {
+        let _g = rpb_parlay::simd::force_lock();
+        let k = if cfg!(miri) { 133 } else { 30_001 }; // odd: tail lanes
+        let len = 4 * k;
+        // Monotone boundaries with plateaus (equal neighbours are legal).
+        let offsets: Vec<usize> = (0..k).map(|i| (i / 3) * 12).collect();
+        let (scalar, simd) = validate_both_impls(&offsets, len);
+        assert_eq!(scalar, Ok(()));
+        assert_eq!(simd, Ok(()));
+
+        // Single out-of-bounds boundary at assorted positions (including
+        // lane 0, mid-lane, and the scalar tail): exact error equality.
+        for at in [0, 1, 2, 3, 4, k / 2, k - 2, k - 1] {
+            let mut bad = offsets.clone();
+            bad[at] = len + 1 + at;
+            let (scalar, simd) = validate_both_impls(&bad, len);
+            assert!(
+                matches!(
+                    scalar,
+                    Err(IndChunksError::OutOfBounds { index, offset, .. })
+                        if index == at && offset == len + 1 + at
+                ),
+                "at={at}: {scalar:?}"
+            );
+            assert_eq!(scalar, simd, "at={at}");
+        }
+
+        // Single non-monotone pair: exact error equality (the faulting
+        // index is unique, so both paths must report it).
+        for at in [1, 2, 3, 4, 5, k / 2, k - 1] {
+            // A drop below the predecessor is only representable when the
+            // predecessor is nonzero.
+            if offsets[at - 1] == 0 {
+                continue;
+            }
+            let mut bad = offsets.clone();
+            bad[at] = offsets[at - 1] - 1;
+            // Keep the *successor* pair legal so the fault stays unique.
+            if at + 1 < bad.len() && bad[at + 1] < bad[at] {
+                continue;
+            }
+            let (scalar, simd) = validate_both_impls(&bad, len);
+            assert_eq!(
+                scalar,
+                Err(IndChunksError::NotMonotone { index: at }),
+                "at={at}"
+            );
+            assert_eq!(scalar, simd, "at={at}");
+        }
+
+        // Both fault kinds present: OutOfBounds wins deterministically.
+        let mut both = offsets.clone();
+        both[5] = len + 9; // out of bounds ...
+        both[6] = 0; // ... and (harmlessly redundant) non-monotone after it
+        let (scalar, simd) = validate_both_impls(&both, len);
+        assert!(
+            matches!(
+                scalar,
+                Err(IndChunksError::OutOfBounds { index: 5, offset, .. }) if offset == len + 9
+            ),
+            "{scalar:?}"
+        );
+        assert_eq!(scalar, simd);
+    }
+
+    #[test]
+    fn simd_and_scalar_boundary_sweeps_agree_on_tiny_sizes() {
+        let _g = rpb_parlay::simd::force_lock();
+        for k in 0..=9usize {
+            let offsets: Vec<usize> = (0..k).map(|i| i * 2).collect();
+            let (scalar, simd) = validate_both_impls(&offsets, 2 * k + 1);
+            assert_eq!(scalar, Ok(()), "k={k}");
+            assert_eq!(scalar, simd, "k={k}");
+            if k < 2 {
+                continue;
+            }
+            let mut bad = offsets.clone();
+            bad.swap(k - 2, k - 1); // strictly decreasing adjacent pair
+            let (scalar, simd) = validate_both_impls(&bad, 2 * k + 1);
+            assert_eq!(
+                scalar,
+                Err(IndChunksError::NotMonotone { index: k - 1 }),
+                "k={k}"
+            );
+            assert_eq!(scalar, simd, "k={k}");
+        }
     }
 }

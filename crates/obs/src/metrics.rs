@@ -131,6 +131,31 @@ define_metrics! {
             "Executor runs aborted because a task panicked.",
         EXEC_TASKS_DRAINED => "exec_tasks_drained":
             "Queued tasks dropped while unwinding a panicked executor run.",
+        // rpb-parlay: radix-sort raw-speed pass (scratch reuse + AVX2).
+        RADIX_SCRATCH_BYTES_SAVED => "radix_scratch_bytes_saved":
+            "Bytes of per-pass counts/transposed scratch allocation avoided \
+             by reusing one buffer pair across radix digit passes.",
+        RADIX_SIMD_PASSES => "radix_simd_passes":
+            "Radix counting-sort passes whose digit histogram ran on the \
+             AVX2 path.",
+        RADIX_TRIVIAL_PASSES_ELIDED => "radix_trivial_passes_elided":
+            "Radix passes reduced to a block copy because a single digit \
+             bucket held every element (fast path only).",
+        // SIMD dispatch accounting (never hard-gated: these legitimately
+        // differ between scalar and simd kernel implementations).
+        SNGIND_SIMD_SWEEPS => "sngind_simd_sweeps":
+            "Fused SngInd validation sweeps taken by the AVX2 bounds \
+             pre-scan path.",
+        RNGIND_SIMD_SWEEPS => "rngind_simd_sweeps":
+            "RngInd boundary sweeps taken by the AVX2 bounds+monotonicity \
+             path.",
+        HIST_SIMD_BLOCKS => "hist_simd_blocks":
+            "Histogram input blocks bucketed by the AVX2 multiply-shift \
+             path.",
+        // rpb-graph: cache-aware traversal pass.
+        GRAPH_PREFETCH_ROWS => "graph_prefetch_rows":
+            "CSR adjacency rows software-prefetched ahead of frontier \
+             expansion.",
         // rpb-bench: Rayon pool lifecycle.
         POOL_THREADS_STARTED => "pool_threads_started":
             "Rayon worker threads started by instrumented pools.",

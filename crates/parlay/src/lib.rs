@@ -31,6 +31,7 @@ pub mod reduce;
 pub mod scan;
 pub mod sendptr;
 pub mod seqdata;
+pub mod simd;
 pub mod slice_util;
 pub mod sort;
 pub mod stencil;
@@ -41,6 +42,7 @@ pub use panics::panic_message;
 pub use random::Random;
 pub use reduce::{max_index, reduce, reduce_with};
 pub use scan::{scan_exclusive, scan_inclusive, scan_inplace_exclusive};
+pub use simd::{simd_enabled, KernelImpl};
 pub use sort::{merge_sort, radix_sort_by_key, radix_sort_u32, radix_sort_u64, sample_sort};
 
 /// Granularity below which parallel primitives fall back to sequential code.

@@ -1,0 +1,184 @@
+//! Runtime dispatch for the feature-gated SIMD fast paths.
+//!
+//! The vectorized kernels (validation sweeps, radix digit histograms,
+//! histogram bucketing) are compiled only with `--features simd` on
+//! `x86_64`, and even then the scalar code remains the mandatory
+//! fallback: every call site asks [`simd_enabled`] per invocation, which
+//! folds together
+//!
+//! 1. compile-time availability (`feature = "simd"` + `x86_64`),
+//! 2. one-time CPU detection (`is_x86_feature_detected!("avx2")`),
+//! 3. the `RPB_FORCE_SCALAR` environment override (any value but `0`),
+//! 4. a programmatic per-process override ([`set_forced`]) used by the
+//!    differential verifier (`rpb verify --kernel-impl scalar,simd`) and
+//!    the perf gate's scalar/simd kernel cells.
+//!
+//! Forcing [`KernelImpl::Simd`] on a machine without AVX2 (or in a build
+//! without the feature) silently stays on the scalar path — the forced
+//! mode can widen the set of machines that run scalar code, never the
+//! set that runs vectorized code.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::OnceLock;
+
+/// Which kernel implementation to dispatch to.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum KernelImpl {
+    /// Runtime detection decides (the default).
+    #[default]
+    Auto,
+    /// Always take the scalar path.
+    Scalar,
+    /// Take the vectorized path where the CPU supports it (falls back to
+    /// scalar on machines without AVX2 — never forces unsupported code).
+    Simd,
+}
+
+impl KernelImpl {
+    /// Stable label for CLI/report output.
+    pub fn label(self) -> &'static str {
+        match self {
+            KernelImpl::Auto => "auto",
+            KernelImpl::Scalar => "scalar",
+            KernelImpl::Simd => "simd",
+        }
+    }
+}
+
+/// Error for [`KernelImpl::from_str`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseKernelImplError(String);
+
+impl std::fmt::Display for ParseKernelImplError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "unknown kernel implementation `{}` (valid: auto, scalar, simd)",
+            self.0
+        )
+    }
+}
+
+impl std::error::Error for ParseKernelImplError {}
+
+impl std::str::FromStr for KernelImpl {
+    type Err = ParseKernelImplError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "auto" => Ok(KernelImpl::Auto),
+            "scalar" => Ok(KernelImpl::Scalar),
+            "simd" => Ok(KernelImpl::Simd),
+            other => Err(ParseKernelImplError(other.to_string())),
+        }
+    }
+}
+
+/// Process-wide programmatic override: 0 = auto, 1 = scalar, 2 = simd.
+static FORCED: AtomicU8 = AtomicU8::new(0);
+
+/// Forces every subsequent dispatch decision (until the next call).
+///
+/// Used by `rpb verify --kernel-impl …` and the perf gate's kernel cells
+/// to pin one implementation per measured run. Process-global: callers
+/// that flip it around a measurement must restore [`KernelImpl::Auto`].
+pub fn set_forced(k: KernelImpl) {
+    let v = match k {
+        KernelImpl::Auto => 0,
+        KernelImpl::Scalar => 1,
+        KernelImpl::Simd => 2,
+    };
+    FORCED.store(v, Ordering::Relaxed);
+}
+
+/// The current programmatic override.
+pub fn forced() -> KernelImpl {
+    match FORCED.load(Ordering::Relaxed) {
+        1 => KernelImpl::Scalar,
+        2 => KernelImpl::Simd,
+        _ => KernelImpl::Auto,
+    }
+}
+
+/// One-time detection: feature compiled in, CPU has AVX2, and the
+/// `RPB_FORCE_SCALAR` environment variable is unset (or `0`).
+fn detected() -> bool {
+    static DETECTED: OnceLock<bool> = OnceLock::new();
+    *DETECTED.get_or_init(|| {
+        if std::env::var_os("RPB_FORCE_SCALAR").is_some_and(|v| v != "0") {
+            return false;
+        }
+        cpu_has_avx2()
+    })
+}
+
+#[cfg(all(feature = "simd", target_arch = "x86_64", not(miri)))]
+fn cpu_has_avx2() -> bool {
+    std::arch::is_x86_feature_detected!("avx2")
+}
+
+#[cfg(not(all(feature = "simd", target_arch = "x86_64", not(miri))))]
+fn cpu_has_avx2() -> bool {
+    false
+}
+
+/// Serializes sections that pin the dispatch with [`set_forced`].
+///
+/// The forced mode is process-global, so concurrent differential tests
+/// (scalar run vs simd run) would trample each other's pin without a lock.
+/// Production callers (the verifier / gate, which run cells sequentially)
+/// don't need it.
+pub fn force_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock().unwrap_or_else(|poison| poison.into_inner())
+}
+
+/// True when the vectorized fast paths should run right now.
+///
+/// Cheap enough for per-call dispatch: one relaxed atomic load plus a
+/// cached detection bit.
+#[inline]
+pub fn simd_enabled() -> bool {
+    match forced() {
+        KernelImpl::Scalar => false,
+        KernelImpl::Auto | KernelImpl::Simd => detected(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::str::FromStr;
+
+    #[test]
+    fn parse_round_trips_and_rejects() {
+        for k in [KernelImpl::Auto, KernelImpl::Scalar, KernelImpl::Simd] {
+            assert_eq!(KernelImpl::from_str(k.label()), Ok(k));
+        }
+        assert_eq!(KernelImpl::from_str(" SIMD "), Ok(KernelImpl::Simd));
+        assert!(KernelImpl::from_str("avx2").is_err());
+    }
+
+    #[test]
+    fn forced_scalar_disables_simd() {
+        // Whatever the machine supports, the scalar override must win.
+        let _g = force_lock();
+        let prev = forced();
+        set_forced(KernelImpl::Scalar);
+        assert!(!simd_enabled());
+        set_forced(prev);
+    }
+
+    #[test]
+    fn forcing_simd_never_exceeds_detection() {
+        let _g = force_lock();
+        let prev = forced();
+        set_forced(KernelImpl::Simd);
+        let forced_on = simd_enabled();
+        set_forced(KernelImpl::Auto);
+        let auto_on = simd_enabled();
+        set_forced(prev);
+        // Forcing simd may only reproduce the auto decision, not beat it.
+        assert_eq!(forced_on, auto_on);
+    }
+}

@@ -7,11 +7,23 @@
 //!   no synchronization),
 //! * [`ExecMode::Sync`] — direct `fetch_add` on shared atomic counters:
 //!   "almost zero-cost but scary" per the paper when the bin is a word.
+//!   With few buckets the shared counters become a handful of hot cache
+//!   lines, so the atomic arm shards them into per-thread stripes folded
+//!   after the parallel loop.
 //!
 //! The paper's headline Fig. 5(b) outlier is the **large-struct** bin:
 //! types without atomic support must fall back to `Mutex`es, costing ~4×.
 //! [`run_large`] reproduces that variant with a multi-word accumulator
 //! ([`LargeBin`]).
+//!
+//! Raw-speed pass: bucket assignment is `min(x / width, nbuckets - 1)`,
+//! and the per-element `u64` division is strength-reduced at construction
+//! time to a shift (power-of-two width) or an exact Granlund–Montgomery
+//! multiply-shift ([`Bucketer`]). With `--features simd` on an AVX2
+//! machine the blocked arm additionally buckets four lanes per iteration
+//! into striped count tables (`RPB_FORCE_SCALAR=1` or
+//! [`rpb_parlay::simd::set_forced`] pins the scalar path; outputs are
+//! differentially pinned equal).
 //!
 //! A zero bucket count is a degenerate parameter: every entry point
 //! returns [`SuiteError::DegenerateParameter`] for it instead of
@@ -29,6 +41,109 @@ use crate::error::SuiteError;
 /// Number of elements per local-histogram block.
 const BLOCK: usize = 1 << 14;
 
+/// Bucket-count ceiling below which the atomic [`ExecMode::Sync`] arm
+/// shards its counters into per-thread stripes. Above it the buckets
+/// already spread across enough cache lines that plain shared atomics
+/// don't serialize.
+const SYNC_STRIPE_MAX_BUCKETS: usize = 64;
+
+/// Precomputed equal-width bucket map: `min(x / width, nbuckets - 1)`,
+/// with the per-element division strength-reduced at construction time.
+#[derive(Clone, Copy, Debug)]
+struct Bucketer {
+    nbuckets: usize,
+    width: u64,
+    div: DivKind,
+}
+
+/// How `x / width` is evaluated.
+#[derive(Clone, Copy, Debug)]
+enum DivKind {
+    /// `width` is a power of two: plain shift.
+    Shift(u32),
+    /// Granlund–Montgomery round-up multiply-shift, exact for every
+    /// `u64` numerator: `t = mulhi(x, magic)`, then
+    /// `(t + ((x - t) >> 1)) >> (shift - 1)`.
+    MulShift { magic: u64, shift: u32 },
+    /// Hardware division. Only reachable for `nbuckets == 1` (where the
+    /// index is 0 regardless): any wider split gives `width <= range/2
+    /// < 2^63`, which the multiply-shift covers.
+    Plain,
+}
+
+impl Bucketer {
+    fn new(nbuckets: usize, range: u64) -> Self {
+        let width = (range / nbuckets as u64).max(1);
+        let div = if width.is_power_of_two() {
+            DivKind::Shift(width.trailing_zeros())
+        } else if width < 1 << 63 {
+            // ceil(log2(width)); non-power-of-two width >= 3 puts it in
+            // 2..=63, so the u128 shifts below stay in range.
+            let shift = 64 - (width - 1).leading_zeros();
+            let magic = (((1u128 << (64 + shift)) + u128::from(width) - 1) / u128::from(width)
+                - (1u128 << 64)) as u64;
+            DivKind::MulShift { magic, shift }
+        } else {
+            DivKind::Plain
+        };
+        Bucketer {
+            nbuckets,
+            width,
+            div,
+        }
+    }
+
+    /// `x / width` via the precomputed strategy.
+    #[inline]
+    fn divide(&self, x: u64) -> u64 {
+        match self.div {
+            DivKind::Shift(s) => x >> s,
+            DivKind::MulShift { magic, shift } => {
+                let t = ((u128::from(x) * u128::from(magic)) >> 64) as u64;
+                // t <= x, so neither the subtraction nor the sum wraps.
+                (t + ((x - t) >> 1)) >> (shift - 1)
+            }
+            DivKind::Plain => x / self.width,
+        }
+    }
+
+    /// Bucket index of `x` (out-of-range values clamp to the last bucket).
+    #[inline]
+    fn index(&self, x: u64) -> usize {
+        (self.divide(x) as usize).min(self.nbuckets - 1)
+    }
+}
+
+fn bucketer(nbuckets: usize, range: u64) -> Result<Bucketer, SuiteError> {
+    if nbuckets == 0 {
+        return Err(SuiteError::degenerate(
+            "hist",
+            "bucket count must be positive",
+        ));
+    }
+    Ok(Bucketer::new(nbuckets, range))
+}
+
+/// One block's bucket counts: four AVX2 lanes per iteration when the
+/// vector path is compiled in and enabled, scalar otherwise.
+fn block_counts(chunk: &[u64], bucket_of: &Bucketer) -> Vec<u64> {
+    let mut local = vec![0u64; bucket_of.nbuckets];
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    if bucket_of.nbuckets > 1
+        && !matches!(bucket_of.div, DivKind::Plain)
+        && rpb_parlay::simd::simd_enabled()
+    {
+        // SAFETY: `simd_enabled` confirmed AVX2 support at runtime.
+        unsafe { avx2::bucket_counts(chunk, bucket_of, &mut local) };
+        rpb_obs::metrics::HIST_SIMD_BLOCKS.add(1);
+        return local;
+    }
+    for &x in chunk {
+        local[bucket_of.index(x)] += 1;
+    }
+    local
+}
+
 /// Parallel histogram of `data` into `nbuckets` equal-width buckets over
 /// `[0, range)`.
 pub fn run_par(
@@ -42,13 +157,7 @@ pub fn run_par(
         ExecMode::Unsafe | ExecMode::Checked => {
             // Per-block locals + merge: fearless safe Rust.
             data.par_chunks(BLOCK)
-                .map(|chunk| {
-                    let mut local = vec![0u64; nbuckets];
-                    for &x in chunk {
-                        local[bucket_of(x)] += 1;
-                    }
-                    local
-                })
+                .map(|chunk| block_counts(chunk, &bucket_of))
                 .reduce(
                     || vec![0u64; nbuckets],
                     |mut a, b| {
@@ -60,11 +169,30 @@ pub fn run_par(
                 )
         }
         ExecMode::Sync => {
-            let counts: Vec<AtomicU64> = (0..nbuckets).map(|_| AtomicU64::new(0)).collect();
-            data.par_iter().for_each(|&x| {
-                counts[bucket_of(x)].fetch_add(1, Ordering::Relaxed);
-            });
-            counts.into_iter().map(|c| c.into_inner()).collect()
+            let threads = rayon::current_num_threads().max(1);
+            if nbuckets < SYNC_STRIPE_MAX_BUCKETS && threads > 1 {
+                // Few buckets, many threads: every `fetch_add` lands on
+                // the same few cache lines. Shard the counters into one
+                // stripe per worker (padded to a cache line so stripes
+                // never share one) and fold after the parallel loop.
+                let stride = nbuckets.next_multiple_of(8);
+                let counts: Vec<AtomicU64> =
+                    (0..threads * stride).map(|_| AtomicU64::new(0)).collect();
+                data.par_iter().for_each(|&x| {
+                    let stripe = rayon::current_thread_index().unwrap_or(0) % threads;
+                    counts[stripe * stride + bucket_of.index(x)].fetch_add(1, Ordering::Relaxed);
+                });
+                let raw: Vec<u64> = counts.into_iter().map(AtomicU64::into_inner).collect();
+                (0..nbuckets)
+                    .map(|b| (0..threads).map(|s| raw[s * stride + b]).sum())
+                    .collect()
+            } else {
+                let counts: Vec<AtomicU64> = (0..nbuckets).map(|_| AtomicU64::new(0)).collect();
+                data.par_iter().for_each(|&x| {
+                    counts[bucket_of.index(x)].fetch_add(1, Ordering::Relaxed);
+                });
+                counts.into_iter().map(AtomicU64::into_inner).collect()
+            }
         }
     })
 }
@@ -74,7 +202,7 @@ pub fn run_seq(data: &[u64], nbuckets: usize, range: u64) -> Result<Vec<u64>, Su
     let bucket_of = bucketer(nbuckets, range)?;
     let mut counts = vec![0u64; nbuckets];
     for &x in data {
-        counts[bucket_of(x)] += 1;
+        counts[bucket_of.index(x)] += 1;
     }
     Ok(counts)
 }
@@ -99,15 +227,114 @@ pub fn verify(data: &[u64], nbuckets: usize, counts: &[u64]) -> Result<(), Suite
     Ok(())
 }
 
-fn bucketer(nbuckets: usize, range: u64) -> Result<impl Fn(u64) -> usize, SuiteError> {
-    if nbuckets == 0 {
-        return Err(SuiteError::degenerate(
-            "hist",
-            "bucket count must be positive",
-        ));
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+mod avx2 {
+    //! AVX2 bucket assignment: four `u64` lanes per iteration through the
+    //! same shift / multiply-shift divider the scalar [`Bucketer`] uses,
+    //! counting into four striped tables so skewed inputs (the suite's
+    //! exponential workload concentrates mass in the low buckets) don't
+    //! serialize on store-to-load forwarding of one hot counter.
+
+    use std::arch::x86_64::{
+        __m256i, _mm256_add_epi64, _mm256_and_si256, _mm256_loadu_si256, _mm256_mul_epu32,
+        _mm256_set1_epi64x, _mm256_srl_epi64, _mm256_srli_epi64, _mm256_storeu_si256,
+        _mm256_sub_epi64, _mm_cvtsi32_si128,
+    };
+
+    use super::{Bucketer, DivKind};
+
+    /// Adds `chunk`'s bucket counts into `local` (length `nbuckets`,
+    /// zeroed by the caller).
+    ///
+    /// # Safety
+    ///
+    /// The CPU must support AVX2 (callers dispatch through
+    /// `rpb_parlay::simd::simd_enabled`).
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn bucket_counts(chunk: &[u64], bucket_of: &Bucketer, local: &mut [u64]) {
+        let nb = local.len();
+        let top = nb - 1;
+        // Four striped count tables: lane k increments stripe k, so a
+        // run of hits on one hot bucket updates four independent
+        // addresses instead of one dependent chain.
+        let mut stripes = vec![0u64; 4 * nb];
+        let mut lanes = [0u64; 4];
+        let n = chunk.len();
+        let mut i = 0;
+        let tally = |stripes: &mut [u64], lanes: &[u64; 4]| {
+            for (k, &q) in lanes.iter().enumerate() {
+                stripes[k * nb + (q as usize).min(top)] += 1;
+            }
+        };
+        match bucket_of.div {
+            DivKind::Shift(s) => {
+                let count = _mm_cvtsi32_si128(s as i32);
+                while i + 4 <= n {
+                    // SAFETY: `i + 4 <= n` bounds the 32-byte read.
+                    let x = unsafe { _mm256_loadu_si256(chunk.as_ptr().add(i).cast()) };
+                    let q = _mm256_srl_epi64(x, count);
+                    // SAFETY: `lanes` is a 32-byte local.
+                    unsafe { _mm256_storeu_si256(lanes.as_mut_ptr().cast(), q) };
+                    tally(&mut stripes, &lanes);
+                    i += 4;
+                }
+            }
+            DivKind::MulShift { magic, shift } => {
+                let m = _mm256_set1_epi64x(magic as i64);
+                let count = _mm_cvtsi32_si128(shift as i32 - 1);
+                while i + 4 <= n {
+                    // SAFETY: `i + 4 <= n` bounds the 32-byte read.
+                    let x = unsafe { _mm256_loadu_si256(chunk.as_ptr().add(i).cast()) };
+                    let t = mulhi_epu64(x, m);
+                    // Round-up correction, then the final shift:
+                    // (t + ((x - t) >> 1)) >> (shift - 1). `t <= x`
+                    // per-lane, so the subtraction never wraps.
+                    let q = _mm256_srl_epi64(
+                        _mm256_add_epi64(t, _mm256_srli_epi64::<1>(_mm256_sub_epi64(x, t))),
+                        count,
+                    );
+                    // SAFETY: `lanes` is a 32-byte local.
+                    unsafe { _mm256_storeu_si256(lanes.as_mut_ptr().cast(), q) };
+                    tally(&mut stripes, &lanes);
+                    i += 4;
+                }
+            }
+            // Never dispatched here (see `block_counts`); leaving `i` at
+            // 0 routes everything through the scalar tail regardless.
+            DivKind::Plain => {}
+        }
+        while i < n {
+            stripes[bucket_of.index(chunk[i])] += 1;
+            i += 1;
+        }
+        for (bucket, slot) in local.iter_mut().enumerate() {
+            *slot += stripes[bucket]
+                + stripes[nb + bucket]
+                + stripes[2 * nb + bucket]
+                + stripes[3 * nb + bucket];
+        }
     }
-    let width = (range / nbuckets as u64).max(1);
-    Ok(move |x: u64| ((x / width) as usize).min(nbuckets - 1))
+
+    /// Unsigned 64×64→high-64 multiply per lane, assembled from the
+    /// 32×32→64 partial products (AVX2 has no widening 64-bit multiply).
+    #[target_feature(enable = "avx2")]
+    fn mulhi_epu64(x: __m256i, m: __m256i) -> __m256i {
+        let lo32 = _mm256_set1_epi64x(0xFFFF_FFFF);
+        let xh = _mm256_srli_epi64::<32>(x);
+        let mh = _mm256_srli_epi64::<32>(m);
+        let ll = _mm256_mul_epu32(x, m);
+        let hl = _mm256_mul_epu32(xh, m);
+        let lh = _mm256_mul_epu32(x, mh);
+        let hh = _mm256_mul_epu32(xh, mh);
+        // Each partial sum stays below 2^64: the products are at most
+        // (2^32-1)^2 and the carries below 2^32.
+        let carry = _mm256_add_epi64(hl, _mm256_srli_epi64::<32>(ll));
+        let mid = _mm256_add_epi64(lh, _mm256_and_si256(carry, lo32));
+        _mm256_add_epi64(
+            _mm256_add_epi64(hh, _mm256_srli_epi64::<32>(carry)),
+            _mm256_srli_epi64::<32>(mid),
+        )
+    }
 }
 
 /// A multi-word accumulator with no atomic equivalent — the "large
@@ -175,7 +402,7 @@ pub fn run_large(
             .map(|chunk| {
                 let mut local = vec![LargeBin::default(); nbuckets];
                 for &x in chunk {
-                    local[bucket_of(x)].add(x);
+                    local[bucket_of.index(x)].add(x);
                 }
                 local
             })
@@ -193,7 +420,7 @@ pub fn run_large(
                 .map(|_| Mutex::new(LargeBin::default()))
                 .collect();
             data.par_iter().for_each(|&x| {
-                bins[bucket_of(x)].lock().add(x);
+                bins[bucket_of.index(x)].lock().add(x);
             });
             bins.into_iter().map(|m| m.into_inner()).collect()
         }
@@ -209,7 +436,7 @@ pub fn run_large_seq(
     let bucket_of = bucketer(nbuckets, range)?;
     let mut bins = vec![LargeBin::default(); nbuckets];
     for &x in data {
-        bins[bucket_of(x)].add(x);
+        bins[bucket_of.index(x)].add(x);
     }
     Ok(bins)
 }
@@ -295,5 +522,136 @@ mod tests {
         h[0] -= 2;
         assert!(verify(&data, 4, &h).is_err());
         assert!(verify(&data, 3, &run_seq(&data, 4, 10).expect("hist")).is_err());
+    }
+
+    #[test]
+    fn bucketer_strength_reduction_matches_division_on_edges() {
+        // Deterministic sweep (Miri-friendly): widths around powers of
+        // two exercise both the shift and multiply-shift dividers,
+        // values span the full u64 range.
+        let mut widths = vec![1u64, 2, 3, 5, 7, 100];
+        for p in [1u32, 2, 7, 31, 32, 62] {
+            let w = 1u64 << p;
+            widths.extend([w - 1, w, w + 1]);
+        }
+        for &width in &widths {
+            for nbuckets in [1usize, 2, 3, 256] {
+                let range = width.saturating_mul(nbuckets as u64);
+                let b = Bucketer::new(nbuckets, range);
+                for x in [
+                    0u64,
+                    1,
+                    width.saturating_sub(1),
+                    width,
+                    width.saturating_add(1),
+                    u64::MAX - 1,
+                    u64::MAX,
+                ] {
+                    assert_eq!(b.divide(x), x / b.width, "width {width} x {x}");
+                    assert_eq!(
+                        b.index(x),
+                        ((x / b.width) as usize).min(nbuckets - 1),
+                        "width {width} nbuckets {nbuckets} x {x}"
+                    );
+                }
+            }
+        }
+        // Largest multiply-shift width: 2^63 - 1 (shift lands on 63).
+        let b = Bucketer::new(2, u64::MAX - 1);
+        assert_eq!(b.width, (1u64 << 63) - 1);
+        for x in [0, b.width - 1, b.width, b.width + 1, u64::MAX] {
+            assert_eq!(b.divide(x), x / b.width, "x {x}");
+        }
+        // Hardware-division fallback: a single bucket with a huge
+        // non-power-of-two width.
+        let plain = Bucketer::new(1, u64::MAX);
+        assert!(matches!(plain.div, DivKind::Plain));
+        for x in [0, 1, u64::MAX - 1, u64::MAX] {
+            assert_eq!(plain.divide(x), x / plain.width);
+            assert_eq!(plain.index(x), 0);
+        }
+    }
+
+    #[test]
+    fn sync_striping_matches_sequential_on_hot_buckets() {
+        // Every element lands in bucket 0 of a tiny bucket array — the
+        // contention case the striped Sync arm shards. The fold must
+        // reproduce the sequential counts exactly.
+        let n = if cfg!(miri) { 300 } else { 100_000 };
+        let hot = vec![3u64; n];
+        for nbuckets in [1usize, 2, 7, 63] {
+            let want = run_seq(&hot, nbuckets, 1_000).expect("hist");
+            let got = run_par(&hot, nbuckets, 1_000, ExecMode::Sync).expect("hist");
+            assert_eq!(got, want, "nbuckets {nbuckets}");
+            assert_eq!(got[0], n as u64);
+        }
+        // Mixed occupancy below the striping threshold.
+        let data = inputs::exponential(n);
+        let want = run_seq(&data, 16, n as u64).expect("hist");
+        assert_eq!(
+            run_par(&data, 16, n as u64, ExecMode::Sync).expect("hist"),
+            want
+        );
+    }
+
+    #[test]
+    fn simd_and_scalar_bucket_counts_agree() {
+        use rpb_parlay::simd::{force_lock, set_forced, KernelImpl};
+
+        let both = |data: &[u64], nbuckets: usize, range: u64| {
+            set_forced(KernelImpl::Scalar);
+            let scalar = run_par(data, nbuckets, range, ExecMode::Unsafe);
+            set_forced(KernelImpl::Simd);
+            let simd = run_par(data, nbuckets, range, ExecMode::Unsafe);
+            set_forced(KernelImpl::Auto);
+            assert_eq!(
+                scalar.expect("hist"),
+                simd.expect("hist"),
+                "nbuckets {nbuckets} range {range}"
+            );
+        };
+
+        let _guard = force_lock();
+        let n = if cfg!(miri) { 130 } else { 3 * BLOCK + 17 };
+        let data = inputs::exponential(n);
+        for (nbuckets, range) in [
+            (256usize, n as u64), // multiply-shift divider
+            (7, n as u64),
+            (2, u64::MAX - 1), // shift = 63
+            (64, 64),          // width 1 (shift divider)
+            (16, 4096),        // pow2 width, exercises the clamp
+        ] {
+            both(&data, nbuckets, range);
+        }
+        // Full-range values stress the vector mulhi partial products and
+        // a remainder tail that isn't a multiple of the lane width.
+        let mut extreme = vec![0u64, 1, 2, u64::MAX, u64::MAX - 1, u64::MAX / 3];
+        extreme.extend((0..64).map(|p| 1u64 << p));
+        extreme.extend((1..40).map(|i| u64::MAX - i));
+        for (nbuckets, range) in [(97usize, u64::MAX), (1024, u64::MAX / 7), (5, 1u64 << 40)] {
+            both(&extreme, nbuckets, range);
+        }
+    }
+
+    #[cfg(not(miri))]
+    mod divider_props {
+        use super::super::Bucketer;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn strength_reduction_equals_division(
+                x in proptest::num::u64::ANY,
+                nbuckets in 1usize..=4096,
+                range in proptest::num::u64::ANY,
+            ) {
+                let b = Bucketer::new(nbuckets, range);
+                prop_assert_eq!(b.divide(x), x / b.width);
+                prop_assert_eq!(
+                    b.index(x),
+                    ((x / b.width) as usize).min(nbuckets - 1)
+                );
+            }
+        }
     }
 }

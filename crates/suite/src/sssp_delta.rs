@@ -35,6 +35,11 @@ pub fn run_par(g: &WeightedGraph, src: usize, delta: u64) -> Result<Vec<u64>, Su
     let n = g.num_vertices();
     let dist: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(INF)).collect();
     dist[src].store(0, Ordering::Relaxed);
+    // Cache-aware pass (shared dispatch with the `simd` feature): waves
+    // are split by edge counts so one hub can't serialize a bucket, and
+    // CSR rows are prefetched a few wave slots ahead of their relaxation.
+    let prefetch = rpb_graph::prefetch_active();
+    let ntasks = rayon::current_num_threads().max(1) * 4;
     let mut current: Vec<u32> = vec![src as u32];
     let mut bucket = 0u64;
     loop {
@@ -42,17 +47,29 @@ pub fn run_par(g: &WeightedGraph, src: usize, delta: u64) -> Result<Vec<u64>, Su
         while !current.is_empty() {
             let bucket_end = (bucket + 1) * delta;
             let dist = &dist;
-            let next_wave: Vec<u32> = current
-                .par_iter()
-                .flat_map_iter(|&u| {
-                    let du = dist[u as usize].load(Ordering::Relaxed);
-                    let stale = du >= bucket_end;
-                    g.neighbors(u as usize).filter_map(move |(v, w)| {
-                        if stale {
-                            return None;
+            let wave = &current;
+            let next_wave: Vec<u32> = g
+                .graph
+                .partition_frontier_by_edges(wave, ntasks)
+                .into_par_iter()
+                .flat_map_iter(|r| {
+                    let chunk = &wave[r];
+                    chunk.iter().enumerate().flat_map(move |(i, &u)| {
+                        if prefetch {
+                            if let Some(&ahead) = chunk.get(i + rpb_graph::Graph::PREFETCH_DISTANCE)
+                            {
+                                g.prefetch_row(ahead as usize);
+                            }
                         }
-                        let nd = du + w as u64;
-                        (write_min_u64(&dist[v as usize], nd) && nd < bucket_end).then_some(v)
+                        let du = dist[u as usize].load(Ordering::Relaxed);
+                        let stale = du >= bucket_end;
+                        g.neighbors(u as usize).filter_map(move |(v, w)| {
+                            if stale {
+                                return None;
+                            }
+                            let nd = du + w as u64;
+                            (write_min_u64(&dist[v as usize], nd) && nd < bucket_end).then_some(v)
+                        })
                     })
                 })
                 .collect();
@@ -153,6 +170,22 @@ mod tests {
         let g = inputs::weighted_graph(GraphKind::Road, 500);
         let d = default_delta(&g);
         assert!((1..=255).contains(&d), "delta {d}");
+    }
+
+    #[test]
+    fn raw_speed_pass_does_not_change_distances() {
+        use rpb_parlay::simd::{force_lock, set_forced, KernelImpl};
+
+        let _guard = force_lock();
+        let g = inputs::weighted_graph(GraphKind::Rmat, if cfg!(miri) { 60 } else { 2000 });
+        let delta = default_delta(&g);
+        set_forced(KernelImpl::Scalar);
+        let scalar = run_par(&g, 0, delta).expect("sssp");
+        set_forced(KernelImpl::Simd);
+        let simd = run_par(&g, 0, delta).expect("sssp");
+        set_forced(KernelImpl::Auto);
+        assert_eq!(scalar, simd);
+        assert_eq!(scalar, rpb_graph::seq::dijkstra(&g, 0));
     }
 
     #[test]
