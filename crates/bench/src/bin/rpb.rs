@@ -5,8 +5,12 @@ use std::path::PathBuf;
 
 use rpb_bench::record::{self, EnvInfo};
 use rpb_bench::{figures, RunRecord, Scale, Workloads};
+use rpb_parlay::exec::{set_default_backend, BackendKind};
 
 fn main() {
+    // Fill the MultiQueue slot of the executor registry before any
+    // --backend/RPB_BACKEND resolution can reach it.
+    rpb_multiqueue::backend::ensure_registered();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cmd = args.first().map(String::as_str).unwrap_or("help");
     if cmd == "gate" {
@@ -85,6 +89,27 @@ fn main() {
                     .map(|k| k.parse().unwrap_or_else(|e| die(&format!("{e}"))))
                     .collect();
             }
+            "--backend" => {
+                i += 1;
+                let list = args
+                    .get(i)
+                    .unwrap_or_else(|| die("--backend needs a list (rayon,mq)"));
+                let mut backends: Vec<BackendKind> = Vec::new();
+                for b in list.split(',') {
+                    let k = b.parse().unwrap_or_else(|e| die(&format!("{e}")));
+                    if !backends.contains(&k) {
+                        backends.push(k);
+                    }
+                }
+                if cmd == "verify" {
+                    verify_cfg.backends = backends;
+                } else if let [one] = backends[..] {
+                    set_default_backend(Some(one));
+                } else {
+                    die("--backend takes one value outside `rpb verify` \
+                         (a comma list is only a verify-matrix axis)");
+                }
+            }
             "--inject" if cmd == "verify" => {
                 i += 1;
                 let bench = args
@@ -99,11 +124,20 @@ fn main() {
         }
         i += 1;
     }
+    // Worker/thread counts are validated here, at parse time, so a typo'd
+    // `--workers 0` dies with a typed usage error before the (expensive)
+    // workload build rather than deep inside a pool constructor.
+    rpb_bench::verifier::validate_workers(&[threads])
+        .unwrap_or_else(|e| die(&format!("--threads: {e}")));
     if !workers_given {
         // Default worker matrix: serial, minimal contention, full width.
         verify_cfg.workers = vec![1, 2, threads];
         verify_cfg.workers.sort_unstable();
         verify_cfg.workers.dedup();
+    }
+    if cmd == "verify" {
+        rpb_bench::verifier::validate_workers(&verify_cfg.workers)
+            .unwrap_or_else(|e| die(&format!("--workers: {e}")));
     }
     if json_path.is_some() && !matches!(cmd, "fig4" | "fig5a" | "fig5b" | "all") {
         die("--json only applies to fig4|fig5a|fig5b|all");
@@ -189,8 +223,10 @@ fn main() {
                  \"When Is Parallelism Fearless and Zero-Cost with Rust?\" (SPAA'24)\n\n\
                  usage: rpb <table1|table2|table3|fig3|fig4|fig5a|fig5b|fig6|all|verify>\n\
                  \x20       [--scale gate|small|medium|large] [--threads N] [--reps N] [--json PATH]\n\
+                 \x20       [--backend rayon|mq]\n\
                  \x20      rpb verify [--suite a,b,...] [--mode unsafe,checked,sync]\n\
                  \x20                 [--workers 1,2,...] [--kernel-impl auto,scalar,simd]\n\
+                 \x20                 [--backend rayon,mq]\n\
                  \x20                 # differential verification matrix\n\
                  \x20      rpb report <file.json>...      # summarize --json reports\n\
                  \x20      rpb gate <record|compare|check> # deterministic perf gate\n\n\
@@ -203,6 +239,12 @@ fn main() {
                  --features simd builds; forcing simd never exceeds what the\n\
                  CPU supports), differentially verifying the vectorized fast\n\
                  paths against their mandatory scalar fallbacks.\n\
+                 --backend rayon,mq repeats every cell on each scheduling\n\
+                 backend (rayon = scope tasks on the ambient pool, mq =\n\
+                 dedicated scoped threads), cross-checking the executor\n\
+                 substrates against each other and the sequential oracle.\n\
+                 Outside `rpb verify` the flag takes one value and sets the\n\
+                 process-default backend (also: RPB_BACKEND=rayon|mq).\n\
                  --json writes one structured record per timed case (schema\n\
                  \"rpb-bench-v2\"); telemetry fields are all-zero unless built\n\
                  with --features obs. `rpb report` renders the check-overhead\n\

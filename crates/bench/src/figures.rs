@@ -16,40 +16,24 @@ use crate::runner::{recommended_mode, run_case, run_seq_case, FIG5A_PAIRS, FIG5B
 use crate::workloads::Workloads;
 use crate::{fig6, gmean, time_best, TimingStats, ALL_PAIRS};
 
-/// Per-thread pool telemetry (feature `obs` only): counts worker starts
-/// and records each worker's lifetime, feeding
-/// `pool_threads_started` / `pool_thread_lifetime_ns`.
-#[cfg(feature = "obs")]
-mod pool_obs {
-    use std::cell::Cell;
-    use std::time::Instant;
-
-    thread_local! {
-        static STARTED_AT: Cell<Option<Instant>> = const { Cell::new(None) };
-    }
-
-    pub(super) fn on_start() {
-        rpb_obs::metrics::POOL_THREADS_STARTED.add(1);
-        STARTED_AT.with(|s| s.set(Some(Instant::now())));
-    }
-
-    pub(super) fn on_exit() {
-        if let Some(t0) = STARTED_AT.with(|s| s.take()) {
-            rpb_obs::metrics::POOL_THREAD_LIFETIME_NS.record(t0.elapsed());
-        }
-    }
+/// Runs `f` with the process-default backend's ambient pool of `threads`
+/// workers installed (per-thread pool telemetry under `--features obs`
+/// lives in `rpb_parlay::exec` now). Shared with the perf gate, whose
+/// counter pass pins `threads` to 1 for determinism.
+pub(crate) fn in_pool<T: Send>(threads: usize, f: impl FnOnce() -> T + Send) -> T {
+    in_pool_on(rpb_parlay::exec::default_backend(), threads, f)
 }
 
-/// Runs `f` inside a Rayon pool of `threads` workers. With `--features
-/// obs` the pool's workers report start/exit telemetry. Shared with the
-/// perf gate, whose counter pass pins `threads` to 1 for determinism.
-pub(crate) fn in_pool<T: Send>(threads: usize, f: impl FnOnce() -> T + Send) -> T {
-    let builder = rayon::ThreadPoolBuilder::new().num_threads(threads);
-    #[cfg(feature = "obs")]
-    let builder = builder
-        .start_handler(|_| pool_obs::on_start())
-        .exit_handler(|_| pool_obs::on_exit());
-    builder.build().expect("thread pool").install(f)
+/// [`in_pool`] on an explicit backend, resolved through the executor
+/// registry. Registration is ensured here so library tests work under
+/// `RPB_BACKEND=mq` without the binary's startup hook.
+pub(crate) fn in_pool_on<T: Send>(
+    backend: rpb_parlay::exec::BackendKind,
+    threads: usize,
+    f: impl FnOnce() -> T + Send,
+) -> T {
+    rpb_multiqueue::backend::ensure_registered();
+    rpb_parlay::exec::run_in(rpb_parlay::exec::executor(backend), threads, f)
 }
 
 /// Runs one parallel case with telemetry bracketing: metrics are reset

@@ -38,6 +38,21 @@
 //! required to be behaviorally invisible — while the wall brackets
 //! document the raw-speed win per kernel ([`render_kernel_speedups`]).
 //!
+//! Every baseline also carries the **backend cells** ([`backend_matrix`]):
+//! the four MultiQueue pairs (`bfs-*`/`sssp-*`) recorded once per
+//! scheduling backend (`rayon` and `mq`), with the backend label in the
+//! cell's `mode` field (keys read `backend-bfs-road/rayon`, …). The
+//! scheduling policy is required to be substrate-independent, so the hard
+//! counters of a pair must agree across its two backend cells the same
+//! way kernel counters agree across dispatch pins.
+//!
+//! A baseline whose *cell set or configuration* differs from the current
+//! build — e.g. one recorded under a different feature set, so kernel or
+//! backend cells are missing or unexpected — is a **schema mismatch**,
+//! not counter drift: `compare`/`check` list the offending cells and exit
+//! [`EXIT_USAGE`] so CI reads "re-record the baseline with matching
+//! features", never "the code regressed".
+//!
 //! Baselines are versioned JSON (`rpb-baseline-v1`) committed under
 //! `baselines/`. After an *intentional* behavioral change, re-record with
 //! `rpb gate record` and commit the diff — the diff itself documents the
@@ -50,12 +65,13 @@ use rpb_fearless::pool;
 use rpb_fearless::snd_ind::{self, UniquenessCheck};
 use rpb_fearless::{rng_ind, ExecMode};
 use rpb_obs::{metrics, Json};
+use rpb_parlay::exec::{set_default_backend, BackendKind, ALL_BACKENDS};
 use rpb_parlay::simd::KernelImpl;
 use rpb_suite::hist;
 
-use crate::figures::in_pool;
+use crate::figures::{in_pool, in_pool_on};
 use crate::record::EnvInfo;
-use crate::runner::{recommended_mode, run_case, ALL_PAIRS, FIG5A_PAIRS};
+use crate::runner::{recommended_mode, run_case, run_case_on, ALL_PAIRS, FIG5A_PAIRS};
 use crate::scale::Scale;
 use crate::workloads::Workloads;
 use crate::{time_best, TimingStats};
@@ -111,7 +127,9 @@ pub const HARD_COUNTERS: &[&str] = &[
 
 /// Exit code: baseline and current run agree (soft drift at most advisory).
 pub const EXIT_OK: i32 = 0;
-/// Exit code: usage / IO / malformed-baseline errors.
+/// Exit code: usage / IO / malformed-baseline errors, and baseline schema
+/// mismatches (the two baselines record different cell sets or
+/// configurations, so no behavioral verdict is possible).
 pub const EXIT_USAGE: i32 = 2;
 /// Exit code: only soft (wall-clock) metrics exceeded tolerance.
 pub const EXIT_SOFT: i32 = 3;
@@ -178,7 +196,9 @@ impl WallStats {
 pub struct GateCase {
     /// Pair label as in Fig. 4 (`"bw"`, `"mis-link"`, …).
     pub name: String,
-    /// Exec-mode label (`"unsafe"`, `"checked"`, `"sync"`).
+    /// Exec-mode label (`"unsafe"`, `"checked"`, `"sync"`); kernel cells
+    /// carry the dispatch pin (`"scalar"`/`"simd"`) and backend cells the
+    /// scheduling backend (`"rayon"`/`"mq"`) here instead.
     pub mode: String,
     /// Validation-cost bracket for the checked SngInd cases
     /// (`"fresh"` / `"amortized"`), `None` elsewhere.
@@ -430,6 +450,40 @@ pub fn kernel_matrix() -> Vec<(&'static str, KernelImpl)> {
         .collect()
 }
 
+/// The MultiQueue-sensitive pairs, recorded once per scheduling backend
+/// (every other pair ignores the backend entirely).
+pub const BACKEND_PAIRS: [&str; 4] = ["bfs-road", "bfs-link", "sssp-link", "sssp-road"];
+
+/// The backend cells: every [`BACKEND_PAIRS`] entry under both scheduling
+/// backends, in recording order. The backend label lands in the cell's
+/// `mode` field, so keys read `backend-bfs-road/rayon`,
+/// `backend-bfs-road/mq`, … At the 1-worker counter pass the MultiQueue
+/// scheduling policy is substrate-independent by construction, so a
+/// pair's hard counters must be equal across its two cells — the gate
+/// pins that claim the way kernel cells pin scalar/simd invisibility.
+pub fn backend_matrix() -> Vec<(&'static str, BackendKind)> {
+    BACKEND_PAIRS
+        .iter()
+        .flat_map(|&name| ALL_BACKENDS.map(|b| (name, b)))
+        .collect()
+}
+
+/// Counter pass of one backend cell: the pair's recommended (Sync) mode
+/// with both the ambient pool and the MultiQueue substrate pinned to
+/// `backend`. Like [`counter_pass`] without a validation-cost bracket.
+fn backend_counter_pass(name: &str, backend: BackendKind, w: &Workloads) -> Vec<(String, u64)> {
+    prepare_pool(None);
+    let ((), snap) = metrics::capture(|| {
+        in_pool_on(backend, COUNTER_THREADS, || {
+            run_case_on(backend, name, w, recommended_mode(name), COUNTER_THREADS, 1);
+        });
+    });
+    HARD_COUNTERS
+        .iter()
+        .map(|&n| (n.to_string(), snap.counter(n)))
+        .collect()
+}
+
 /// Executes one kernel cell's workload inside the current Rayon pool.
 /// The caller pins the dispatch ([`rpb_parlay::simd::set_forced`]) —
 /// this function is impl-agnostic on purpose so both pins time the
@@ -581,6 +635,27 @@ pub fn record(w: &Workloads, wall_threads: usize, wall_reps: usize) -> Baseline 
             wall: WallStats::from_timing(ts),
         });
     }
+    for (name, backend) in backend_matrix() {
+        let counters = backend_counter_pass(name, backend, w);
+        prepare_pool(None);
+        let ts = in_pool_on(backend, wall_threads, || {
+            run_case_on(
+                backend,
+                name,
+                w,
+                recommended_mode(name),
+                wall_threads,
+                wall_reps,
+            )
+        });
+        cases.push(GateCase {
+            name: format!("backend-{name}"),
+            mode: backend.label().to_string(),
+            check: None,
+            counters,
+            wall: WallStats::from_timing(ts),
+        });
+    }
     pool::set_enabled(true);
     Baseline {
         scale: w.scale,
@@ -595,11 +670,28 @@ pub fn record(w: &Workloads, wall_threads: usize, wall_reps: usize) -> Baseline 
 /// Severity of one gate violation.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Severity {
-    /// Deterministic counter drift (or structural mismatch): always fails.
+    /// Structural incomparability: the two baselines record different
+    /// cell sets or configurations (typically a baseline committed under
+    /// a different feature set or scale). No behavioral verdict is
+    /// possible; the fix is re-recording, so this maps to [`EXIT_USAGE`]
+    /// rather than a hard failure.
+    Schema,
+    /// Deterministic counter drift: always fails.
     Hard,
     /// Wall-clock drift beyond tolerance + noise envelope: fails unless
     /// the gate runs in advisory wall mode.
     Soft,
+}
+
+impl Severity {
+    /// Reporting order: schema first, then hard, then soft.
+    fn rank(self) -> u8 {
+        match self {
+            Severity::Schema => 0,
+            Severity::Hard => 1,
+            Severity::Soft => 2,
+        }
+    }
 }
 
 /// One metric that drifted between baseline and current run.
@@ -621,13 +713,21 @@ pub struct Violation {
 /// Outcome of comparing two baselines.
 #[derive(Debug, Default)]
 pub struct Comparison {
-    /// Every drifted metric, hard first.
+    /// Every drifted metric: schema first, then hard, then soft.
     pub violations: Vec<Violation>,
     /// Per-case summary table (always rendered, even when clean).
     pub table: String,
 }
 
 impl Comparison {
+    /// True when the baselines are structurally incomparable (different
+    /// cell sets or configurations).
+    pub fn has_schema(&self) -> bool {
+        self.violations
+            .iter()
+            .any(|v| v.severity == Severity::Schema)
+    }
+
     /// True when any hard metric drifted.
     pub fn has_hard(&self) -> bool {
         self.violations.iter().any(|v| v.severity == Severity::Hard)
@@ -638,10 +738,27 @@ impl Comparison {
         self.violations.iter().any(|v| v.severity == Severity::Soft)
     }
 
+    /// Cell keys (or `"<baseline>"` for config fields) behind a schema
+    /// mismatch, deduped in reporting order.
+    pub fn schema_cells(&self) -> Vec<String> {
+        let mut cells: Vec<String> = Vec::new();
+        for v in &self.violations {
+            if v.severity == Severity::Schema && !cells.contains(&v.case) {
+                cells.push(v.case.clone());
+            }
+        }
+        cells
+    }
+
     /// Maps the outcome to the gate's exit code. `wall_advisory`
     /// downgrades soft violations to reporting-only.
     pub fn exit_code(&self, wall_advisory: bool) -> i32 {
-        if self.has_hard() {
+        if self.has_schema() {
+            // Structural mismatch outranks counter drift: diffs against an
+            // incomparable baseline say nothing about behavior, and the
+            // remedy (re-record) is a usage-level action, not a revert.
+            EXIT_USAGE
+        } else if self.has_hard() {
             EXIT_HARD
         } else if self.has_soft() && !wall_advisory {
             EXIT_SOFT
@@ -662,9 +779,12 @@ fn wall_exceeds(base: WallStats, cur: WallStats, tolerance: f64) -> bool {
 
 /// Diffs two baselines: `base` (committed) against `cur` (fresh).
 ///
-/// Hard violations: scale/thread/rep configuration mismatch, missing or
-/// unexpected matrix cells, and any hard-counter inequality. Soft
-/// violations: wall-clock medians beyond [`wall_exceeds`].
+/// Schema violations: scale/thread/rep configuration mismatch and missing
+/// or unexpected matrix cells (typically a baseline recorded under a
+/// different feature set) — they make the baselines incomparable and map
+/// to [`EXIT_USAGE`]. Hard violations: any hard-counter inequality on the
+/// common cells. Soft violations: wall-clock medians beyond
+/// [`wall_exceeds`].
 pub fn compare(base: &Baseline, cur: &Baseline, tolerance: f64) -> Comparison {
     let mut cmp = Comparison::default();
     let mut push = |case: String, metric: &str, severity: Severity, b: String, c: String| {
@@ -682,7 +802,7 @@ pub fn compare(base: &Baseline, cur: &Baseline, tolerance: f64) -> Comparison {
         push(
             "<baseline>".into(),
             "scale",
-            Severity::Hard,
+            Severity::Schema,
             format!("{:?}", base.scale),
             format!("{:?}", cur.scale),
         );
@@ -695,7 +815,7 @@ pub fn compare(base: &Baseline, cur: &Baseline, tolerance: f64) -> Comparison {
             push(
                 "<baseline>".into(),
                 metric,
-                Severity::Hard,
+                Severity::Schema,
                 b.to_string(),
                 c.to_string(),
             );
@@ -717,7 +837,7 @@ pub fn compare(base: &Baseline, cur: &Baseline, tolerance: f64) -> Comparison {
             push(
                 bc.key(),
                 "<case>",
-                Severity::Hard,
+                Severity::Schema,
                 "present".into(),
                 "missing".into(),
             );
@@ -793,7 +913,7 @@ pub fn compare(base: &Baseline, cur: &Baseline, tolerance: f64) -> Comparison {
             push(
                 cc.key(),
                 "<case>",
-                Severity::Hard,
+                Severity::Schema,
                 "missing".into(),
                 "present".into(),
             );
@@ -809,7 +929,7 @@ pub fn compare(base: &Baseline, cur: &Baseline, tolerance: f64) -> Comparison {
         }
     }
     cmp.violations
-        .sort_by_key(|v| (v.severity == Severity::Soft, v.case.clone()));
+        .sort_by_key(|v| (v.severity.rank(), v.case.clone()));
     cmp.table = table;
     cmp
 }
@@ -869,6 +989,7 @@ pub fn render_violations(cmp: &Comparison) -> String {
             v.case,
             v.metric,
             match v.severity {
+                Severity::Schema => "SCHEMA",
                 Severity::Hard => "HARD",
                 Severity::Soft => "soft",
             },
@@ -899,18 +1020,22 @@ fn write_baseline(path: &Path, baseline: &Baseline) -> Result<(), String> {
 
 fn usage() -> String {
     format!(
-        "usage: rpb gate record  [--out PATH] [--reps N] [--threads N]\n\
+        "usage: rpb gate record  [--out PATH] [--reps N] [--threads N] [--backend rayon|mq]\n\
          \x20      rpb gate compare BASE CURRENT [--wall-tolerance X]\n\
          \x20      rpb gate check   --baseline PATH [--out PATH] [--reps N] [--threads N]\n\
-         \x20                       [--wall gate|advisory] [--wall-tolerance X]\n\n\
+         \x20                       [--wall gate|advisory] [--wall-tolerance X] [--backend rayon|mq]\n\n\
          record  runs the pinned smoke matrix (plus the scalar/simd kernel\n\
-         \x20       cells) at the gate scale and writes an\n\
-         \x20       {BASELINE_SCHEMA} baseline (default out: baselines/smoke.json).\n\
+         \x20       cells and the per-backend MultiQueue cells) at the gate scale\n\
+         \x20       and writes an {BASELINE_SCHEMA} baseline (default out: baselines/smoke.json).\n\
          compare diffs two baseline files (exit {EXIT_HARD} on hard drift, {EXIT_SOFT} on soft).\n\
          check   records a fresh matrix and compares it against --baseline;\n\
          \x20       --wall advisory reports wall-clock drift without failing on it.\n\
+         --backend sets the process-default scheduling backend for the smoke\n\
+         \x20       cells (one value; the backend-* cells always record both).\n\
          Counters are gated hard (deterministic, 1-worker counter pass);\n\
-         wall-clock medians are gated softly with a {DEFAULT_WALL_TOLERANCE}x default tolerance."
+         wall-clock medians are gated softly with a {DEFAULT_WALL_TOLERANCE}x default tolerance.\n\
+         Baselines recording different cell sets or configs (e.g. a feature-set\n\
+         mismatch) exit {EXIT_USAGE} (schema mismatch), never {EXIT_HARD}."
     )
 }
 
@@ -965,6 +1090,18 @@ pub fn run_cli(args: &[String]) -> i32 {
                     i += 1;
                 }
                 _ => return cli_err("--wall-tolerance needs a ratio >= 1.0"),
+            },
+            "--backend" => match need(i).map(|v| v.parse::<BackendKind>()) {
+                Some(Ok(k)) => {
+                    set_default_backend(Some(k));
+                    i += 1;
+                }
+                _ => {
+                    return cli_err(
+                        "--backend needs rayon|mq (one value; the backend-* cells \
+                         always record both)",
+                    )
+                }
             },
             "--wall" => match need(i).map(String::as_str) {
                 Some("advisory") => {
@@ -1024,6 +1161,7 @@ pub fn run_cli(args: &[String]) -> i32 {
             let cmp = compare(&base, &cur, tolerance);
             print!("{}", cmp.table);
             print_violations(&cmp);
+            print_schema_note(&cmp);
             cmp.exit_code(wall_advisory)
         }
         "check" => {
@@ -1041,6 +1179,7 @@ pub fn run_cli(args: &[String]) -> i32 {
             let cmp = compare(&base, &cur, tolerance);
             print!("{}", cmp.table);
             print_violations(&cmp);
+            print_schema_note(&cmp);
             print_kernel_speedups(&cur);
             if let Some(out) = out {
                 if let Err(e) = write_baseline(Path::new(&out), &cur) {
@@ -1055,6 +1194,9 @@ pub fn run_cli(args: &[String]) -> i32 {
                 }
                 EXIT_OK => eprintln!("gate: ok"),
                 EXIT_SOFT => eprintln!("gate: SOFT FAIL (wall-clock beyond tolerance)"),
+                EXIT_USAGE => eprintln!(
+                    "gate: SCHEMA MISMATCH (baseline records a different cell set or config)"
+                ),
                 _ => eprintln!("gate: HARD FAIL (deterministic counters drifted)"),
             }
             code
@@ -1074,6 +1216,18 @@ fn print_violations(cmp: &Comparison) {
         println!("\nDrifted metrics:");
         print!("{diff}");
     }
+}
+
+fn print_schema_note(cmp: &Comparison) {
+    if !cmp.has_schema() {
+        return;
+    }
+    eprintln!(
+        "\ngate: baselines are structurally incomparable (offending cells: {}).\n\
+         This usually means the baseline was recorded under a different feature\n\
+         set or scale — re-record it with `rpb gate record` on this build.",
+        cmp.schema_cells().join(", ")
+    );
 }
 
 fn print_kernel_speedups(b: &Baseline) {
@@ -1225,31 +1379,74 @@ mod tests {
     }
 
     #[test]
-    fn missing_and_extra_cases_are_hard() {
+    fn missing_and_extra_cases_are_a_schema_mismatch() {
+        // A baseline recorded under a different feature set (cells the
+        // current build can't produce, or vice versa) must read as
+        // "re-record", not as hard counter drift.
         let base = tiny_baseline();
         let mut cur = base.clone();
         let dropped = cur.cases.pop().unwrap();
         let cmp = compare(&base, &cur, DEFAULT_WALL_TOLERANCE);
-        assert!(cmp.has_hard());
+        assert!(cmp.has_schema());
+        assert!(!cmp.has_hard(), "{:?}", cmp.violations);
+        assert_eq!(cmp.exit_code(false), EXIT_USAGE);
         assert!(cmp.table.contains("MISSING"));
+        // The offending cell is named, both in the listing and the diff.
+        assert_eq!(cmp.schema_cells(), vec!["bw/checked+amortized"]);
+        assert!(render_violations(&cmp).contains("SCHEMA"));
 
         let mut cur = base.clone();
         let mut extra = dropped;
         extra.name = "zz-new".into();
         cur.cases.push(extra);
         let cmp = compare(&base, &cur, DEFAULT_WALL_TOLERANCE);
-        assert!(cmp.has_hard());
+        assert!(cmp.has_schema());
+        assert_eq!(cmp.exit_code(false), EXIT_USAGE);
         assert!(cmp.table.contains("NEW CASE"));
+        assert_eq!(cmp.schema_cells(), vec!["zz-new/checked+amortized"]);
     }
 
     #[test]
-    fn scale_mismatch_is_hard() {
+    fn scale_mismatch_is_a_schema_mismatch() {
         let base = tiny_baseline();
         let mut cur = base.clone();
         cur.scale = Scale::small();
         let cmp = compare(&base, &cur, DEFAULT_WALL_TOLERANCE);
-        assert!(cmp.has_hard());
+        assert!(cmp.has_schema());
+        assert_eq!(cmp.exit_code(false), EXIT_USAGE);
         assert!(render_violations(&cmp).contains("scale"));
+        assert_eq!(cmp.schema_cells(), vec!["<baseline>"]);
+    }
+
+    #[test]
+    fn schema_mismatch_outranks_hard_drift_in_the_exit_code() {
+        // Counter drift on a common cell is still reported, but the
+        // verdict is the schema mismatch: against an incomparable
+        // baseline, "the code regressed" is not a conclusion CI may draw.
+        let base = tiny_baseline();
+        let mut cur = base.clone();
+        cur.cases.pop();
+        cur.cases[0].counters[0].1 += 1;
+        let cmp = compare(&base, &cur, DEFAULT_WALL_TOLERANCE);
+        assert!(cmp.has_schema() && cmp.has_hard());
+        assert_eq!(cmp.exit_code(false), EXIT_USAGE);
+        assert_eq!(cmp.exit_code(true), EXIT_USAGE);
+        // Schema rows sort ahead of the hard row.
+        assert_eq!(cmp.violations[0].severity, Severity::Schema);
+    }
+
+    #[test]
+    fn backend_matrix_records_every_mq_pair_on_both_backends() {
+        let m = backend_matrix();
+        assert_eq!(m.len(), 2 * BACKEND_PAIRS.len());
+        for name in BACKEND_PAIRS {
+            // Only the MultiQueue pairs are backend-sensitive, and each
+            // records under both scheduling backends.
+            assert!(name.starts_with("bfs") || name.starts_with("sssp"));
+            for b in ALL_BACKENDS {
+                assert!(m.contains(&(name, b)), "{name} missing {}", b.label());
+            }
+        }
     }
 
     #[test]

@@ -2,6 +2,7 @@
 //! their sequential baselines.
 
 use rpb_fearless::ExecMode;
+use rpb_parlay::exec::{default_backend, BackendKind};
 use rpb_suite::{bfs, bw, dedup, dr, hist, isort, lrs, mis, mm, msf, sa, sf, sort, sssp};
 
 use crate::workloads::Workloads;
@@ -49,8 +50,23 @@ pub const FIG5B_PAIRS: [&str; 12] = [
 
 /// Executes one parallel benchmark run inside the current Rayon pool
 /// (MultiQueue benchmarks take `threads` directly). Returns best/mean
-/// timing over `reps` measured repetitions.
+/// timing over `reps` measured repetitions. Runs on the process-default
+/// backend; see [`run_case_on`].
 pub fn run_case(
+    name: &str,
+    w: &Workloads,
+    mode: ExecMode,
+    threads: usize,
+    reps: usize,
+) -> TimingStats {
+    run_case_on(default_backend(), name, w, mode, threads, reps)
+}
+
+/// [`run_case`] with an explicit scheduling backend. Only the MultiQueue
+/// pairs (`bfs-*`/`sssp-*`) are sensitive to it — everything else runs
+/// on the ambient Rayon pool the harness installed around this call.
+pub fn run_case_on(
+    backend: BackendKind,
     name: &str,
     w: &Workloads,
     mode: ExecMode,
@@ -119,16 +135,16 @@ pub fn run_case(
             std::hint::black_box(v);
         }),
         "bfs-road" => time_best(reps, || {
-            std::hint::black_box(bfs::run_par(&w.road, 0, threads, mode));
+            std::hint::black_box(bfs::run_par_on(backend, &w.road, 0, threads, mode));
         }),
         "bfs-link" => time_best(reps, || {
-            std::hint::black_box(bfs::run_par(&w.link, 0, threads, mode));
+            std::hint::black_box(bfs::run_par_on(backend, &w.link, 0, threads, mode));
         }),
         "sssp-link" => time_best(reps, || {
-            std::hint::black_box(sssp::run_par(&w.wlink, 0, threads, mode));
+            std::hint::black_box(sssp::run_par_on(backend, &w.wlink, 0, threads, mode));
         }),
         "sssp-road" => time_best(reps, || {
-            std::hint::black_box(sssp::run_par(&w.wroad, 0, threads, mode));
+            std::hint::black_box(sssp::run_par_on(backend, &w.wroad, 0, threads, mode));
         }),
         other => panic!("unknown benchmark pair: {other}"),
     }

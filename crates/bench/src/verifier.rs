@@ -13,16 +13,22 @@ use std::fmt::Write as _;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use rpb_fearless::{ExecMode, ALL_MODES};
+use rpb_parlay::exec::{default_backend, BackendKind};
 use rpb_parlay::simd::KernelImpl;
-use rpb_suite::verify::{verify_pair, SuiteInputs, SUITE_BENCHES};
+use rpb_suite::verify::{verify_pair_on, SuiteInputs, SUITE_BENCHES};
 
-use crate::figures::in_pool;
+use crate::figures::in_pool_on;
 use crate::workloads::Workloads;
 
 /// Every cell agreed.
 pub const EXIT_OK: i32 = 0;
 /// At least one cell diverged, violated an invariant, or panicked.
 pub const EXIT_DIVERGENCE: i32 = 1;
+
+/// Largest accepted worker-pool size. Requests past this are config
+/// typos, not capacity plans — rejected as a usage error at parse time
+/// instead of letting a pool build fail deep inside the matrix engine.
+pub const MAX_WORKERS: usize = 4096;
 
 /// What to run: which benchmarks, modes, and pool sizes.
 pub struct VerifyConfig {
@@ -36,6 +42,10 @@ pub struct VerifyConfig {
     /// differential axis; `--kernel-impl scalar,simd`). The default is
     /// `[Auto]` — let runtime detection decide, one run per cell.
     pub kernel_impls: Vec<KernelImpl>,
+    /// Scheduling backends each cell runs under (the backend
+    /// differential axis; `--backend rayon,mq`). The default is the
+    /// process default — one run per cell.
+    pub backends: Vec<BackendKind>,
     /// Corrupt this benchmark's parallel output before checking — a
     /// testing hook proving the failure path (FAIL cell, nonzero exit)
     /// works end to end.
@@ -49,6 +59,7 @@ impl Default for VerifyConfig {
             modes: ALL_MODES.to_vec(),
             workers: vec![1, 2],
             kernel_impls: vec![KernelImpl::Auto],
+            backends: vec![default_backend()],
             inject: None,
         }
     }
@@ -82,9 +93,40 @@ pub fn suite_inputs(w: &Workloads) -> SuiteInputs<'_> {
     }
 }
 
+/// Checks a worker-count list: non-empty, every entry in
+/// `1..=`[`MAX_WORKERS`]. The error lists the offending values in
+/// ascending order — deterministic regardless of CLI argument order —
+/// together with the valid range. Shared by `rpb`'s flag parsing (so
+/// `--workers 0` dies at parse time) and [`run_matrix`] (so programmatic
+/// configs get the same contract).
+pub fn validate_workers(workers: &[usize]) -> Result<(), String> {
+    if workers.is_empty() {
+        return Err(format!(
+            "worker counts must be a non-empty list of integers in 1..={MAX_WORKERS}"
+        ));
+    }
+    let mut bad: Vec<usize> = workers
+        .iter()
+        .copied()
+        .filter(|&n| n == 0 || n > MAX_WORKERS)
+        .collect();
+    bad.sort_unstable();
+    bad.dedup();
+    if !bad.is_empty() {
+        let list: Vec<String> = bad.iter().map(|n| n.to_string()).collect();
+        return Err(format!(
+            "invalid worker count{} {} (valid range: 1..={MAX_WORKERS})",
+            if list.len() == 1 { "" } else { "s" },
+            list.join(", ")
+        ));
+    }
+    Ok(())
+}
+
 /// Runs the configured matrix. `Err` is a usage problem (unknown
-/// benchmark name, empty mode/worker list) — distinct from verification
-/// failures, which are reported inside the `Ok` outcome.
+/// benchmark name, empty mode/worker list, out-of-range worker count,
+/// a kernel impl or backend this build can't honor) — distinct from
+/// verification failures, which are reported inside the `Ok` outcome.
 pub fn run_matrix(w: &Workloads, cfg: &VerifyConfig) -> Result<VerifyOutcome, String> {
     let benches: Vec<&str> = if cfg.benches.is_empty() {
         SUITE_BENCHES.to_vec()
@@ -116,11 +158,20 @@ pub fn run_matrix(w: &Workloads, cfg: &VerifyConfig) -> Result<VerifyOutcome, St
     if cfg.modes.is_empty() {
         return Err("no execution modes selected".into());
     }
-    if cfg.workers.is_empty() || cfg.workers.contains(&0) {
-        return Err("worker counts must be a non-empty list of positive integers".into());
-    }
+    validate_workers(&cfg.workers)?;
     if cfg.kernel_impls.is_empty() {
         return Err("no kernel implementations selected".into());
+    }
+    if cfg.kernel_impls.contains(&KernelImpl::Simd) && !rpb_parlay::simd::simd_compiled() {
+        return Err(
+            "kernel impl `simd` requires a binary built with `--features simd`: this build \
+             compiled only the scalar paths, so the scalar-vs-simd differential would \
+             vacuously compare scalar against itself"
+                .into(),
+        );
+    }
+    if cfg.backends.is_empty() {
+        return Err("no backends selected".into());
     }
 
     let inputs = suite_inputs(w);
@@ -139,16 +190,21 @@ pub fn run_matrix(w: &Workloads, cfg: &VerifyConfig) -> Result<VerifyOutcome, St
             cells += 1;
             let mut cell_ok = true;
             'cell: for &kimpl in &cfg.kernel_impls {
-                for &workers in &cfg.workers {
-                    let inject = cfg.inject.as_deref() == Some(bench);
-                    if let Err(detail) = run_cell(&inputs, bench, mode, workers, kimpl, inject) {
-                        failures.push(format!(
-                            "{bench}/{} @{workers} workers [{}]: {detail}",
-                            mode.label(),
-                            kimpl.label()
-                        ));
-                        cell_ok = false;
-                        break 'cell;
+                for &backend in &cfg.backends {
+                    for &workers in &cfg.workers {
+                        let inject = cfg.inject.as_deref() == Some(bench);
+                        if let Err(detail) =
+                            run_cell(&inputs, bench, mode, workers, kimpl, backend, inject)
+                        {
+                            failures.push(format!(
+                                "{bench}/{} @{workers} workers [{}/{}]: {detail}",
+                                mode.label(),
+                                kimpl.label(),
+                                backend.label()
+                            ));
+                            cell_ok = false;
+                            break 'cell;
+                        }
                     }
                 }
             }
@@ -163,13 +219,16 @@ pub fn run_matrix(w: &Workloads, cfg: &VerifyConfig) -> Result<VerifyOutcome, St
     }
     let workers: Vec<String> = cfg.workers.iter().map(|n| n.to_string()).collect();
     let impls: Vec<&str> = cfg.kernel_impls.iter().map(|k| k.label()).collect();
+    let backends: Vec<&str> = cfg.backends.iter().map(|b| b.label()).collect();
     writeln!(
         rendered,
-        "verify: {cells} cells ({} ok, {} FAIL) across workers {{{}}} and kernel impls {{{}}}",
+        "verify: {cells} cells ({} ok, {} FAIL) across workers {{{}}} and kernel impls {{{}}} \
+         and backends {{{}}}",
         cells - failures.len(),
         failures.len(),
         workers.join(","),
-        impls.join(",")
+        impls.join(","),
+        backends.join(",")
     )
     .expect("write to string");
     Ok(VerifyOutcome {
@@ -179,17 +238,18 @@ pub fn run_matrix(w: &Workloads, cfg: &VerifyConfig) -> Result<VerifyOutcome, St
     })
 }
 
-/// One `(bench, mode, workers, kernel impl)` run inside its own pool,
-/// panic-isolated. A non-[`KernelImpl::Auto`] impl pins the dispatch for
-/// the duration of the run (serialized via the global force lock so
-/// concurrent matrices can't trample each other's pin) and restores
-/// auto dispatch afterwards — panics included.
+/// One `(bench, mode, workers, kernel impl, backend)` run inside its own
+/// pool, panic-isolated. A non-[`KernelImpl::Auto`] impl pins the
+/// dispatch for the duration of the run (serialized via the global force
+/// lock so concurrent matrices can't trample each other's pin) and
+/// restores auto dispatch afterwards — panics included.
 fn run_cell(
     inputs: &SuiteInputs<'_>,
     bench: &str,
     mode: ExecMode,
     workers: usize,
     kimpl: KernelImpl,
+    backend: BackendKind,
     inject: bool,
 ) -> Result<(), String> {
     let _pin = (kimpl != KernelImpl::Auto).then(|| {
@@ -198,8 +258,8 @@ fn run_cell(
         guard
     });
     let outcome = catch_unwind(AssertUnwindSafe(|| {
-        in_pool(workers, || {
-            verify_pair(bench, inputs, mode, workers, inject)
+        in_pool_on(backend, workers, || {
+            verify_pair_on(backend, bench, inputs, mode, workers, inject)
         })
     }));
     if kimpl != KernelImpl::Auto {
@@ -249,6 +309,11 @@ mod tests {
         );
     }
 
+    // Requesting the simd impl in a build without the compiled-in
+    // vectorized kernels is a usage error (see
+    // `simd_impl_without_the_feature_is_a_usage_error`), so the
+    // both-paths sweep only exists where `simd_compiled()` is true.
+    #[cfg(all(feature = "simd", target_arch = "x86_64", not(miri)))]
     #[test]
     fn kernel_impl_axis_runs_both_paths() {
         let w = tiny_workloads();
@@ -267,7 +332,11 @@ mod tests {
             "{}",
             out.rendered
         );
-        // An empty impl list is a usage error, not a verification failure.
+    }
+
+    #[test]
+    fn empty_kernel_impl_list_is_a_usage_error() {
+        let w = tiny_workloads();
         let none = VerifyConfig {
             kernel_impls: Vec::new(),
             ..VerifyConfig::default()
@@ -283,11 +352,38 @@ mod tests {
             modes: vec![ExecMode::Checked],
             workers: vec![2],
             inject: Some("hist".into()),
+            ..VerifyConfig::default()
         };
         let out = run_matrix(&w, &cfg).expect("usage ok");
         assert_eq!(out.failures.len(), 1, "{}", out.rendered);
         assert!(out.failures[0].contains("hist"), "{}", out.failures[0]);
         assert!(out.rendered.contains("FAIL"), "{}", out.rendered);
+    }
+
+    #[test]
+    fn backend_axis_runs_both_backends() {
+        let w = tiny_workloads();
+        let cfg = VerifyConfig {
+            benches: vec!["bfs".into(), "sssp".into()],
+            modes: vec![ExecMode::Sync],
+            workers: vec![1, 2],
+            backends: vec![BackendKind::Rayon, BackendKind::Mq],
+            ..VerifyConfig::default()
+        };
+        let out = run_matrix(&w, &cfg).expect("usage ok");
+        assert_eq!(out.cells, 2, "{}", out.rendered);
+        assert!(out.failures.is_empty(), "{}", out.rendered);
+        assert!(
+            out.rendered.contains("backends {rayon,mq}"),
+            "{}",
+            out.rendered
+        );
+        // An empty backend list is a usage error.
+        let none = VerifyConfig {
+            backends: Vec::new(),
+            ..VerifyConfig::default()
+        };
+        assert!(run_matrix(&w, &none).is_err());
     }
 
     #[test]
@@ -313,5 +409,32 @@ mod tests {
             ..VerifyConfig::default()
         };
         assert!(run_matrix(&w, &no_modes).is_err());
+    }
+
+    #[test]
+    fn worker_range_errors_are_typed_and_ordered() {
+        assert!(validate_workers(&[1, 2, MAX_WORKERS]).is_ok());
+        assert!(validate_workers(&[]).is_err());
+        // Offenders listed ascending regardless of input order, with the
+        // valid range spelled out.
+        let err = validate_workers(&[9000, 2, 0, 5000, 9000]).unwrap_err();
+        assert!(err.contains("0, 5000, 9000"), "{err}");
+        assert!(err.contains("1..=4096"), "{err}");
+        let err = validate_workers(&[0]).unwrap_err();
+        assert!(err.contains("invalid worker count 0"), "{err}");
+    }
+
+    #[cfg(not(feature = "simd"))]
+    #[test]
+    fn simd_impl_without_the_feature_is_a_usage_error() {
+        let w = tiny_workloads();
+        let cfg = VerifyConfig {
+            benches: vec!["hist".into()],
+            modes: vec![ExecMode::Checked],
+            kernel_impls: vec![KernelImpl::Simd],
+            ..VerifyConfig::default()
+        };
+        let err = run_matrix(&w, &cfg).unwrap_err();
+        assert!(err.contains("--features simd"), "{err}");
     }
 }

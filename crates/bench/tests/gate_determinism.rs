@@ -112,6 +112,89 @@ mod with_obs {
     }
 
     #[test]
+    fn backend_cells_hard_counters_match_across_backends() {
+        let _guard = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+        let w = Workloads::build(Scale::gate());
+        let b = gate::record(&w, 1, 1);
+
+        // Every MultiQueue pair appears under both scheduling backends,
+        // and the cells record *identical* hard counters: at the 1-worker
+        // counter pass the scheduling policy is substrate-independent, so
+        // any inequality means a backend changed behavior, not just
+        // threading.
+        for name in gate::BACKEND_PAIRS {
+            let cell_name = format!("backend-{name}");
+            let cell = |mode: &str| {
+                b.cases
+                    .iter()
+                    .find(|c| c.name == cell_name && c.mode == mode)
+                    .unwrap_or_else(|| panic!("{cell_name}/{mode} cell missing"))
+            };
+            let (rayon, mq) = (cell("rayon"), cell("mq"));
+            assert_eq!(
+                rayon.counters_json().to_string(),
+                mq.counters_json().to_string(),
+                "{cell_name}: rayon and mq backends disagree on hard counters"
+            );
+            // Non-vacuity: the pair actually drove MultiQueue traffic.
+            assert!(
+                rayon.counter("mq_pushes") > 0,
+                "{cell_name} recorded no MultiQueue pushes"
+            );
+        }
+    }
+
+    #[test]
+    fn check_against_feature_mismatched_baseline_is_a_schema_mismatch() {
+        let _guard = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+        let w = Workloads::build(Scale::gate());
+        let baseline = gate::record(&w, 1, 1);
+
+        // Simulate a baseline committed from a build with a different
+        // feature set: one recorded cell the current build also records is
+        // missing, and one cell the current build can't produce is extra.
+        let mut mismatched = baseline.clone();
+        let dropped = mismatched
+            .cases
+            .pop()
+            .expect("baseline records at least one cell");
+        let mut extra = dropped.clone();
+        extra.name = "kernel-avx512-only".into();
+        mismatched.cases.push(extra);
+
+        let dir = std::env::temp_dir().join(format!("rpb-gate-schema-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("mismatched.json");
+        std::fs::write(&path, format!("{}\n", mismatched.to_json())).expect("write baseline");
+
+        let output = Command::new(env!("CARGO_BIN_EXE_rpb"))
+            .args(["gate", "check", "--baseline"])
+            .arg(&path)
+            .args(["--wall", "advisory"])
+            .output()
+            .expect("spawn rpb gate check");
+        std::fs::remove_dir_all(&dir).ok();
+
+        let stdout = String::from_utf8_lossy(&output.stdout);
+        let stderr = String::from_utf8_lossy(&output.stderr);
+        // Exit 2 (schema mismatch), never 4: a feature-set difference must
+        // not read as counter drift.
+        assert_eq!(
+            output.status.code(),
+            Some(gate::EXIT_USAGE),
+            "cell-set mismatch must exit {}\nstdout:\n{stdout}\nstderr:\n{stderr}",
+            gate::EXIT_USAGE
+        );
+        assert!(stderr.contains("SCHEMA MISMATCH"), "{stderr}");
+        // Both offending cells are named.
+        assert!(
+            stderr.contains("kernel-avx512-only") && stderr.contains(&dropped.key()),
+            "offending cells named\n{stderr}"
+        );
+        assert!(!stderr.contains("HARD FAIL"), "{stderr}");
+    }
+
+    #[test]
     fn check_against_tampered_baseline_hard_fails_through_the_cli() {
         let _guard = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
         let w = Workloads::build(Scale::gate());

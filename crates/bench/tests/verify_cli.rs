@@ -69,6 +69,10 @@ fn unknown_mode_is_a_usage_error_listing_valid_modes() {
     );
 }
 
+// Only meaningful where the simd pin can actually diverge from scalar: on
+// builds without the feature (or off x86_64) requesting the simd impl is
+// now a usage error, tested below.
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
 #[test]
 fn kernel_impl_axis_is_clean_across_the_suite() {
     // The scalar-vs-simd differential axis: every benchmark/mode pair
@@ -98,6 +102,73 @@ fn unknown_kernel_impl_is_a_usage_error() {
         stderr.contains("scalar") && stderr.contains("simd"),
         "valid impls listed\n{stderr}"
     );
+}
+
+#[cfg(not(all(feature = "simd", target_arch = "x86_64")))]
+#[test]
+fn simd_impl_on_a_scalar_build_is_a_usage_error_not_a_silent_pass() {
+    // Without --features simd both "pins" would run the identical scalar
+    // path and the differential would vacuously pass — the verifier must
+    // refuse instead of pretending it compared anything.
+    let out = rpb_verify(&["--suite", "hist", "--kernel-impl", "scalar,simd"]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "vacuous simd differential must be a usage error\nstdout:\n{stdout}\nstderr:\n{stderr}"
+    );
+    assert!(stderr.contains("--features simd"), "{stderr}");
+    assert!(!stdout.contains("0 FAIL"), "no matrix may run\n{stdout}");
+}
+
+#[test]
+fn backend_axis_is_clean_and_reported() {
+    let out = rpb_verify(&["--suite", "hist,sort,bfs", "--backend", "rayon,mq"]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "backend sweep must verify\nstdout:\n{stdout}\nstderr:\n{stderr}"
+    );
+    assert!(stdout.contains("9 cells (9 ok, 0 FAIL)"), "{stdout}");
+    assert!(stdout.contains("backends {rayon,mq}"), "{stdout}");
+}
+
+#[test]
+fn unknown_backend_is_a_usage_error_listing_valid_backends() {
+    let out = rpb_verify(&["--backend", "gpu"]);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(out.status.code(), Some(2), "{stderr}");
+    assert!(stderr.contains("gpu"), "{stderr}");
+    assert!(
+        stderr.contains("rayon") && stderr.contains("mq"),
+        "valid backends listed\n{stderr}"
+    );
+}
+
+#[test]
+fn zero_workers_is_a_typed_usage_error() {
+    let out = rpb_verify(&["--workers", "0"]);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(out.status.code(), Some(2), "{stderr}");
+    assert!(stderr.contains("invalid worker count 0"), "{stderr}");
+    assert!(stderr.contains("1..=4096"), "valid range listed\n{stderr}");
+}
+
+#[test]
+fn out_of_range_workers_die_in_deterministic_order() {
+    let out = rpb_verify(&["--workers", "9000,0,5000"]);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(out.status.code(), Some(2), "{stderr}");
+    // Offenders are sorted and deduped, so the message is stable no
+    // matter how the flag was written.
+    assert!(
+        stderr.contains("invalid worker counts 0, 5000, 9000"),
+        "{stderr}"
+    );
+    assert!(stderr.contains("1..=4096"), "{stderr}");
 }
 
 #[test]

@@ -28,6 +28,7 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 use crate::mq::MultiQueue;
+use rpb_parlay::exec::BackendKind;
 
 pub use rpb_parlay::panics::panic_message;
 
@@ -136,6 +137,25 @@ where
     }
 }
 
+/// [`execute`] with an explicit worker *substrate* (see
+/// [`try_execute_on`] for the semantics of the `backend` parameter).
+pub fn execute_on<T, F>(
+    backend: BackendKind,
+    n_threads: usize,
+    n_queues: usize,
+    initial: Vec<(u64, T)>,
+    task: F,
+) -> ExecutorStats
+where
+    T: Send,
+    F: Fn(u64, T, &Handle<'_, T>) + Send + Sync,
+{
+    match try_execute_on(backend, n_threads, n_queues, initial, task) {
+        Ok(stats) => stats,
+        Err(err) => err.resume(),
+    }
+}
+
 /// Like [`execute`], but surfaces a panicking task as `Err(ExecutorError)`
 /// instead of re-raising the panic.
 ///
@@ -159,6 +179,39 @@ where
     T: Send,
     F: Fn(u64, T, &Handle<'_, T>) + Send + Sync,
 {
+    try_execute_on(BackendKind::Mq, n_threads, n_queues, initial, task)
+}
+
+/// [`try_execute`] with an explicit worker *substrate*.
+///
+/// The scheduling policy — the MultiQueue, the in-flight counter, the
+/// panic-drain machinery — is identical under both substrates; only how
+/// the `n_threads` worker loops are hosted differs:
+///
+/// * [`BackendKind::Mq`] — dedicated scoped OS threads (the historical
+///   [`execute`]/[`try_execute`] behavior, still their default);
+/// * [`BackendKind::Rayon`] — `rayon::scope` tasks on the ambient Rayon
+///   pool, so MQ-driven kernels compose with an installed pool instead
+///   of spawning threads beside it.
+///
+/// Worker loops never block on each other (an idle worker spins +
+/// yields), so hosting them on a pool narrower than `n_threads` cannot
+/// deadlock: the workers that do run drain the queue to quiescence and
+/// any never-started worker finds `pending == 0` and exits immediately.
+/// At one worker the two substrates execute the exact same task
+/// sequence, which is what lets the perf gate hard-compare obs counters
+/// across backends.
+pub fn try_execute_on<T, F>(
+    backend: BackendKind,
+    n_threads: usize,
+    n_queues: usize,
+    initial: Vec<(u64, T)>,
+    task: F,
+) -> Result<ExecutorStats, ExecutorError>
+where
+    T: Send,
+    F: Fn(u64, T, &Handle<'_, T>) + Send + Sync,
+{
     let n_threads = n_threads.max(1);
     rpb_obs::metrics::EXEC_RUNS.add(1);
     let mq: MultiQueue<T> = MultiQueue::new(n_queues.max(1));
@@ -170,57 +223,65 @@ where
     let total_idle = AtomicUsize::new(0);
     let panicked = AtomicBool::new(false);
     let first_panic: Mutex<Option<Box<dyn Any + Send>>> = Mutex::new(None);
-    std::thread::scope(|s| {
-        for _ in 0..n_threads {
-            s.spawn(|| {
-                let handle = Handle {
-                    mq: &mq,
-                    pending: &pending,
-                };
-                let mut tasks = 0usize;
-                let mut idle = 0usize;
-                loop {
-                    if panicked.load(Ordering::Acquire) {
-                        break;
-                    }
-                    match mq.pop() {
-                        Some((pri, item)) => {
-                            let result =
-                                catch_unwind(AssertUnwindSafe(|| task(pri, item, &handle)));
-                            // Decrement on the panic path too: the popped
-                            // task is no longer in flight either way, and
-                            // skipping this is exactly the deadlock we are
-                            // guarding against.
-                            pending.fetch_sub(1, Ordering::SeqCst);
-                            match result {
-                                Ok(()) => tasks += 1,
-                                Err(payload) => {
-                                    let mut slot = first_panic
-                                        .lock()
-                                        .unwrap_or_else(|poison| poison.into_inner());
-                                    if slot.is_none() {
-                                        *slot = Some(payload);
-                                    }
-                                    drop(slot);
-                                    panicked.store(true, Ordering::Release);
-                                    break;
-                                }
+    // One worker loop, shared by both substrates by reference.
+    let worker = || {
+        let handle = Handle {
+            mq: &mq,
+            pending: &pending,
+        };
+        let mut tasks = 0usize;
+        let mut idle = 0usize;
+        loop {
+            if panicked.load(Ordering::Acquire) {
+                break;
+            }
+            match mq.pop() {
+                Some((pri, item)) => {
+                    let result = catch_unwind(AssertUnwindSafe(|| task(pri, item, &handle)));
+                    // Decrement on the panic path too: the popped
+                    // task is no longer in flight either way, and
+                    // skipping this is exactly the deadlock we are
+                    // guarding against.
+                    pending.fetch_sub(1, Ordering::SeqCst);
+                    match result {
+                        Ok(()) => tasks += 1,
+                        Err(payload) => {
+                            let mut slot = first_panic
+                                .lock()
+                                .unwrap_or_else(|poison| poison.into_inner());
+                            if slot.is_none() {
+                                *slot = Some(payload);
                             }
-                        }
-                        None => {
-                            if pending.load(Ordering::SeqCst) == 0 {
-                                break;
-                            }
-                            idle += 1;
-                            std::thread::yield_now();
+                            drop(slot);
+                            panicked.store(true, Ordering::Release);
+                            break;
                         }
                     }
                 }
-                total_tasks.fetch_add(tasks, Ordering::Relaxed);
-                total_idle.fetch_add(idle, Ordering::Relaxed);
-            });
+                None => {
+                    if pending.load(Ordering::SeqCst) == 0 {
+                        break;
+                    }
+                    idle += 1;
+                    std::thread::yield_now();
+                }
+            }
         }
-    });
+        total_tasks.fetch_add(tasks, Ordering::Relaxed);
+        total_idle.fetch_add(idle, Ordering::Relaxed);
+    };
+    match backend {
+        BackendKind::Mq => std::thread::scope(|s| {
+            for _ in 0..n_threads {
+                s.spawn(&worker);
+            }
+        }),
+        BackendKind::Rayon => rayon::scope(|s| {
+            for _ in 0..n_threads {
+                s.spawn(|_| worker());
+            }
+        }),
+    }
     let stats = ExecutorStats {
         tasks: total_tasks.load(Ordering::Relaxed),
         idle_spins: total_idle.load(Ordering::Relaxed),
@@ -386,5 +447,54 @@ mod tests {
         })
         .expect_err("parent panics");
         assert_eq!(err.tasks_drained, 2);
+    }
+
+    #[test]
+    fn rayon_substrate_runs_children_to_quiescence() {
+        // Same binary fan-out as `children_are_executed`, hosted on the
+        // ambient Rayon pool instead of scoped OS threads.
+        let counter = AtomicUsize::new(0);
+        let stats = execute_on(BackendKind::Rayon, 4, 8, vec![(0u64, 0usize)], |pri, depth, h| {
+            counter.fetch_add(1, Ordering::Relaxed);
+            if depth < 10 {
+                h.push(pri + 1, depth + 1);
+                h.push(pri + 1, depth + 1);
+            }
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), (1 << 11) - 1);
+        assert_eq!(stats.tasks, (1 << 11) - 1);
+    }
+
+    #[test]
+    fn rayon_substrate_drains_after_panic() {
+        // Single worker, first task panics: every other task must come
+        // back through the drain path, exactly as on OS threads.
+        let init: Vec<(u64, usize)> = (0..100).map(|i| (i as u64, i)).collect();
+        let err = try_execute_on(BackendKind::Rayon, 1, 4, init, |_, _, _| {
+            panic!("abandon rayon-hosted run");
+        })
+        .expect_err("first task panics");
+        assert_eq!(err.message(), "abandon rayon-hosted run");
+        assert_eq!(err.tasks_completed, 0);
+        assert_eq!(err.tasks_drained, 99);
+    }
+
+    #[test]
+    fn rayon_substrate_survives_pools_narrower_than_worker_count() {
+        // 8 requested workers on a 2-thread pool: the workers that do get
+        // slots drain the queue; the rest find pending == 0 and exit.
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(2)
+            .build()
+            .expect("thread pool");
+        let counter = AtomicUsize::new(0);
+        let init: Vec<(u64, usize)> = (0..500).map(|i| (i as u64, i)).collect();
+        let stats = pool.install(|| {
+            execute_on(BackendKind::Rayon, 8, 8, init, |_, _, _| {
+                counter.fetch_add(1, Ordering::Relaxed);
+            })
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 500);
+        assert_eq!(stats.tasks, 500);
     }
 }

@@ -18,11 +18,16 @@
 //! * Nothing prevents deadlock or livelock — the *implementer* of the
 //!   scheduler stays scared; the *user* of the safe API does not.
 
+pub mod backend;
 pub mod executor;
 pub mod mq;
 pub mod stats;
 
-pub use executor::{execute, panic_message, try_execute, ExecutorError, ExecutorStats, Handle};
+pub use backend::{ensure_registered, MqExecutor};
+pub use executor::{
+    execute, execute_on, panic_message, try_execute, try_execute_on, ExecutorError, ExecutorStats,
+    Handle,
+};
 pub use mq::MultiQueue;
 pub use stats::{measure_rank_error, rank_error_sweep, RankErrorStats};
 

@@ -23,6 +23,7 @@
 //! Rust over Rayon with zero-cost static checks.
 
 pub mod collect_reduce;
+pub mod exec;
 pub mod list_rank;
 pub mod pack;
 pub mod panics;
@@ -37,12 +38,13 @@ pub mod sort;
 pub mod stencil;
 
 pub use collect_reduce::{collect_reduce_dense, collect_reduce_sparse, count_by_key};
+pub use exec::{default_backend, BackendKind, Executor};
 pub use pack::{filter, flatten, pack, pack_index};
 pub use panics::panic_message;
 pub use random::Random;
 pub use reduce::{max_index, reduce, reduce_with};
 pub use scan::{scan_exclusive, scan_inclusive, scan_inplace_exclusive};
-pub use simd::{simd_enabled, KernelImpl};
+pub use simd::{simd_compiled, simd_enabled, KernelImpl};
 pub use sort::{merge_sort, radix_sort_by_key, radix_sort_u32, radix_sort_u64, sample_sort};
 
 /// Granularity below which parallel primitives fall back to sequential code.

@@ -122,6 +122,18 @@ fn cpu_has_avx2() -> bool {
     false
 }
 
+/// True when the vectorized kernels were compiled into this build (the
+/// `simd` feature on `x86_64`, outside Miri) — regardless of what the
+/// CPU supports at runtime.
+///
+/// This is the guard behind `rpb verify --kernel-impl simd`: in a build
+/// without the feature, pinning `Simd` silently re-runs the scalar paths
+/// and the "differential" compares scalar against itself, so the
+/// verifier refuses the axis up front instead of reporting a vacuous ok.
+pub const fn simd_compiled() -> bool {
+    cfg!(all(feature = "simd", target_arch = "x86_64", not(miri)))
+}
+
 /// Serializes sections that pin the dispatch with [`set_forced`].
 ///
 /// The forced mode is process-global, so concurrent differential tests

@@ -13,7 +13,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use rpb_concurrent::write_min_u64;
 use rpb_fearless::ExecMode;
 use rpb_graph::Graph;
-use rpb_multiqueue::execute;
+use rpb_multiqueue::execute_on;
+use rpb_parlay::exec::{default_backend, BackendKind};
 
 use crate::error::SuiteError;
 
@@ -23,12 +24,29 @@ pub const INF: u64 = u64::MAX;
 /// Parallel MQ-driven BFS hop distances from `src`.
 ///
 /// `threads` worker threads drive a MultiQueue with `2 × threads` internal
-/// queues (the paper's configuration family).
-pub fn run_par(g: &Graph, src: usize, threads: usize, _mode: ExecMode) -> Vec<u64> {
+/// queues (the paper's configuration family). Workers are hosted on the
+/// process-default backend ([`default_backend`]); see [`run_par_on`].
+pub fn run_par(g: &Graph, src: usize, threads: usize, mode: ExecMode) -> Vec<u64> {
+    run_par_on(default_backend(), g, src, threads, mode)
+}
+
+/// [`run_par`] with an explicit scheduling backend for the MQ workers
+/// (`BackendKind::Mq` = scoped OS threads, `BackendKind::Rayon` = tasks
+/// on the ambient Rayon pool). The MultiQueue policy is identical either
+/// way — the backend must be behaviorally invisible, which `rpb verify
+/// --backend rayon,mq` checks.
+pub fn run_par_on(
+    backend: BackendKind,
+    g: &Graph,
+    src: usize,
+    threads: usize,
+    _mode: ExecMode,
+) -> Vec<u64> {
     let n = g.num_vertices();
     let dist: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(INF)).collect();
     dist[src].store(0, Ordering::Relaxed);
-    execute(
+    execute_on(
+        backend,
         threads,
         2 * threads.max(1),
         vec![(0u64, src as u32)],

@@ -12,19 +12,34 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use rpb_concurrent::write_min_u64;
 use rpb_fearless::ExecMode;
 use rpb_graph::WeightedGraph;
-use rpb_multiqueue::execute;
+use rpb_multiqueue::execute_on;
+use rpb_parlay::exec::{default_backend, BackendKind};
 
 use crate::error::SuiteError;
 
 /// Unreachable marker.
 pub const INF: u64 = u64::MAX;
 
-/// Parallel MQ-driven shortest-path distances from `src`.
-pub fn run_par(g: &WeightedGraph, src: usize, threads: usize, _mode: ExecMode) -> Vec<u64> {
+/// Parallel MQ-driven shortest-path distances from `src`, on the
+/// process-default backend (see [`run_par_on`]).
+pub fn run_par(g: &WeightedGraph, src: usize, threads: usize, mode: ExecMode) -> Vec<u64> {
+    run_par_on(default_backend(), g, src, threads, mode)
+}
+
+/// [`run_par`] with an explicit scheduling backend for the MQ workers —
+/// same contract as [`crate::bfs::run_par_on`].
+pub fn run_par_on(
+    backend: BackendKind,
+    g: &WeightedGraph,
+    src: usize,
+    threads: usize,
+    _mode: ExecMode,
+) -> Vec<u64> {
     let n = g.num_vertices();
     let dist: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(INF)).collect();
     dist[src].store(0, Ordering::Relaxed);
-    execute(
+    execute_on(
+        backend,
         threads,
         2 * threads.max(1),
         vec![(0u64, src as u32)],

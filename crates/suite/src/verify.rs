@@ -29,6 +29,7 @@
 use rpb_fearless::ExecMode;
 use rpb_geom::Point;
 use rpb_graph::{Graph, WeightedGraph};
+use rpb_parlay::exec::{default_backend, BackendKind};
 
 use crate::error::SuiteError;
 use crate::{
@@ -84,6 +85,22 @@ pub fn verify_pair(
     threads: usize,
     inject: bool,
 ) -> Result<(), SuiteError> {
+    verify_pair_on(default_backend(), name, i, mode, threads, inject)
+}
+
+/// [`verify_pair`] with an explicit scheduling backend — the harness's
+/// `--backend rayon,mq` differential axis. The backend only steers who
+/// hosts the MultiQueue benchmarks' workers (`bfs`/`sssp`); every other
+/// benchmark runs on the ambient Rayon pool regardless, and all of them
+/// must produce backend-independent output.
+pub fn verify_pair_on(
+    backend: BackendKind,
+    name: &str,
+    i: &SuiteInputs<'_>,
+    mode: ExecMode,
+    threads: usize,
+    inject: bool,
+) -> Result<(), SuiteError> {
     match name {
         "bw" => check_bw(i, mode, inject),
         "lrs" => check_lrs(i, mode, inject),
@@ -97,8 +114,8 @@ pub fn verify_pair(
         "dedup" => check_dedup(i, mode, inject),
         "hist" => check_hist(i, mode, inject),
         "isort" => check_isort(i, mode, inject),
-        "bfs" => check_bfs(i, mode, threads, inject),
-        "sssp" => check_sssp(i, mode, threads, inject),
+        "bfs" => check_bfs(backend, i, mode, threads, inject),
+        "sssp" => check_sssp(backend, i, mode, threads, inject),
         other => Err(SuiteError::malformed(
             "verify",
             format!(
@@ -355,13 +372,14 @@ fn check_isort(i: &SuiteInputs<'_>, mode: ExecMode, inject: bool) -> Result<(), 
 }
 
 fn check_bfs(
+    backend: BackendKind,
     i: &SuiteInputs<'_>,
     mode: ExecMode,
     threads: usize,
     mut inject: bool,
 ) -> Result<(), SuiteError> {
     for g in [i.link, i.road] {
-        let mut d = bfs::run_par(g, 0, threads, mode);
+        let mut d = bfs::run_par_on(backend, g, 0, threads, mode);
         if std::mem::take(&mut inject) {
             d[0] = 1;
         }
@@ -384,13 +402,14 @@ fn check_bfs(
 }
 
 fn check_sssp(
+    backend: BackendKind,
     i: &SuiteInputs<'_>,
     mode: ExecMode,
     threads: usize,
     mut inject: bool,
 ) -> Result<(), SuiteError> {
     for g in [i.wlink, i.wroad] {
-        let mut d = sssp::run_par(g, 0, threads, mode);
+        let mut d = sssp::run_par_on(backend, g, 0, threads, mode);
         if std::mem::take(&mut inject) {
             d[0] = 1;
         }
@@ -491,6 +510,18 @@ mod tests {
             let err = verify_pair(name, &i, ExecMode::Checked, 2, true)
                 .expect_err(&format!("{name} must catch the injected corruption"));
             assert_eq!(err.benchmark(), name, "{err}");
+        }
+    }
+
+    #[test]
+    fn mq_benches_pass_on_both_backends() {
+        let owned = build();
+        let i = owned.as_inputs();
+        for backend in rpb_parlay::exec::ALL_BACKENDS {
+            for name in ["bfs", "sssp"] {
+                verify_pair_on(backend, name, &i, ExecMode::Sync, 2, false)
+                    .unwrap_or_else(|e| panic!("{name} on {}: {e}", backend.label()));
+            }
         }
     }
 

@@ -11,6 +11,7 @@
 use proptest::prelude::*;
 use rpb_fearless::ExecMode;
 use rpb_graph::{Graph, WeightedGraph};
+use rpb_parlay::exec::BackendKind;
 use rpb_suite::{bfs, bfs_frontier, sssp, sssp_delta};
 
 /// A random undirected graph: `n` vertices, each proposed edge stored as
@@ -56,6 +57,27 @@ proptest! {
         let frontier = bfs_frontier::run_par(&g, 0);
         prop_assert_eq!(&frontier, &want, "frontier BFS diverged");
         bfs::verify(&g, 0, &want).expect("oracle passes its own certificate");
+    }
+
+    #[test]
+    fn bfs_backends_agree_with_oracle(g in arb_graph()) {
+        // The scheduling backend (scoped OS threads vs Rayon scope tasks)
+        // must be behaviorally invisible: the MultiQueue policy is the
+        // same object either way, only the substrate differs.
+        let want = bfs::run_seq(&g, 0);
+        for backend in [BackendKind::Rayon, BackendKind::Mq] {
+            let got = bfs::run_par_on(backend, &g, 0, 2, ExecMode::Sync);
+            prop_assert_eq!(&got, &want, "BFS diverged on {}", backend.label());
+        }
+    }
+
+    #[test]
+    fn sssp_backends_agree_with_dijkstra(g in arb_weighted_graph()) {
+        let want = sssp::run_seq(&g, 0);
+        for backend in [BackendKind::Rayon, BackendKind::Mq] {
+            let got = sssp::run_par_on(backend, &g, 0, 2, ExecMode::Sync);
+            prop_assert_eq!(&got, &want, "SSSP diverged on {}", backend.label());
+        }
     }
 
     #[test]
