@@ -17,6 +17,23 @@ fn main() {
         // The gate has its own flag grammar (record|compare|check).
         std::process::exit(rpb_bench::gate::run_cli(&args[1..]));
     }
+    if cmd == "serve" {
+        // The resident benchmark service (own flag grammar).
+        std::process::exit(rpb_serve::cli::run_serve_cli(&args[1..]));
+    }
+    if cmd == "load" {
+        // The bundled load generator (own flag grammar).
+        std::process::exit(rpb_serve::cli::run_load_cli(&args[1..]));
+    }
+    // Unknown subcommands are usage errors (exit 2), not a silent help
+    // dump with exit 0 — CI scripts depend on the distinction.
+    const COMMANDS: &[&str] = &[
+        "table1", "table2", "table3", "fig3", "fig4", "fig5a", "fig5b", "fig6", "all", "verify",
+        "report", "help", "-h", "--help",
+    ];
+    if !COMMANDS.contains(&cmd) {
+        die(&format!("unknown command \"{cmd}\" (see `rpb help`)"));
+    }
     let mut scale = Scale::default();
     let mut threads = std::thread::available_parallelism()
         .map(|p| p.get())
@@ -229,7 +246,9 @@ fn main() {
                  \x20                 [--backend rayon,mq]\n\
                  \x20                 # differential verification matrix\n\
                  \x20      rpb report <file.json>...      # summarize --json reports\n\
-                 \x20      rpb gate <record|compare|check> # deterministic perf gate\n\n\
+                 \x20      rpb gate <record|compare|check> # deterministic perf gate\n\
+                 \x20      rpb serve [--self-test]        # resident benchmark service\n\
+                 \x20      rpb load --addr HOST:PORT      # drive a running service\n\n\
                  `rpb verify` runs every benchmark's parallel implementation\n\
                  against its sequential oracle and structural invariant checker\n\
                  in each execution mode and worker-pool size, exiting 1 on any\n\

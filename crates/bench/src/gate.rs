@@ -46,6 +46,18 @@
 //! counters of a pair must agree across its two backend cells the same
 //! way kernel counters agree across dispatch pins.
 //!
+//! Finally, every baseline carries the **serve cells** ([`serve_matrix`]):
+//! the resident service's two pinned admission traces (`serve-steady` and
+//! `serve-burst`, see `rpb_serve::trace`) recorded once per scheduling
+//! backend, with the backend label in the `mode` field (keys read
+//! `serve-steady/rayon`, `serve-burst/mq`, …). The traces pump the job
+//! farm inline on a 1-thread pool, so the serve counters — jobs
+//! admitted/shed/completed/failed and the queue-depth high-water mark —
+//! are exact functions of the pinned trace shape: the steady cell pins
+//! the zero-allocation steady state (after warmup, `sngind_pool_misses`
+//! stays zero), the burst cell pins admission control shedding exactly
+//! the over-cap overflow instead of queueing it.
+//!
 //! A baseline whose *cell set or configuration* differs from the current
 //! build — e.g. one recorded under a different feature set, so kernel or
 //! backend cells are missing or unexpected — is a **schema mismatch**,
@@ -60,6 +72,7 @@
 
 use std::fmt::Write as _;
 use std::path::Path;
+use std::sync::Arc;
 
 use rpb_fearless::pool;
 use rpb_fearless::snd_ind::{self, UniquenessCheck};
@@ -67,6 +80,8 @@ use rpb_fearless::{rng_ind, ExecMode};
 use rpb_obs::{metrics, Json};
 use rpb_parlay::exec::{set_default_backend, BackendKind, ALL_BACKENDS};
 use rpb_parlay::simd::KernelImpl;
+use rpb_serve::trace::{self as serve_trace, TraceConfig};
+use rpb_serve::Datasets as ServeDatasets;
 use rpb_suite::hist;
 
 use crate::figures::{in_pool, in_pool_on};
@@ -123,6 +138,13 @@ pub const HARD_COUNTERS: &[&str] = &[
     "exec_tasks",
     "exec_task_panics",
     "exec_tasks_drained",
+    // Serve admission arithmetic (the serve-* trace cells): farm traffic
+    // and the queue-depth high-water mark of the pinned inline traces.
+    "serve_jobs_admitted",
+    "serve_jobs_shed",
+    "serve_jobs_completed",
+    "serve_jobs_failed",
+    "serve_queue_depth_max",
 ];
 
 /// Exit code: baseline and current run agree (soft drift at most advisory).
@@ -468,6 +490,22 @@ pub fn backend_matrix() -> Vec<(&'static str, BackendKind)> {
         .collect()
 }
 
+/// The resident service's pinned admission traces (`rpb_serve::trace`),
+/// one gate cell per `(trace, backend)` pair.
+pub const SERVE_PAIRS: [&str; 2] = ["serve-steady", "serve-burst"];
+
+/// The serve cells: every [`SERVE_PAIRS`] entry under both scheduling
+/// backends, in recording order. The backend label lands in the cell's
+/// `mode` field, so keys read `serve-steady/rayon`, `serve-burst/mq`, …
+/// Like the backend cells, a trace's serve counters must be equal across
+/// its two backend cells — admission arithmetic is substrate-independent.
+pub fn serve_matrix() -> Vec<(&'static str, BackendKind)> {
+    SERVE_PAIRS
+        .iter()
+        .flat_map(|&name| ALL_BACKENDS.map(|b| (name, b)))
+        .collect()
+}
+
 /// Counter pass of one backend cell: the pair's recommended (Sync) mode
 /// with both the ambient pool and the MultiQueue substrate pinned to
 /// `backend`. Like [`counter_pass`] without a validation-cost bracket.
@@ -478,6 +516,40 @@ fn backend_counter_pass(name: &str, backend: BackendKind, w: &Workloads) -> Vec<
             run_case_on(backend, name, w, recommended_mode(name), COUNTER_THREADS, 1);
         });
     });
+    HARD_COUNTERS
+        .iter()
+        .map(|&n| (n.to_string(), snap.counter(n)))
+        .collect()
+}
+
+/// Runs one serve cell's pinned admission trace once. The trace pins its
+/// own 1-thread executor pool ([`TraceConfig::gate`]), so no `in_pool`
+/// wrapper is involved — the farm runs inline on the calling thread.
+fn run_serve_trace(name: &str, cfg: &TraceConfig, data: &Arc<ServeDatasets>) {
+    match name {
+        "serve-steady" => {
+            std::hint::black_box(serve_trace::steady(cfg, data));
+        }
+        "serve-burst" => {
+            std::hint::black_box(serve_trace::burst(cfg, data));
+        }
+        other => panic!("unknown serve cell: {other}"),
+    }
+}
+
+/// Counter pass of one serve cell: a [`serve_trace::warmup`] outside the
+/// capture (fills the validation pool and fires every lazy init, so the
+/// steady cell's counted validations are pool hits only), then the pinned
+/// trace inside it. Inline farm + 1-thread pool make every serve counter
+/// an exact function of the trace shape.
+fn serve_counter_pass(
+    name: &str,
+    cfg: &TraceConfig,
+    data: &Arc<ServeDatasets>,
+) -> Vec<(String, u64)> {
+    prepare_pool(None);
+    serve_trace::warmup(cfg, data);
+    let ((), snap) = metrics::capture(|| run_serve_trace(name, cfg, data));
     HARD_COUNTERS
         .iter()
         .map(|&n| (n.to_string(), snap.counter(n)))
@@ -650,6 +722,24 @@ pub fn record(w: &Workloads, wall_threads: usize, wall_reps: usize) -> Baseline 
         });
         cases.push(GateCase {
             name: format!("backend-{name}"),
+            mode: backend.label().to_string(),
+            check: None,
+            counters,
+            wall: WallStats::from_timing(ts),
+        });
+    }
+    // Serve cells time the same pinned 1-thread trace shape the counter
+    // pass runs: the cells gate admission arithmetic and the steady-state
+    // zero-allocation property, not service throughput.
+    let serve_data = Arc::new(ServeDatasets::preload(w.scale));
+    for (name, backend) in serve_matrix() {
+        let cfg = TraceConfig::gate(backend);
+        let counters = serve_counter_pass(name, &cfg, &serve_data);
+        prepare_pool(None);
+        serve_trace::warmup(&cfg, &serve_data);
+        let ts = time_best(wall_reps, || run_serve_trace(name, &cfg, &serve_data));
+        cases.push(GateCase {
+            name: name.to_string(),
             mode: backend.label().to_string(),
             check: None,
             counters,
@@ -1025,8 +1115,9 @@ fn usage() -> String {
          \x20      rpb gate check   --baseline PATH [--out PATH] [--reps N] [--threads N]\n\
          \x20                       [--wall gate|advisory] [--wall-tolerance X] [--backend rayon|mq]\n\n\
          record  runs the pinned smoke matrix (plus the scalar/simd kernel\n\
-         \x20       cells and the per-backend MultiQueue cells) at the gate scale\n\
-         \x20       and writes an {BASELINE_SCHEMA} baseline (default out: baselines/smoke.json).\n\
+         \x20       cells, the per-backend MultiQueue cells, and the serve-*\n\
+         \x20       admission-trace cells) at the gate scale and writes an\n\
+         \x20       {BASELINE_SCHEMA} baseline (default out: baselines/smoke.json).\n\
          compare diffs two baseline files (exit {EXIT_HARD} on hard drift, {EXIT_SOFT} on soft).\n\
          check   records a fresh matrix and compares it against --baseline;\n\
          \x20       --wall advisory reports wall-clock drift without failing on it.\n\
@@ -1447,6 +1538,48 @@ mod tests {
                 assert!(m.contains(&(name, b)), "{name} missing {}", b.label());
             }
         }
+    }
+
+    #[test]
+    fn serve_matrix_records_every_trace_on_both_backends() {
+        let m = serve_matrix();
+        assert_eq!(m.len(), 2 * SERVE_PAIRS.len());
+        for name in SERVE_PAIRS {
+            for b in ALL_BACKENDS {
+                assert!(m.contains(&(name, b)), "{name} missing {}", b.label());
+            }
+        }
+    }
+
+    fn tiny_serve_data() -> Arc<ServeDatasets> {
+        Arc::new(ServeDatasets::preload(Scale {
+            text_len: 100,
+            seq_len: 600,
+            graph_n: 80,
+            points_n: 16,
+        }))
+    }
+
+    #[test]
+    fn serve_counter_pass_reports_the_full_hard_counter_set() {
+        // The counter *values* are pinned by rpb-serve's own trace tests
+        // and by the recorded baseline; here we pin the pass's shape —
+        // every hard counter present, in gate order — end to end through
+        // warmup, capture, and both trace kinds.
+        let data = tiny_serve_data();
+        let cfg = TraceConfig::gate(BackendKind::Rayon);
+        for name in SERVE_PAIRS {
+            let counters = serve_counter_pass(name, &cfg, &data);
+            let names: Vec<&str> = counters.iter().map(|(n, _)| n.as_str()).collect();
+            assert_eq!(names, HARD_COUNTERS, "{name}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown serve cell")]
+    fn serve_trace_rejects_unknown_names() {
+        let cfg = TraceConfig::gate(BackendKind::Rayon);
+        run_serve_trace("serve-typo", &cfg, &tiny_serve_data());
     }
 
     #[test]

@@ -1,0 +1,71 @@
+//! Exit-code contract of the `rpb` binary's argument handling.
+//!
+//! CI scripts branch on these codes (0 success, 1 runtime failure, 2
+//! usage error), so the distinction is load-bearing: an unknown
+//! subcommand must *not* print the help text and exit 0 — that reads as
+//! "the step ran" to every `set -e` shell in the pipeline.
+
+use std::process::{Command, Output};
+
+fn rpb(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_rpb"))
+        .args(args)
+        .output()
+        .expect("spawn rpb")
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+#[test]
+fn unknown_subcommand_is_a_usage_error() {
+    let out = rpb(&["tabel1"]);
+    assert_eq!(out.status.code(), Some(2), "stderr: {}", stderr(&out));
+    assert!(
+        stderr(&out).contains("unknown command \"tabel1\""),
+        "stderr must name the offending command: {}",
+        stderr(&out)
+    );
+}
+
+#[test]
+fn help_paths_exit_zero() {
+    for args in [&[][..], &["help"][..], &["--help"][..], &["-h"][..]] {
+        let out = rpb(args);
+        assert_eq!(out.status.code(), Some(0), "args {args:?}");
+        assert!(
+            String::from_utf8_lossy(&out.stdout).contains("usage: rpb"),
+            "args {args:?} must print the usage text"
+        );
+    }
+}
+
+#[test]
+fn unknown_option_is_a_usage_error() {
+    let out = rpb(&["table1", "--bogus"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("unknown option"), "{}", stderr(&out));
+}
+
+#[test]
+fn serve_and_load_flag_grammar_errors_exit_two() {
+    // --artifact is a self-test flag; alone it is a usage error.
+    let out = rpb(&["serve", "--artifact", "x.json"]);
+    assert_eq!(out.status.code(), Some(2), "stderr: {}", stderr(&out));
+    // The load generator cannot run without a target address.
+    let out = rpb(&["load"]);
+    assert_eq!(out.status.code(), Some(2), "stderr: {}", stderr(&out));
+    assert!(stderr(&out).contains("--addr"), "{}", stderr(&out));
+    // Both helps exit clean.
+    for sub in ["serve", "load"] {
+        let out = rpb(&[sub, "--help"]);
+        assert_eq!(out.status.code(), Some(0), "{sub} --help");
+    }
+}
+
+#[test]
+fn gate_without_a_subcommand_is_a_usage_error() {
+    let out = rpb(&["gate"]);
+    assert_eq!(out.status.code(), Some(2), "stderr: {}", stderr(&out));
+}

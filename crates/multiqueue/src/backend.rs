@@ -123,7 +123,11 @@ mod tests {
     #[test]
     fn install_provides_a_data_parallel_pool() {
         ensure_registered();
-        let width = exec::run_in(exec::executor(BackendKind::Mq), 3, rayon::current_num_threads);
+        let width = exec::run_in(
+            exec::executor(BackendKind::Mq),
+            3,
+            rayon::current_num_threads,
+        );
         assert_eq!(width, 3);
     }
 }

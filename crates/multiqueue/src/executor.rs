@@ -454,13 +454,19 @@ mod tests {
         // Same binary fan-out as `children_are_executed`, hosted on the
         // ambient Rayon pool instead of scoped OS threads.
         let counter = AtomicUsize::new(0);
-        let stats = execute_on(BackendKind::Rayon, 4, 8, vec![(0u64, 0usize)], |pri, depth, h| {
-            counter.fetch_add(1, Ordering::Relaxed);
-            if depth < 10 {
-                h.push(pri + 1, depth + 1);
-                h.push(pri + 1, depth + 1);
-            }
-        });
+        let stats = execute_on(
+            BackendKind::Rayon,
+            4,
+            8,
+            vec![(0u64, 0usize)],
+            |pri, depth, h| {
+                counter.fetch_add(1, Ordering::Relaxed);
+                if depth < 10 {
+                    h.push(pri + 1, depth + 1);
+                    h.push(pri + 1, depth + 1);
+                }
+            },
+        );
         assert_eq!(counter.load(Ordering::Relaxed), (1 << 11) - 1);
         assert_eq!(stats.tasks, (1 << 11) - 1);
     }

@@ -159,10 +159,30 @@ define_metrics! {
         // rpb-bench: Rayon pool lifecycle.
         POOL_THREADS_STARTED => "pool_threads_started":
             "Rayon worker threads started by instrumented pools.",
+        // rpb-serve: benchmark-as-a-service admission control and farm
+        // dispatch (deterministic under the pinned-trace gate cells).
+        SERVE_JOBS_ADMITTED => "serve_jobs_admitted":
+            "Jobs accepted into the serve dispatch queue.",
+        SERVE_JOBS_SHED => "serve_jobs_shed":
+            "Jobs rejected at admission because the dispatch queue was at \
+             its depth cap (typed shed response, never a blocked producer).",
+        SERVE_JOBS_COMPLETED => "serve_jobs_completed":
+            "Admitted jobs that ran to completion on a farm worker.",
+        SERVE_JOBS_FAILED => "serve_jobs_failed":
+            "Admitted jobs that failed (worker-caught panic or typed job \
+             error); the farm keeps serving after each.",
+        SERVE_FRAMES_MALFORMED => "serve_frames_malformed":
+            "rpb-jobs-v1 frames rejected as malformed (connection \
+             survives with a typed error response).",
+        SERVE_CONNS_ACCEPTED => "serve_conns_accepted":
+            "TCP connections accepted by the serve listener.",
     }
     maxes {
         MQ_RANK_ERROR_MAX => "mq_rank_error_max":
             "Largest sampled MultiQueue rank error.",
+        SERVE_QUEUE_DEPTH_MAX => "serve_queue_depth_max":
+            "Deepest the serve dispatch queue ever got (admission-control \
+             high-water mark; never exceeds the configured cap).",
     }
     histos {
         SNGIND_CHECK_NS => "sngind_check_ns":
@@ -171,6 +191,20 @@ define_metrics! {
             "Wall time of each RngInd monotonicity validation.",
         POOL_THREAD_LIFETIME_NS => "pool_thread_lifetime_ns":
             "Lifetime of each instrumented Rayon worker thread.",
+        // rpb-serve: per-endpoint service latency (queue wait + execution),
+        // the SLO histograms behind the serve report's p50/p99 columns.
+        SERVE_SORT_NS => "serve_sort_ns":
+            "Service latency of each `sort` job (admission to response).",
+        SERVE_ISORT_NS => "serve_isort_ns":
+            "Service latency of each `isort` job (admission to response).",
+        SERVE_DEDUP_NS => "serve_dedup_ns":
+            "Service latency of each `dedup` job (admission to response).",
+        SERVE_HIST_NS => "serve_hist_ns":
+            "Service latency of each `hist` job (admission to response).",
+        SERVE_BFS_NS => "serve_bfs_ns":
+            "Service latency of each `bfs` job (admission to response).",
+        SERVE_SSSP_NS => "serve_sssp_ns":
+            "Service latency of each `sssp` job (admission to response).",
     }
     per_thread {
         SNGIND_ITEMS => "sngind_items":

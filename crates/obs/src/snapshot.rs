@@ -25,6 +25,25 @@ impl HistoSnapshot {
         }
     }
 
+    /// Upper bound (in nanoseconds) of the bucket containing the `q`
+    /// quantile (`0.0 ≤ q ≤ 1.0`), or 0 when empty. Resolution is the
+    /// power-of-two bucket width — coarse, but monotone and cheap, which
+    /// is all the serve SLO report needs from p50/p99.
+    pub fn quantile_ns(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for &(bucket, n) in &self.buckets {
+            seen += n;
+            if seen >= rank {
+                return crate::histo::bucket_upper_ns(bucket as usize);
+            }
+        }
+        self.max_ns
+    }
+
     fn to_json(&self) -> Json {
         Json::Obj(vec![
             ("count".into(), Json::from_u64(self.count)),
@@ -150,6 +169,25 @@ mod tests {
         assert_eq!(snap.histo("h").unwrap().mean_ns(), 5);
         assert_eq!(snap.per_thread("p"), &[1, 2]);
         assert!(!snap.is_empty());
+    }
+
+    #[test]
+    fn quantiles_walk_buckets() {
+        let empty = HistoSnapshot::default();
+        assert_eq!(empty.quantile_ns(0.99), 0);
+
+        // 90 samples in bucket 3, 10 in bucket 10: p50 lands in the low
+        // bucket, p99 in the high one.
+        let h = HistoSnapshot {
+            count: 100,
+            sum_ns: 0,
+            max_ns: 1024,
+            buckets: vec![(3, 90), (10, 10)],
+        };
+        assert_eq!(h.quantile_ns(0.50), crate::histo::bucket_upper_ns(3));
+        assert_eq!(h.quantile_ns(0.99), crate::histo::bucket_upper_ns(10));
+        assert_eq!(h.quantile_ns(0.0), crate::histo::bucket_upper_ns(3));
+        assert_eq!(h.quantile_ns(1.0), crate::histo::bucket_upper_ns(10));
     }
 
     #[test]

@@ -104,14 +104,12 @@ pub fn default_backend() -> BackendKind {
         _ => {}
     }
     static FROM_ENV: OnceLock<BackendKind> = OnceLock::new();
-    *FROM_ENV.get_or_init(|| {
-        match std::env::var("RPB_BACKEND") {
-            Err(_) => BackendKind::Rayon,
-            Ok(v) => v.parse().unwrap_or_else(|e| {
-                eprintln!("warning: ignoring RPB_BACKEND: {e}");
-                BackendKind::Rayon
-            }),
-        }
+    *FROM_ENV.get_or_init(|| match std::env::var("RPB_BACKEND") {
+        Err(_) => BackendKind::Rayon,
+        Ok(v) => v.parse().unwrap_or_else(|e| {
+            eprintln!("warning: ignoring RPB_BACKEND: {e}");
+            BackendKind::Rayon
+        }),
     })
 }
 

@@ -1,0 +1,59 @@
+//! # rpb-serve
+//!
+//! The suite as a *resident service*: where `rpb-bench` builds its inputs,
+//! times one batch, and exits, this crate keeps the datasets and executor
+//! pools alive and answers a stream of benchmark jobs over a socket — the
+//! steady-state regime the paper's amortized-validation claims are about.
+//! A long-lived process is exactly where the epoch-stamped validation
+//! pools pay off: after the first request of a given shape, every later
+//! `Checked`-mode job validates against pooled mark tables and allocates
+//! nothing (`sngind_pool_misses` stays flat — the `serve-*` perf-gate
+//! cells and `rpb serve --self-test` both hard-check that delta).
+//!
+//! Layers, bottom up:
+//!
+//! * [`datasets`] — inputs preloaded once at a [`rpb_suite::Scale`],
+//!   shared read-only by every job.
+//! * [`jobs`] — the job vocabulary (`sort`/`isort`/`dedup`/`hist`/
+//!   `bfs`/`sssp`), each returning a deterministic result digest and
+//!   recording a per-endpoint SLO latency histogram.
+//! * [`farm`] — the emitter → N workers → collector dispatch loop (the
+//!   PPL "farm" shape): a bounded queue with admission control (typed
+//!   shed at the depth cap, never an unbounded backlog), persistent
+//!   workers each holding a resident executor pool from the
+//!   [`rpb_parlay::exec`] backend registry, and graceful drain.
+//! * [`proto`] — the `rpb-jobs-v1` wire format: 4-byte length-prefixed
+//!   JSON frames over TCP.
+//! * [`server`] / [`load`] — the TCP front end and the bundled load
+//!   generator (`rpb serve` / `rpb load`).
+//! * [`trace`] — pinned deterministic admission traces; the perf gate's
+//!   `serve-steady` / `serve-burst` cells hard-gate their counters.
+//! * [`cli`] — the `rpb serve` / `rpb load` subcommand grammars.
+
+pub mod cli;
+pub mod datasets;
+pub mod farm;
+pub mod jobs;
+pub mod load;
+pub mod proto;
+pub mod server;
+pub mod trace;
+
+pub use datasets::Datasets;
+pub use farm::{Admission, Farm, FarmConfig, FarmStats};
+pub use jobs::JobKind;
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use std::sync::{Mutex, MutexGuard};
+
+    /// Serializes tests that run `Checked`-mode jobs: the validation pool
+    /// (`rpb_fearless::pool`) is process-global, so a concurrent holder —
+    /// or a test that clears it — turns another test's zero-miss window
+    /// into a race. Poisoning is ignored; a panicked holder already
+    /// failed its own test.
+    pub fn pool_lock() -> MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(|poison| poison.into_inner())
+    }
+}

@@ -53,6 +53,7 @@ pub mod mm;
 pub mod msf;
 pub mod msf_kruskal;
 pub mod sa;
+pub mod scale;
 pub mod sf;
 pub mod sort;
 pub mod sssp;
@@ -61,4 +62,5 @@ pub mod verify;
 
 pub use error::SuiteError;
 pub use meta::{all_benchmarks, BenchInfo};
+pub use scale::Scale;
 pub use verify::{verify_pair, SuiteInputs, SUITE_BENCHES};
