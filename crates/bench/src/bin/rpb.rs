@@ -6,6 +6,7 @@ use std::path::PathBuf;
 use rpb_bench::record::{self, EnvInfo};
 use rpb_bench::{figures, RunRecord, Scale, Workloads};
 use rpb_parlay::exec::{set_default_backend, BackendKind};
+use rpb_pipeline::{set_default_channel, ChannelKind};
 
 fn main() {
     // Fill the MultiQueue slot of the executor registry before any
@@ -127,6 +128,30 @@ fn main() {
                          (a comma list is only a verify-matrix axis)");
                 }
             }
+            "--streaming" if cmd == "verify" => {
+                verify_cfg.streaming = true;
+            }
+            "--channel" => {
+                i += 1;
+                let list = args
+                    .get(i)
+                    .unwrap_or_else(|| die("--channel needs a list (mpsc,crossbeam)"));
+                let mut channels: Vec<ChannelKind> = Vec::new();
+                for c in list.split(',') {
+                    let k = c.parse().unwrap_or_else(|e| die(&format!("{e}")));
+                    if !channels.contains(&k) {
+                        channels.push(k);
+                    }
+                }
+                if cmd == "verify" {
+                    verify_cfg.channels = channels;
+                } else if let [one] = channels[..] {
+                    set_default_channel(Some(one));
+                } else {
+                    die("--channel takes one value outside `rpb verify` \
+                         (a comma list is only a verify-matrix axis)");
+                }
+            }
             "--inject" if cmd == "verify" => {
                 i += 1;
                 let bench = args
@@ -204,22 +229,28 @@ fn main() {
             if report_paths.is_empty() {
                 die("report needs at least one JSON file path");
             }
-            let docs: Vec<(String, rpb_obs::Json)> = report_paths
-                .iter()
-                .map(|path| {
-                    let text = std::fs::read_to_string(path)
-                        .unwrap_or_else(|e| die(&format!("cannot read {}: {e}", path.display())));
-                    let doc = rpb_obs::Json::parse(&text)
-                        .unwrap_or_else(|e| die(&format!("cannot parse {}: {e}", path.display())));
-                    (path.display().to_string(), doc)
-                })
-                .collect();
+            let mut empty_files = 0usize;
+            let mut docs: Vec<(String, rpb_obs::Json)> = Vec::new();
+            for path in &report_paths {
+                let text = std::fs::read_to_string(path)
+                    .unwrap_or_else(|e| die(&format!("cannot read {}: {e}", path.display())));
+                // An empty file is a valid "nothing ran yet" report — note
+                // it and exit cleanly rather than failing to parse.
+                if text.trim().is_empty() {
+                    println!("rpb report — no records ({})", path.display());
+                    empty_files += 1;
+                    continue;
+                }
+                let doc = rpb_obs::Json::parse(&text)
+                    .unwrap_or_else(|e| die(&format!("cannot parse {}: {e}", path.display())));
+                docs.push((path.display().to_string(), doc));
+            }
             let outcome = record::render_report_docs(&docs);
             print!("{}", outcome.rendered);
             for w in &outcome.warnings {
                 eprintln!("rpb report: warning: {w}");
             }
-            if outcome.rendered_files == 0 {
+            if outcome.rendered_files == 0 && empty_files == 0 {
                 die("no renderable report files");
             }
         }
@@ -244,6 +275,7 @@ fn main() {
                  \x20      rpb verify [--suite a,b,...] [--mode unsafe,checked,sync]\n\
                  \x20                 [--workers 1,2,...] [--kernel-impl auto,scalar,simd]\n\
                  \x20                 [--backend rayon,mq]\n\
+                 \x20                 [--streaming] [--channel mpsc,crossbeam]\n\
                  \x20                 # differential verification matrix\n\
                  \x20      rpb report <file.json>...      # summarize --json reports\n\
                  \x20      rpb gate <record|compare|check> # deterministic perf gate\n\
@@ -264,6 +296,14 @@ fn main() {
                  substrates against each other and the sequential oracle.\n\
                  Outside `rpb verify` the flag takes one value and sets the\n\
                  process-default backend (also: RPB_BACKEND=rayon|mq).\n\
+                 --streaming switches the matrix to the chunked pipeline\n\
+                 variants (hist, dedup, bfs over rpb-pipeline skeletons):\n\
+                 streaming output must agree exactly with the batch oracles\n\
+                 and honor the bounded in-flight memory claim. --channel\n\
+                 mpsc,crossbeam repeats every streaming cell on each channel\n\
+                 backend; outside `rpb verify` the flag takes one value and\n\
+                 sets the process-default channel (also:\n\
+                 RPB_CHANNEL=mpsc|crossbeam).\n\
                  --json writes one structured record per timed case (schema\n\
                  \"rpb-bench-v2\"); telemetry fields are all-zero unless built\n\
                  with --features obs. `rpb report` renders the check-overhead\n\

@@ -58,6 +58,18 @@
 //! stays zero), the burst cell pins admission control shedding exactly
 //! the over-cap overflow instead of queueing it.
 //!
+//! Every baseline also carries the **pipeline cells**
+//! ([`pipeline_matrix`]): the three streaming skeletons of
+//! `rpb_suite::streaming` (`pipeline-hist`, `pipeline-dedup`,
+//! `pipeline-bfs`) recorded once per channel backend, with the channel
+//! label in the `mode` field (keys read `pipeline-hist/mpsc`,
+//! `pipeline-bfs/crossbeam`, …). Each cell runs one streaming pass at a
+//! pinned chunk size, channel capacity, and one worker per stage, so the
+//! pipeline counters — runs, items in/out, channel sends/recvs, stage
+//! panics — are exact functions of the gate-scale input, and a variant's
+//! counters must be equal across its two channel cells: the channel
+//! substrate is required to be behaviorally invisible.
+//!
 //! A baseline whose *cell set or configuration* differs from the current
 //! build — e.g. one recorded under a different feature set, so kernel or
 //! backend cells are missing or unexpected — is a **schema mismatch**,
@@ -80,9 +92,11 @@ use rpb_fearless::{rng_ind, ExecMode};
 use rpb_obs::{metrics, Json};
 use rpb_parlay::exec::{set_default_backend, BackendKind, ALL_BACKENDS};
 use rpb_parlay::simd::KernelImpl;
+use rpb_pipeline::{ChannelKind, ALL_CHANNELS};
 use rpb_serve::trace::{self as serve_trace, TraceConfig};
 use rpb_serve::Datasets as ServeDatasets;
 use rpb_suite::hist;
+use rpb_suite::streaming::{self, StreamConfig};
 
 use crate::figures::{in_pool, in_pool_on};
 use crate::record::EnvInfo;
@@ -145,6 +159,18 @@ pub const HARD_COUNTERS: &[&str] = &[
     "serve_jobs_completed",
     "serve_jobs_failed",
     "serve_queue_depth_max",
+    // Pipeline streaming traffic (the pipeline-* cells): runs, items, and
+    // channel operations of the pinned 1-worker-per-stage skeletons —
+    // exact functions of the input shape, chunking, and stage shape.
+    // (`pipeline_max_inflight` is a scheduling-dependent high-water mark,
+    // excluded by the inclusion rule; the verifier asserts its bound as
+    // an inequality instead.)
+    "pipeline_runs",
+    "pipeline_items_in",
+    "pipeline_items_out",
+    "pipeline_sends",
+    "pipeline_recvs",
+    "pipeline_stage_panics",
 ];
 
 /// Exit code: baseline and current run agree (soft drift at most advisory).
@@ -506,6 +532,84 @@ pub fn serve_matrix() -> Vec<(&'static str, BackendKind)> {
         .collect()
 }
 
+/// The streaming pipeline skeletons (`rpb_suite::streaming`), one gate
+/// cell per `(variant, channel backend)` pair.
+pub const PIPELINE_PAIRS: [&str; 3] = ["pipeline-hist", "pipeline-dedup", "pipeline-bfs"];
+
+/// The pipeline cells: every [`PIPELINE_PAIRS`] entry under both channel
+/// backends, in recording order. The channel label lands in the cell's
+/// `mode` field, so keys read `pipeline-hist/mpsc`,
+/// `pipeline-hist/crossbeam`, … At one worker per stage the pipeline
+/// counters are exact functions of the input shape and chunking, and a
+/// variant's hard counters must be equal across its two channel cells —
+/// the channel substrate is required to be behaviorally invisible, the
+/// way kernel cells pin scalar/simd and serve cells pin rayon/mq.
+pub fn pipeline_matrix() -> Vec<(&'static str, ChannelKind)> {
+    PIPELINE_PAIRS
+        .iter()
+        .flat_map(|&name| ALL_CHANNELS.map(|c| (name, c)))
+        .collect()
+}
+
+/// Chunk size of the pipeline cells, pinned so `pipeline_items_in` (the
+/// chunk count) is a fixed function of the gate scale.
+const PIPELINE_GATE_CHUNK: usize = 1 << 10;
+
+/// Channel capacity of the pipeline cells.
+const PIPELINE_GATE_CAPACITY: usize = 4;
+
+/// The pinned streaming configuration of one pipeline cell: Rayon
+/// executor, one worker per stage, fixed chunk and capacity — every
+/// counter deterministic, only the channel backend varying across cells.
+fn pipeline_stream_config(channel: ChannelKind) -> StreamConfig {
+    StreamConfig {
+        channel,
+        backend: BackendKind::Rayon,
+        chunk: PIPELINE_GATE_CHUNK,
+        capacity: PIPELINE_GATE_CAPACITY,
+        workers: 1,
+    }
+}
+
+/// Runs one pipeline cell's streaming workload once. The pipeline builds
+/// its own executor batch (one thread per blocking stage worker), so no
+/// `in_pool` wrapper is involved.
+fn run_pipeline_case(name: &str, w: &Workloads, channel: ChannelKind) {
+    let cfg = pipeline_stream_config(channel);
+    match name {
+        "pipeline-hist" => {
+            std::hint::black_box(
+                streaming::hist_stream(&w.seq, 64, w.seq.len() as u64, cfg)
+                    .expect("pipeline-hist: 64 buckets over the gate sequence is valid"),
+            );
+        }
+        "pipeline-dedup" => {
+            std::hint::black_box(
+                streaming::dedup_stream(&w.seq, cfg)
+                    .expect("pipeline-dedup: the pinned config is valid"),
+            );
+        }
+        "pipeline-bfs" => {
+            std::hint::black_box(
+                streaming::bfs_stream(&w.link, 0, cfg)
+                    .expect("pipeline-bfs: source 0 exists in the gate graph"),
+            );
+        }
+        other => panic!("unknown pipeline cell: {other}"),
+    }
+}
+
+/// Counter pass of one pipeline cell: one streaming run of the pinned
+/// configuration inside the capture.
+fn pipeline_counter_pass(name: &str, channel: ChannelKind, w: &Workloads) -> Vec<(String, u64)> {
+    prepare_pool(None);
+    let ((), snap) = metrics::capture(|| run_pipeline_case(name, w, channel));
+    HARD_COUNTERS
+        .iter()
+        .map(|&n| (n.to_string(), snap.counter(n)))
+        .collect()
+}
+
 /// Counter pass of one backend cell: the pair's recommended (Sync) mode
 /// with both the ambient pool and the MultiQueue substrate pinned to
 /// `backend`. Like [`counter_pass`] without a validation-cost bracket.
@@ -741,6 +845,22 @@ pub fn record(w: &Workloads, wall_threads: usize, wall_reps: usize) -> Baseline 
         cases.push(GateCase {
             name: name.to_string(),
             mode: backend.label().to_string(),
+            check: None,
+            counters,
+            wall: WallStats::from_timing(ts),
+        });
+    }
+    // Pipeline cells run the streaming skeletons at one worker per stage
+    // with a pinned chunk/capacity: the cells gate channel traffic and
+    // item accounting, and pin that the two channel backends are
+    // behaviorally identical.
+    for (name, channel) in pipeline_matrix() {
+        let counters = pipeline_counter_pass(name, channel, w);
+        prepare_pool(None);
+        let ts = time_best(wall_reps, || run_pipeline_case(name, w, channel));
+        cases.push(GateCase {
+            name: name.to_string(),
+            mode: channel.label().to_string(),
             check: None,
             counters,
             wall: WallStats::from_timing(ts),
@@ -1549,6 +1669,56 @@ mod tests {
                 assert!(m.contains(&(name, b)), "{name} missing {}", b.label());
             }
         }
+    }
+
+    #[test]
+    fn pipeline_matrix_records_every_variant_on_both_channels() {
+        let m = pipeline_matrix();
+        assert_eq!(m.len(), 2 * PIPELINE_PAIRS.len());
+        for name in PIPELINE_PAIRS {
+            for c in ALL_CHANNELS {
+                assert!(m.contains(&(name, c)), "{name} missing {}", c.label());
+            }
+        }
+    }
+
+    #[test]
+    fn pipeline_counter_pass_is_deterministic_and_channel_invariant() {
+        // The pinned 1-worker-per-stage cells must report the full hard
+        // counter set in gate order, reproduce bit-for-bit across runs,
+        // and agree across the two channel backends — the equality the
+        // recorded baseline hard-gates.
+        let w = tiny_workloads();
+        for name in PIPELINE_PAIRS {
+            let mpsc = pipeline_counter_pass(name, ChannelKind::Mpsc, &w);
+            let names: Vec<&str> = mpsc.iter().map(|(n, _)| n.as_str()).collect();
+            assert_eq!(names, HARD_COUNTERS, "{name}");
+            assert_eq!(
+                mpsc,
+                pipeline_counter_pass(name, ChannelKind::Mpsc, &w),
+                "{name} not reproducible"
+            );
+            assert_eq!(
+                mpsc,
+                pipeline_counter_pass(name, ChannelKind::Crossbeam, &w),
+                "{name} differs across channels"
+            );
+            let counter = |k: &str| mpsc.iter().find(|(n, _)| n == k).map_or(0, |(_, v)| *v);
+            assert_eq!(counter("pipeline_stage_panics"), 0, "{name}");
+            if rpb_obs::enabled() {
+                // Value claims only mean something when recording is
+                // compiled in; without --features obs every counter is 0.
+                assert!(counter("pipeline_runs") >= 1, "{name}");
+                assert_eq!(counter("pipeline_items_in"), counter("pipeline_items_out"));
+                assert!(counter("pipeline_items_in") > 0, "{name}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown pipeline cell")]
+    fn pipeline_case_rejects_unknown_names() {
+        run_pipeline_case("pipeline-typo", &tiny_workloads(), ChannelKind::Mpsc);
     }
 
     fn tiny_serve_data() -> Arc<ServeDatasets> {

@@ -286,6 +286,12 @@ pub fn render_report(doc: &Json) -> Result<String, String> {
         .ok_or("report has no \"records\" array")?;
 
     let mut out = String::new();
+    if records.is_empty() {
+        // A zero-record document is a valid "nothing ran" report, not a
+        // rendering failure: note it and skip the per-record sections.
+        let _ = writeln!(out, "rpb report — no records");
+        return Ok(out);
+    }
     let _ = writeln!(out, "rpb report — {} records", records.len());
 
     let field = |r: &Json, k: &str| -> Result<u64, String> {
@@ -555,6 +561,19 @@ mod tests {
         assert!(rendered.contains("fresh"));
         assert!(rendered.contains("amortized"));
         assert!(rendered.contains("Amortized-check speedup"));
+    }
+
+    #[test]
+    fn zero_record_document_renders_a_note() {
+        let env = EnvInfo::collect();
+        let doc = report_to_json(&[], Scale::small(), &env);
+        let parsed = Json::parse(&doc.to_string()).expect("round trip");
+        let rendered = render_report(&parsed).expect("render");
+        assert!(rendered.contains("no records"), "{rendered}");
+        assert!(
+            !rendered.contains("Check-overhead attribution"),
+            "empty report skips the per-record sections: {rendered}"
+        );
     }
 
     #[test]

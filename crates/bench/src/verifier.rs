@@ -15,6 +15,8 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use rpb_fearless::{ExecMode, ALL_MODES};
 use rpb_parlay::exec::{default_backend, BackendKind};
 use rpb_parlay::simd::KernelImpl;
+use rpb_pipeline::{default_channel, ChannelKind};
+use rpb_suite::streaming::{verify_streaming, StreamConfig, STREAMING_BENCHES};
 use rpb_suite::verify::{verify_pair_on, SuiteInputs, SUITE_BENCHES};
 
 use crate::figures::in_pool_on;
@@ -50,6 +52,17 @@ pub struct VerifyConfig {
     /// testing hook proving the failure path (FAIL cell, nonzero exit)
     /// works end to end.
     pub inject: Option<String>,
+    /// Run the streaming matrix (`--streaming`) instead of the batch
+    /// one: benchmarks default to [`STREAMING_BENCHES`], columns are
+    /// channel backends, and each cell asserts streaming-vs-batch
+    /// agreement plus the bounded in-flight memory claim. The `modes`
+    /// and `kernel_impls` axes don't apply (streaming runs the
+    /// sequential kernel per chunk).
+    pub streaming: bool,
+    /// Channel backends each streaming cell runs under (the channel
+    /// differential axis; `--channel mpsc,crossbeam`). Only consulted
+    /// with `streaming`; the default is the process default channel.
+    pub channels: Vec<ChannelKind>,
 }
 
 impl Default for VerifyConfig {
@@ -61,6 +74,8 @@ impl Default for VerifyConfig {
             kernel_impls: vec![KernelImpl::Auto],
             backends: vec![default_backend()],
             inject: None,
+            streaming: false,
+            channels: vec![default_channel()],
         }
     }
 }
@@ -128,6 +143,9 @@ pub fn validate_workers(workers: &[usize]) -> Result<(), String> {
 /// a kernel impl or backend this build can't honor) — distinct from
 /// verification failures, which are reported inside the `Ok` outcome.
 pub fn run_matrix(w: &Workloads, cfg: &VerifyConfig) -> Result<VerifyOutcome, String> {
+    if cfg.streaming {
+        return run_streaming_matrix(w, cfg);
+    }
     let benches: Vec<&str> = if cfg.benches.is_empty() {
         SUITE_BENCHES.to_vec()
     } else {
@@ -236,6 +254,142 @@ pub fn run_matrix(w: &Workloads, cfg: &VerifyConfig) -> Result<VerifyOutcome, St
         failures,
         cells,
     })
+}
+
+/// The streaming counterpart of the batch matrix: rows are the
+/// benchmarks with streaming variants, columns are channel backends, and
+/// each cell sweeps the executor backends and worker counts. A cell runs
+/// [`verify_streaming`] — streaming output must agree exactly with the
+/// batch oracles and honor the `capacity × channels` in-flight bound —
+/// and fails on the first typed error or panic.
+fn run_streaming_matrix(w: &Workloads, cfg: &VerifyConfig) -> Result<VerifyOutcome, String> {
+    let benches: Vec<&str> = if cfg.benches.is_empty() {
+        STREAMING_BENCHES.to_vec()
+    } else {
+        cfg.benches
+            .iter()
+            .map(|b| {
+                STREAMING_BENCHES
+                    .iter()
+                    .find(|&&s| s == b)
+                    .copied()
+                    .ok_or_else(|| {
+                        format!(
+                            "benchmark `{b}` has no streaming variant (valid: {})",
+                            STREAMING_BENCHES.join(", ")
+                        )
+                    })
+            })
+            .collect::<Result<_, _>>()?
+    };
+    if let Some(inj) = &cfg.inject {
+        if !STREAMING_BENCHES.contains(&inj.as_str()) {
+            return Err(format!(
+                "cannot inject into `{inj}`: no streaming variant (valid: {})",
+                STREAMING_BENCHES.join(", ")
+            ));
+        }
+    }
+    validate_workers(&cfg.workers)?;
+    if cfg.channels.is_empty() {
+        return Err("no channel backends selected".into());
+    }
+    if cfg.backends.is_empty() {
+        return Err("no backends selected".into());
+    }
+
+    let inputs = suite_inputs(w);
+    let mut rendered = String::new();
+    let mut failures: Vec<String> = Vec::new();
+    let mut cells = 0usize;
+
+    write!(rendered, "{:<8}", "bench").expect("write to string");
+    for channel in &cfg.channels {
+        write!(rendered, " {:<10}", channel.label()).expect("write to string");
+    }
+    rendered.push('\n');
+    for &bench in &benches {
+        write!(rendered, "{bench:<8}").expect("write to string");
+        for &channel in &cfg.channels {
+            cells += 1;
+            let mut cell_ok = true;
+            'cell: for &backend in &cfg.backends {
+                for &workers in &cfg.workers {
+                    let inject = cfg.inject.as_deref() == Some(bench);
+                    if let Err(detail) =
+                        run_streaming_cell(&inputs, bench, channel, backend, workers, inject)
+                    {
+                        failures.push(format!(
+                            "{bench}/streaming @{workers} workers [{}/{}]: {detail}",
+                            channel.label(),
+                            backend.label()
+                        ));
+                        cell_ok = false;
+                        break 'cell;
+                    }
+                }
+            }
+            write!(rendered, " {:<10}", if cell_ok { "ok" } else { "FAIL" })
+                .expect("write to string");
+        }
+        rendered.push('\n');
+    }
+    rendered.push('\n');
+    for f in &failures {
+        writeln!(rendered, "FAIL {f}").expect("write to string");
+    }
+    let workers: Vec<String> = cfg.workers.iter().map(|n| n.to_string()).collect();
+    let channels: Vec<&str> = cfg.channels.iter().map(|c| c.label()).collect();
+    let backends: Vec<&str> = cfg.backends.iter().map(|b| b.label()).collect();
+    writeln!(
+        rendered,
+        "verify --streaming: {cells} cells ({} ok, {} FAIL) across workers {{{}}} and channels \
+         {{{}}} and backends {{{}}}",
+        cells - failures.len(),
+        failures.len(),
+        workers.join(","),
+        channels.join(","),
+        backends.join(",")
+    )
+    .expect("write to string");
+    Ok(VerifyOutcome {
+        rendered,
+        failures,
+        cells,
+    })
+}
+
+/// One streaming `(bench, channel, backend, workers)` run,
+/// panic-isolated. The pipeline builds its own executor batch (one
+/// worker thread per blocking stage task), so no ambient pool pinning
+/// is needed — `workers` sizes the transform-stage farm.
+fn run_streaming_cell(
+    inputs: &SuiteInputs<'_>,
+    bench: &str,
+    channel: ChannelKind,
+    backend: BackendKind,
+    workers: usize,
+    inject: bool,
+) -> Result<(), String> {
+    // Registration is ensured here (not just in the binary's startup
+    // hook) so library tests can sweep the mq backend too.
+    rpb_multiqueue::backend::ensure_registered();
+    let cfg = StreamConfig {
+        channel,
+        backend,
+        workers,
+        ..StreamConfig::default()
+    };
+    match catch_unwind(AssertUnwindSafe(|| {
+        verify_streaming(bench, inputs, cfg, inject)
+    })) {
+        Ok(Ok(())) => Ok(()),
+        Ok(Err(e)) => Err(e.to_string()),
+        Err(payload) => Err(format!(
+            "panicked: {}",
+            rpb_parlay::panics::panic_message(&*payload)
+        )),
+    }
 }
 
 /// One `(bench, mode, workers, kernel impl, backend)` run inside its own
@@ -384,6 +538,68 @@ mod tests {
             ..VerifyConfig::default()
         };
         assert!(run_matrix(&w, &none).is_err());
+    }
+
+    #[test]
+    fn streaming_matrix_passes_on_both_channels_and_backends() {
+        let w = tiny_workloads();
+        let cfg = VerifyConfig {
+            streaming: true,
+            channels: vec![ChannelKind::Mpsc, ChannelKind::Crossbeam],
+            backends: vec![BackendKind::Rayon, BackendKind::Mq],
+            workers: vec![1, 2],
+            ..VerifyConfig::default()
+        };
+        let out = run_matrix(&w, &cfg).expect("usage ok");
+        assert_eq!(out.cells, 6, "3 streaming benches x 2 channels");
+        assert!(out.failures.is_empty(), "{}", out.rendered);
+        assert!(
+            out.rendered
+                .contains("channels {mpsc,crossbeam} and backends {rayon,mq}"),
+            "{}",
+            out.rendered
+        );
+    }
+
+    #[test]
+    fn streaming_injection_renders_fail_cells() {
+        let w = tiny_workloads();
+        let cfg = VerifyConfig {
+            streaming: true,
+            benches: vec!["hist".into(), "dedup".into()],
+            workers: vec![1],
+            inject: Some("dedup".into()),
+            ..VerifyConfig::default()
+        };
+        let out = run_matrix(&w, &cfg).expect("usage ok");
+        assert_eq!(out.failures.len(), 1, "{}", out.rendered);
+        assert!(out.failures[0].contains("dedup"), "{}", out.failures[0]);
+        assert!(out.rendered.contains("FAIL"), "{}", out.rendered);
+    }
+
+    #[test]
+    fn streaming_usage_errors_are_typed() {
+        let w = tiny_workloads();
+        // `sort` has no streaming variant.
+        let no_variant = VerifyConfig {
+            streaming: true,
+            benches: vec!["sort".into()],
+            ..VerifyConfig::default()
+        };
+        let err = run_matrix(&w, &no_variant).unwrap_err();
+        assert!(err.contains("no streaming variant"), "{err}");
+        let bad_inject = VerifyConfig {
+            streaming: true,
+            inject: Some("sort".into()),
+            ..VerifyConfig::default()
+        };
+        assert!(run_matrix(&w, &bad_inject).is_err());
+        let no_channels = VerifyConfig {
+            streaming: true,
+            channels: Vec::new(),
+            ..VerifyConfig::default()
+        };
+        assert!(run_matrix(&w, &no_channels).is_err());
     }
 
     #[test]

@@ -69,3 +69,44 @@ fn gate_without_a_subcommand_is_a_usage_error() {
     let out = rpb(&["gate"]);
     assert_eq!(out.status.code(), Some(2), "stderr: {}", stderr(&out));
 }
+
+#[test]
+fn report_on_empty_or_zero_record_files_exits_zero() {
+    let dir = std::env::temp_dir().join(format!("rpb_cli_report_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("mkdir");
+
+    // A 0-byte file is a valid "nothing ran yet" report, not a parse error.
+    let empty = dir.join("empty.json");
+    std::fs::write(&empty, "").expect("write");
+    let out = rpb(&["report", empty.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", stderr(&out));
+    let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert!(stdout.contains("no records"), "stdout: {stdout}");
+
+    // So is a well-formed document whose records array is empty.
+    let zero = dir.join("zero.json");
+    std::fs::write(&zero, r#"{"schema":"rpb-bench-v2","records":[]}"#).expect("write");
+    let out = rpb(&["report", zero.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", stderr(&out));
+    let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert!(stdout.contains("no records"), "stdout: {stdout}");
+
+    // Garbage still dies loudly — the empty-file carve-out is narrow.
+    let bad = dir.join("bad.json");
+    std::fs::write(&bad, "not json").expect("write");
+    let out = rpb(&["report", bad.to_str().unwrap()]);
+    assert_ne!(out.status.code(), Some(0), "stderr: {}", stderr(&out));
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn channel_flag_grammar_is_enforced() {
+    // A comma list is only meaningful as a verify-matrix axis.
+    let out = rpb(&["table1", "--channel", "mpsc,crossbeam"]);
+    assert_eq!(out.status.code(), Some(2), "stderr: {}", stderr(&out));
+    assert!(stderr(&out).contains("--channel"), "{}", stderr(&out));
+    // An unknown channel name is rejected wherever it appears.
+    let out = rpb(&["verify", "--streaming", "--channel", "bogus"]);
+    assert_eq!(out.status.code(), Some(2), "stderr: {}", stderr(&out));
+}

@@ -176,6 +176,23 @@ define_metrics! {
              survives with a typed error response).",
         SERVE_CONNS_ACCEPTED => "serve_conns_accepted":
             "TCP connections accepted by the serve listener.",
+        // rpb-pipeline: streaming skeleton traffic (deterministic
+        // functions of the input under the pipeline-* gate cells —
+        // item/send/recv counts don't depend on scheduling or channel
+        // backend, only on input size, chunking, and stage shape).
+        PIPELINE_RUNS => "pipeline_runs":
+            "Pipeline executions dispatched (clean or panicked).",
+        PIPELINE_ITEMS_IN => "pipeline_items_in":
+            "Items emitted by pipeline sources into their first channel.",
+        PIPELINE_ITEMS_OUT => "pipeline_items_out":
+            "Items folded by pipeline sinks out of their last channel.",
+        PIPELINE_SENDS => "pipeline_sends":
+            "Successful bounded-channel sends across all pipeline stages.",
+        PIPELINE_RECVS => "pipeline_recvs":
+            "Successful bounded-channel recvs across all pipeline stages.",
+        PIPELINE_STAGE_PANICS => "pipeline_stage_panics":
+            "Pipeline runs that surfaced a typed stage panic \
+             (`PipelineError::StagePanicked`) instead of a result.",
     }
     maxes {
         MQ_RANK_ERROR_MAX => "mq_rank_error_max":
@@ -183,6 +200,10 @@ define_metrics! {
         SERVE_QUEUE_DEPTH_MAX => "serve_queue_depth_max":
             "Deepest the serve dispatch queue ever got (admission-control \
              high-water mark; never exceeds the configured cap).",
+        PIPELINE_MAX_INFLIGHT => "pipeline_max_inflight":
+            "High-water mark of items resident in pipeline channels \
+             (bounded-memory claim: never exceeds capacity × channels; \
+             scheduling-dependent below that bound, so never hard-gated).",
     }
     histos {
         SNGIND_CHECK_NS => "sngind_check_ns":

@@ -12,6 +12,9 @@
 //! * [`Executor::try_run_batch`] — run a batch of independent tasks to
 //!   completion with panic-drain semantics (first panic captured, queued
 //!   tasks dropped-not-run with destructors intact, accounting returned).
+//!   Besides the harness, `rpb-pipeline` dispatches every streaming
+//!   pipeline (source + farm workers + sink) as one such batch and leans
+//!   on exactly these drain guarantees for its unwind-clean shutdown.
 //!
 //! Two backends exist: [`RayonExecutor`] (this module; the default) and
 //! the MultiQueue-driven executor in `rpb-multiqueue` (registered under

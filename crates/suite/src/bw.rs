@@ -99,7 +99,7 @@ pub fn run_par(bwt: &[u8], mode: ExecMode) -> Result<Vec<u8>, SuiteError> {
 /// BWT yields an arbitrary byte string, which [`verify`] rejects.
 pub fn run_seq(bwt: &[u8]) -> Result<Vec<u8>, SuiteError> {
     sentinel_pos(bwt)?;
-    Ok(rpb_text::bwt::bwt_decode_seq(bwt))
+    rpb_text::bwt::bwt_decode_seq(bwt).map_err(|e| SuiteError::malformed("bw", e.to_string()))
 }
 
 /// Round-trip invariant: `decoded` is the text whose BWT is `bwt`.

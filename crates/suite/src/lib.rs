@@ -31,6 +31,11 @@
 //! [`msf_kruskal`] (parallel filter-Kruskal) — each cross-validated
 //! against its sibling implementation.
 //!
+//! Streaming variants ([`streaming`]) rebuild `hist`, `dedup`, and
+//! `bfs` as chunked pipelines over the `rpb-pipeline` skeletons, with
+//! bounded in-flight memory, and are differentially verified against
+//! the batch implementations here (`rpb verify --streaming`).
+//!
 //! The [`verify`] module ties it together: every benchmark gets a
 //! sequential oracle, a structural invariant checker, and cross-mode
 //! output comparison (with explicit canonicalization where several
@@ -58,9 +63,11 @@ pub mod sf;
 pub mod sort;
 pub mod sssp;
 pub mod sssp_delta;
+pub mod streaming;
 pub mod verify;
 
 pub use error::SuiteError;
 pub use meta::{all_benchmarks, BenchInfo};
 pub use scale::Scale;
+pub use streaming::{verify_streaming, StreamConfig, STREAMING_BENCHES};
 pub use verify::{verify_pair, SuiteInputs, SUITE_BENCHES};

@@ -1,0 +1,480 @@
+//! Streaming variants of `hist`, `dedup`, and `bfs` over the
+//! [`rpb_pipeline`] skeletons — the suite's chunked counterparts to the
+//! batch benchmarks, with bounded in-flight memory.
+//!
+//! Each variant cuts its input into owned chunks, runs the benchmark's
+//! *sequential* kernel per chunk on a farm of pipeline workers, and
+//! merges at the sink:
+//!
+//! * [`hist_stream`] — per-chunk bucket counts, vector-added at the sink
+//!   (histogram merging is associative and commutative, so farm arrival
+//!   order is invisible),
+//! * [`dedup_stream`] — per-chunk distinct sets, concatenated and
+//!   canonicalized (global sort + dedup) at the end,
+//! * [`bfs_stream`] — level-synchronous BFS with pipelined frontier
+//!   generation: one pipeline per level expands frontier chunks, claiming
+//!   vertices with the same CAS discipline as
+//!   [`bfs_frontier`](crate::bfs_frontier), so the claimed *set* per
+//!   level is deterministic even though chunk arrival order is not.
+//!
+//! All three must agree exactly with their batch siblings — that is the
+//! `rpb verify --streaming` contract ([`verify_streaming`]), checked
+//! across both channel backends and both executor backends. Each run
+//! also returns its [`PipelineStats`], whose
+//! [`inflight_bounded`](PipelineStats::inflight_bounded) claim (high-water
+//! mark ≤ channel capacity × channels) the verifier asserts per cell:
+//! streaming is only worth its name if memory stays bounded.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use rpb_graph::Graph;
+use rpb_parlay::exec::{self, BackendKind};
+use rpb_pipeline::{ChannelKind, Pipeline, PipelineConfig, PipelineError, PipelineStats};
+
+use crate::error::SuiteError;
+use crate::verify::SuiteInputs;
+use crate::{bfs, bfs_frontier, dedup, hist};
+
+/// The benchmarks with streaming variants, in suite-table order.
+pub const STREAMING_BENCHES: [&str; 3] = ["hist", "dedup", "bfs"];
+
+/// Default elements per streamed chunk: large enough that per-item
+/// channel overhead amortizes, small enough that `capacity × channels`
+/// chunks stay a sliver of the batch working set.
+pub const DEFAULT_CHUNK: usize = 1 << 12;
+
+/// How a streaming run is chunked and scheduled.
+#[derive(Clone, Copy, Debug)]
+pub struct StreamConfig {
+    /// Channel backend connecting the pipeline stages.
+    pub channel: ChannelKind,
+    /// Executor backend hosting the stage farms.
+    pub backend: BackendKind,
+    /// Elements per streamed chunk (must be positive).
+    pub chunk: usize,
+    /// Per-channel queue capacity in chunks (must be positive).
+    pub capacity: usize,
+    /// Workers in the transform-stage farm (must be positive).
+    pub workers: usize,
+}
+
+impl Default for StreamConfig {
+    fn default() -> Self {
+        StreamConfig {
+            channel: rpb_pipeline::default_channel(),
+            backend: exec::default_backend(),
+            chunk: DEFAULT_CHUNK,
+            capacity: rpb_pipeline::DEFAULT_CAPACITY,
+            workers: 2,
+        }
+    }
+}
+
+impl StreamConfig {
+    fn pipeline(&self) -> PipelineConfig {
+        PipelineConfig {
+            channel: self.channel,
+            capacity: self.capacity,
+            backend: self.backend,
+        }
+    }
+
+    fn validate(&self, bench: &'static str) -> Result<(), SuiteError> {
+        if self.chunk == 0 {
+            return Err(SuiteError::degenerate(bench, "chunk size must be positive"));
+        }
+        if self.workers == 0 {
+            return Err(SuiteError::degenerate(
+                bench,
+                "stage worker count must be positive",
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Maps a pipeline failure into the suite's error vocabulary: a config
+/// rejection is a degenerate parameter, a stage panic a broken invariant.
+fn stream_error(bench: &'static str, err: PipelineError) -> SuiteError {
+    match err {
+        PipelineError::Config(msg) => SuiteError::degenerate(bench, msg),
+        panicked => SuiteError::invariant(bench, panicked.to_string()),
+    }
+}
+
+/// Streaming histogram of `data` into `nbuckets` equal-width buckets
+/// over `[0, range)`: chunked [`hist::run_seq`] counts, vector-added at
+/// the sink. Agrees exactly with the batch histogram.
+pub fn hist_stream(
+    data: &[u64],
+    nbuckets: usize,
+    range: u64,
+    cfg: StreamConfig,
+) -> Result<(Vec<u64>, PipelineStats), SuiteError> {
+    cfg.validate("hist")?;
+    // Validate the bucket parameters once up front (zero buckets is the
+    // degenerate case) so the per-chunk counters inside the farm cannot
+    // fail.
+    hist::run_seq(&[], nbuckets, range)?;
+    Pipeline::source(cfg.pipeline(), data.chunks(cfg.chunk).map(<[u64]>::to_vec))
+        .and_then(|p| {
+            p.stage("hist-count", cfg.workers, move |chunk: Vec<u64>| {
+                hist::run_seq(&chunk, nbuckets, range).expect("bucket parameters pre-validated")
+            })
+        })
+        .and_then(|p| {
+            p.run_fold(vec![0u64; nbuckets], |mut acc, local| {
+                for (slot, x) in acc.iter_mut().zip(local) {
+                    *slot += x;
+                }
+                acc
+            })
+        })
+        .map_err(|e| stream_error("hist", e))
+}
+
+/// Streaming dedup: per-chunk distinct sets ([`dedup::run_seq`])
+/// concatenated at the sink, then canonicalized globally (chunk-local
+/// sets overlap whenever a value spans chunks). Returns the distinct
+/// values sorted ascending, exactly like the batch variants.
+pub fn dedup_stream(
+    data: &[u64],
+    cfg: StreamConfig,
+) -> Result<(Vec<u64>, PipelineStats), SuiteError> {
+    cfg.validate("dedup")?;
+    let (mut merged, stats) =
+        Pipeline::source(cfg.pipeline(), data.chunks(cfg.chunk).map(<[u64]>::to_vec))
+            .and_then(|p| {
+                p.stage("dedup-chunk", cfg.workers, |chunk: Vec<u64>| {
+                    dedup::run_seq(&chunk)
+                })
+            })
+            .and_then(|p| {
+                p.run_fold(Vec::new(), |mut acc: Vec<u64>, distinct| {
+                    acc.extend(distinct);
+                    acc
+                })
+            })
+            .map_err(|e| stream_error("dedup", e))?;
+    merged.sort_unstable();
+    merged.dedup();
+    Ok((merged, stats))
+}
+
+/// Streaming BFS hop distances from `src`: level-synchronous like
+/// [`bfs_frontier`], but each level's frontier is expanded by a pipeline
+/// — chunks of the frontier flow through a farm that CAS-claims
+/// neighbours, and the sink collects the next frontier. The next
+/// frontier is sorted between levels so the chunk partition (and with it
+/// every pipeline counter) is a deterministic function of the graph.
+///
+/// Returns the distance array (identical to [`bfs::run_seq`]) and the
+/// pipeline accounting aggregated across levels (items summed,
+/// high-water mark maxed — the per-level in-flight bound is the same at
+/// every level, so the aggregate honors it iff each level did).
+pub fn bfs_stream(
+    g: &Graph,
+    src: usize,
+    cfg: StreamConfig,
+) -> Result<(Vec<u64>, PipelineStats), SuiteError> {
+    cfg.validate("bfs")?;
+    let n = g.num_vertices();
+    if src >= n {
+        return Err(SuiteError::degenerate(
+            "bfs",
+            format!("source vertex {src} out of range for {n} vertices"),
+        ));
+    }
+    let dist: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(bfs_frontier::INF)).collect();
+    dist[src].store(0, Ordering::Relaxed);
+    let dist_ref = &dist;
+    let mut frontier: Vec<u32> = vec![src as u32];
+    let mut level = 0u64;
+    let mut stats = PipelineStats::default();
+    while !frontier.is_empty() {
+        level += 1;
+        let (mut next, level_stats) = Pipeline::source(
+            cfg.pipeline(),
+            frontier.chunks(cfg.chunk).map(<[u32]>::to_vec),
+        )
+        .and_then(|p| {
+            p.stage("bfs-expand", cfg.workers, move |chunk: Vec<u32>| {
+                let mut claimed = Vec::new();
+                for &u in &chunk {
+                    for &v in g.neighbors(u as usize) {
+                        // Claim v for this level; exactly one parent
+                        // wins (the same discipline as bfs_frontier).
+                        if dist_ref[v as usize]
+                            .compare_exchange(
+                                bfs_frontier::INF,
+                                level,
+                                Ordering::Relaxed,
+                                Ordering::Relaxed,
+                            )
+                            .is_ok()
+                        {
+                            claimed.push(v);
+                        }
+                    }
+                }
+                claimed
+            })
+        })
+        .and_then(|p| {
+            p.run_fold(Vec::new(), |mut acc: Vec<u32>, claimed| {
+                acc.extend(claimed);
+                acc
+            })
+        })
+        .map_err(|e| stream_error("bfs", e))?;
+        next.sort_unstable();
+        stats = merge_stats(stats, level_stats);
+        frontier = next;
+    }
+    Ok((dist.into_iter().map(AtomicU64::into_inner).collect(), stats))
+}
+
+/// Folds one level's accounting into the run aggregate: shape fields
+/// come from the latest level (identical at every level), items sum,
+/// and the high-water mark is the max across levels.
+fn merge_stats(acc: PipelineStats, level: PipelineStats) -> PipelineStats {
+    PipelineStats {
+        stages: level.stages,
+        workers: level.workers,
+        channels: level.channels,
+        capacity: level.capacity,
+        items_in: acc.items_in + level.items_in,
+        items_out: acc.items_out + level.items_out,
+        max_inflight: acc.max_inflight.max(level.max_inflight),
+    }
+}
+
+/// The in-flight high-water-mark claim every streaming cell must honor.
+fn check_bounded(bench: &'static str, stats: &PipelineStats) -> Result<(), SuiteError> {
+    if !stats.inflight_bounded() {
+        return Err(SuiteError::invariant(
+            bench,
+            format!(
+                "pipeline max_inflight {} exceeds bound {} ({} channels × {} capacity)",
+                stats.max_inflight,
+                stats.inflight_bound(),
+                stats.channels,
+                stats.capacity
+            ),
+        ));
+    }
+    Ok(())
+}
+
+/// Runs one streaming verification cell: the streaming output must agree
+/// exactly with the batch sequential oracle (and, for `bfs`, the batch
+/// parallel ablation), pass the benchmark's structural invariant
+/// checker, and honor the bounded-memory claim. With `inject`, the
+/// streaming output is deliberately corrupted first — the cell must then
+/// return an `Err` (the harness's failure-path probe, mirroring
+/// [`verify_pair`](crate::verify::verify_pair)).
+pub fn verify_streaming(
+    name: &str,
+    i: &SuiteInputs<'_>,
+    cfg: StreamConfig,
+    inject: bool,
+) -> Result<(), SuiteError> {
+    match name {
+        "hist" => check_hist_stream(i, cfg, inject),
+        "dedup" => check_dedup_stream(i, cfg, inject),
+        "bfs" => check_bfs_stream(i, cfg, inject),
+        other => Err(SuiteError::malformed(
+            "verify",
+            format!("unknown streaming benchmark `{other}` (valid: hist, dedup, bfs)"),
+        )),
+    }
+}
+
+fn check_hist_stream(
+    i: &SuiteInputs<'_>,
+    cfg: StreamConfig,
+    inject: bool,
+) -> Result<(), SuiteError> {
+    let nbuckets = 64;
+    let range = i.seq.len() as u64;
+    let (mut h, stats) = hist_stream(i.seq, nbuckets, range, cfg)?;
+    check_bounded("hist", &stats)?;
+    if inject {
+        h[0] += 1;
+    }
+    hist::verify(i.seq, nbuckets, &h)?;
+    if h != hist::run_seq(i.seq, nbuckets, range)? {
+        return Err(SuiteError::divergence(
+            "hist",
+            "streaming counts differ from batch sequential",
+        ));
+    }
+    Ok(())
+}
+
+fn check_dedup_stream(
+    i: &SuiteInputs<'_>,
+    cfg: StreamConfig,
+    inject: bool,
+) -> Result<(), SuiteError> {
+    let (mut out, stats) = dedup_stream(i.seq, cfg)?;
+    check_bounded("dedup", &stats)?;
+    if inject {
+        if let Some(&first) = out.first() {
+            out.insert(0, first);
+        }
+    }
+    dedup::verify(i.seq, &out)?;
+    if out != dedup::run_seq(i.seq) {
+        return Err(SuiteError::divergence(
+            "dedup",
+            "streaming distinct set differs from batch sequential",
+        ));
+    }
+    Ok(())
+}
+
+fn check_bfs_stream(
+    i: &SuiteInputs<'_>,
+    cfg: StreamConfig,
+    mut inject: bool,
+) -> Result<(), SuiteError> {
+    for g in [i.link, i.road] {
+        let (mut d, stats) = bfs_stream(g, 0, cfg)?;
+        check_bounded("bfs", &stats)?;
+        if std::mem::take(&mut inject) {
+            d[0] = 1;
+        }
+        bfs::verify(g, 0, &d)?;
+        let seq = bfs::run_seq(g, 0);
+        if d != seq {
+            return Err(SuiteError::divergence(
+                "bfs",
+                "streaming frontier distances differ from sequential BFS",
+            ));
+        }
+        if bfs_frontier::run_par(g, 0) != seq {
+            return Err(SuiteError::divergence(
+                "bfs",
+                "batch frontier ablation differs from sequential BFS",
+            ));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inputs;
+    use rpb_graph::GraphKind;
+    use rpb_pipeline::ALL_CHANNELS;
+
+    fn cfg(channel: ChannelKind) -> StreamConfig {
+        StreamConfig {
+            channel,
+            backend: BackendKind::Rayon,
+            chunk: 512,
+            capacity: 4,
+            workers: 2,
+        }
+    }
+
+    #[test]
+    fn hist_stream_matches_batch_on_both_channels() {
+        let data = inputs::exponential(20_000);
+        let range = data.len() as u64;
+        let want = hist::run_seq(&data, 64, range).expect("hist");
+        for channel in ALL_CHANNELS {
+            let (got, stats) = hist_stream(&data, 64, range, cfg(channel)).expect("stream");
+            assert_eq!(got, want, "{channel:?}");
+            assert!(stats.inflight_bounded(), "{stats:?}");
+            assert_eq!(stats.items_in, data.len().div_ceil(512) as u64);
+            assert_eq!(stats.items_in, stats.items_out);
+        }
+    }
+
+    #[test]
+    fn dedup_stream_matches_batch_on_both_channels() {
+        let data: Vec<u64> = (0..30_000u64).map(|i| (i * i) % 257).collect();
+        let want = dedup::run_seq(&data);
+        for channel in ALL_CHANNELS {
+            let (got, stats) = dedup_stream(&data, cfg(channel)).expect("stream");
+            assert_eq!(got, want, "{channel:?}");
+            assert!(stats.inflight_bounded(), "{stats:?}");
+        }
+    }
+
+    #[test]
+    fn bfs_stream_matches_batch_on_both_channels() {
+        for kind in [GraphKind::Link, GraphKind::Road] {
+            let g = inputs::graph(kind, 2000);
+            let want = bfs::run_seq(&g, 0);
+            for channel in ALL_CHANNELS {
+                let (got, stats) = bfs_stream(&g, 0, cfg(channel)).expect("stream");
+                assert_eq!(got, want, "{kind:?} {channel:?}");
+                assert!(stats.inflight_bounded(), "{stats:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn single_worker_stream_is_deterministic_in_counters() {
+        // The gate's hard-counter cells run at one worker per stage:
+        // items_in/items_out must be exact functions of the input shape.
+        let data = inputs::exponential(10_000);
+        let one = StreamConfig {
+            workers: 1,
+            ..cfg(ChannelKind::Mpsc)
+        };
+        let (_, a) = hist_stream(&data, 64, data.len() as u64, one).expect("stream");
+        let (_, b) = hist_stream(&data, 64, data.len() as u64, one).expect("stream");
+        assert_eq!(a, b);
+        assert_eq!(a.items_in, data.len().div_ceil(one.chunk) as u64);
+    }
+
+    #[test]
+    fn empty_inputs_stream_cleanly() {
+        let (h, stats) = hist_stream(&[], 8, 100, cfg(ChannelKind::Mpsc)).expect("stream");
+        assert_eq!(h, vec![0u64; 8]);
+        assert_eq!(stats.items_in, 0);
+        let (d, _) = dedup_stream(&[], cfg(ChannelKind::Crossbeam)).expect("stream");
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn degenerate_parameters_are_typed_errors() {
+        let base = cfg(ChannelKind::Mpsc);
+        let err = hist_stream(&[1], 4, 10, StreamConfig { chunk: 0, ..base }).unwrap_err();
+        assert!(
+            matches!(err, SuiteError::DegenerateParameter { .. }),
+            "{err}"
+        );
+        let err = dedup_stream(&[1], StreamConfig { workers: 0, ..base }).unwrap_err();
+        assert!(
+            matches!(err, SuiteError::DegenerateParameter { .. }),
+            "{err}"
+        );
+        let err = hist_stream(
+            &[1],
+            4,
+            10,
+            StreamConfig {
+                capacity: 0,
+                ..base
+            },
+        )
+        .unwrap_err();
+        assert!(
+            matches!(err, SuiteError::DegenerateParameter { .. }),
+            "{err}"
+        );
+        assert!(hist_stream(&[1], 0, 10, base).is_err(), "zero buckets");
+        let g = inputs::graph(GraphKind::Road, 50);
+        let err = bfs_stream(&g, g.num_vertices() + 1, base).unwrap_err();
+        assert!(
+            matches!(err, SuiteError::DegenerateParameter { .. }),
+            "{err}"
+        );
+    }
+}

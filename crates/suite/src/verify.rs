@@ -526,6 +526,30 @@ mod tests {
     }
 
     #[test]
+    fn streaming_benches_pass_and_catch_injection_on_both_channels() {
+        use crate::streaming::{verify_streaming, StreamConfig, STREAMING_BENCHES};
+
+        let owned = build();
+        let i = owned.as_inputs();
+        for channel in rpb_pipeline::ALL_CHANNELS {
+            let cfg = StreamConfig {
+                channel,
+                backend: BackendKind::Rayon,
+                chunk: 1024,
+                capacity: 4,
+                workers: 2,
+            };
+            for name in STREAMING_BENCHES {
+                verify_streaming(name, &i, cfg, false)
+                    .unwrap_or_else(|e| panic!("{name} on {channel:?}: {e}"));
+                let err = verify_streaming(name, &i, cfg, true)
+                    .expect_err(&format!("{name} must catch the injected corruption"));
+                assert_eq!(err.benchmark(), name, "{err}");
+            }
+        }
+    }
+
+    #[test]
     fn unknown_benchmark_is_a_typed_error() {
         let owned = build();
         let err =

@@ -16,7 +16,7 @@ pub mod gen;
 pub mod lcp;
 pub mod suffix_array;
 
-pub use bwt::{bwt_decode, bwt_encode, lf_mapping};
+pub use bwt::{bwt_decode, bwt_encode, lf_mapping, BwtError};
 pub use gen::wiki_like_text;
 pub use lcp::{lcp_from_sa, plcp};
 pub use suffix_array::{suffix_array, suffix_array_naive, suffix_array_seq};
